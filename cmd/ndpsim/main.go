@@ -1,0 +1,57 @@
+// Command ndpsim regenerates the tables and figures of the NDP paper
+// (Handley et al., SIGCOMM 2017) from the simulator in this repository.
+//
+// Usage:
+//
+//	ndpsim -list
+//	ndpsim -exp fig14            # one experiment at paper scale
+//	ndpsim -exp all -scale 0.3   # everything, shrunk for a quick pass
+//	ndpsim -exp fig20 -full      # unlock the 8192-host FatTree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ndp"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale = flag.Float64("scale", 1.0, "scale knob in (0,1]: 1.0 = paper dimensions")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		full  = flag.Bool("full", false, "unlock extreme sizes (8192-host FatTree)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range ndp.Experiments() {
+			fmt.Printf("  %-8s  %s\n", id, ndp.Describe(id))
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ndp.Experiments()
+	}
+	opts := ndp.Options{Scale: *scale, Seed: *seed, Full: *full}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := ndp.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(res)
+		fmt.Printf("(%s wall time: %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,504 @@
+package core
+
+import (
+	"ndp/internal/fabric"
+	"ndp/internal/sim"
+)
+
+// Per-packet sender-side state.
+type pktState uint8
+
+const (
+	psUnsent    pktState = iota
+	psInflight           // sent, no terminal feedback yet
+	psRtxQueued          // NACKed or bounced, waiting for pull credit
+	psAcked
+)
+
+// Sender is the sending half of one NDP connection. It pushes the first
+// window at line rate with SYN on every packet, then becomes purely
+// receiver-driven: each PULL increment releases one packet, retransmissions
+// (NACKed or bounced) before new data. It sprays packets across all paths in
+// sender-permuted order and maintains the per-path ACK/NACK/loss scoreboard
+// that lets it avoid broken paths (§3.2.3).
+type Sender struct {
+	Flow uint64
+	Dst  int32
+
+	st   *Stack
+	size int64 // bytes; <0 means unbounded
+
+	total    int64 // packets; <0 means unbounded
+	lastSize int32 // size of the final packet
+	iw       int64
+
+	state    []pktState
+	sentAt   []sim.Time
+	firstTx  []sim.Time
+	lastPath []int16
+
+	paths    [][]int16
+	perm     []int
+	permPos  int
+	pathAcks []int64
+	pathNaks []int64
+	pathLoss []int64
+
+	nextNew     int64
+	rtxq        []int64
+	lastPullSeq int64
+
+	inflight       int64
+	ackedCount     int64
+	ackedBytes     int64
+	ackedOrNacked  int64
+	recentAcks     int64
+	recentNacks    int64
+	recentEvents   int64
+	fwSent         int64 // first-window packets sent
+	fwBounced      int64 // distinct first-window packets seen bounced
+	rxEvents       int64 // every ACK/NACK/PULL/bounce received
+	lastEventSnap  int64 // liveness marker for the RTO safety valve
+	valveSilent    int   // consecutive silent RTO windows
+	valveThreshold int   // silent windows required before the valve fires
+	probeSeq       int64 // seq of the outstanding bounce probe (-1 none)
+	rto            sim.Time
+	timer          *sim.Timer
+	complete       bool
+	started        sim.Time
+	onDone         func(*Sender)
+	excludedActive int
+
+	// Telemetry used by the evaluation harness.
+	PacketsSent     int64
+	RtxFromNack     int64
+	RtxFromBounce   int64
+	RtxFromTimeout  int64
+	BouncesSeen     int64
+	NacksSeen       int64
+	CompletedAt     sim.Time
+	OnPacketLatency func(d sim.Time) // first-send -> ACK, per packet (Fig 4)
+}
+
+func newSender(st *Stack, opts FlowOpts, dst int32, size int64, paths [][]int16) *Sender {
+	s := &Sender{
+		Flow:     opts.Flow,
+		Dst:      dst,
+		st:       st,
+		size:     size,
+		paths:    paths,
+		pathAcks: make([]int64, len(paths)),
+		pathNaks: make([]int64, len(paths)),
+		pathLoss: make([]int64, len(paths)),
+		onDone:   opts.OnSenderDone,
+		started:  st.el.Now(),
+		probeSeq: -1,
+	}
+	mtu := int64(st.cfg.MTU)
+	if size >= 0 {
+		s.total = (size + mtu - 1) / mtu
+		if s.total == 0 {
+			s.total = 1 // zero-byte transfer still needs a FIN packet
+		}
+		s.lastSize = int32(size - (s.total-1)*mtu)
+		if s.lastSize == 0 {
+			s.lastSize = int32(mtu)
+		}
+		if size == 0 {
+			s.lastSize = fabric.HeaderSize
+		}
+	} else {
+		s.total = -1
+	}
+	s.iw = int64(st.cfg.IW)
+	if opts.IW > 0 {
+		s.iw = int64(opts.IW)
+	}
+	// The configured RTO assumes the first window leaves within one RTT;
+	// a very large IW takes IW serialization times just to exit the NIC,
+	// so scale the timeout with the sender's own burst duration to avoid
+	// spurious retransmissions of packets still queued locally.
+	s.rto = st.cfg.RTO
+	if burst := 2 * s.iw * int64(sim.TransmissionTime(st.cfg.MTU, st.Host.LinkRate())); sim.Time(burst) > s.rto {
+		s.rto = sim.Time(burst)
+	}
+	s.timer = sim.NewTimer(st.el, s.onTimeout)
+	s.repermute()
+	return s
+}
+
+// start pushes the first window at line rate (zero-RTT fast start).
+func (s *Sender) start() {
+	burst := s.iw
+	if s.total >= 0 && s.total < burst {
+		burst = s.total
+	}
+	for i := int64(0); i < burst; i++ {
+		s.sendData(s.nextNew, false)
+		s.nextNew++
+	}
+}
+
+// grow ensures per-packet state exists through seq.
+func (s *Sender) grow(seq int64) {
+	for int64(len(s.state)) <= seq {
+		s.state = append(s.state, psUnsent)
+		s.sentAt = append(s.sentAt, 0)
+		s.firstTx = append(s.firstTx, -1) // -1 = never sent (0 is a valid time)
+		s.lastPath = append(s.lastPath, -1)
+	}
+}
+
+// nextPathID walks the permuted path list, re-permuting (and re-evaluating
+// the scoreboard) after each full cycle.
+func (s *Sender) nextPathID() int16 {
+	if s.permPos >= len(s.perm) {
+		s.repermute()
+	}
+	id := s.perm[s.permPos]
+	s.permPos++
+	return int16(id)
+}
+
+// repermute rebuilds the randomized path order, temporarily excluding
+// scoreboard outliers: paths whose NACK fraction or loss count is far above
+// the mean indicate asymmetry (a failed or degraded link), and spraying onto
+// them would stall the whole transfer.
+func (s *Sender) repermute() {
+	n := len(s.paths)
+	include := make([]int, 0, n)
+	s.excludedActive = 0
+	if !s.st.cfg.DisablePathPenalty && n > 1 {
+		var fracSum float64
+		var lossSum, qualified int64
+		for i := 0; i < n; i++ {
+			if t := s.pathAcks[i] + s.pathNaks[i]; t >= 4 {
+				fracSum += float64(s.pathNaks[i]) / float64(t)
+				qualified++
+			}
+			lossSum += s.pathLoss[i]
+		}
+		meanFrac, meanLoss := 0.0, float64(lossSum)/float64(n)
+		if qualified > 0 {
+			meanFrac = fracSum / float64(qualified)
+		}
+		for i := 0; i < n; i++ {
+			t := s.pathAcks[i] + s.pathNaks[i]
+			if t >= 4 && qualified > 1 {
+				frac := float64(s.pathNaks[i]) / float64(t)
+				if frac > 2*meanFrac+0.05 {
+					s.excludedActive++
+					continue
+				}
+			}
+			if float64(s.pathLoss[i]) > 2*meanLoss+2 {
+				s.excludedActive++
+				continue
+			}
+			include = append(include, i)
+		}
+	}
+	if len(include) == 0 {
+		include = include[:0]
+		for i := 0; i < n; i++ {
+			include = append(include, i)
+		}
+		s.excludedActive = 0
+	}
+	// Exponential decay keeps exclusions temporary: a path's bad history
+	// fades, so it is re-probed after a few cycles.
+	for i := 0; i < n; i++ {
+		s.pathAcks[i] -= s.pathAcks[i] / 4
+		s.pathNaks[i] -= s.pathNaks[i] / 4
+		s.pathLoss[i] -= s.pathLoss[i] / 4
+	}
+	s.st.rand.ShuffleInts(include)
+	s.perm = include
+	s.permPos = 0
+}
+
+// ExcludedPaths reports how many paths the scoreboard is currently avoiding.
+func (s *Sender) ExcludedPaths() int { return s.excludedActive }
+
+// sendData transmits packet seq (fresh or retransmission).
+func (s *Sender) sendData(seq int64, rtx bool) {
+	s.sendDataAvoiding(seq, rtx, -1)
+}
+
+// sendDataAvoiding transmits seq, avoiding path `avoid` when an alternative
+// exists ("an NDP sender that retransmits a lost packet always resends it on
+// a different path").
+func (s *Sender) sendDataAvoiding(seq int64, rtx bool, avoid int16) {
+	s.grow(seq)
+	size := int32(s.st.cfg.MTU)
+	if s.total >= 0 && seq == s.total-1 {
+		size = s.lastSize
+	}
+	pid := s.nextPathID()
+	if avoid >= 0 && pid == avoid && len(s.paths) > 1 {
+		pid = s.nextPathID()
+	}
+	p := fabric.NewData(s.Flow, s.st.Host.ID, s.Dst, seq, size)
+	if s.st.cfg.SwitchLB {
+		pid = -1 // destination-routed: switches spray per packet
+	} else {
+		p.Path = s.paths[pid]
+	}
+	p.PathID = pid
+	p.Sent = s.st.el.Now()
+	if seq < s.iw {
+		p.Flags |= fabric.FlagSYN
+	}
+	if s.total >= 0 && seq == s.total-1 {
+		p.Flags |= fabric.FlagFIN
+	}
+	if rtx {
+		p.Flags |= fabric.FlagRTX
+	}
+	if s.state[seq] != psInflight {
+		s.inflight++
+	}
+	s.state[seq] = psInflight
+	s.sentAt[seq] = s.st.el.Now()
+	if s.firstTx[seq] < 0 {
+		s.firstTx[seq] = s.st.el.Now()
+	}
+	s.lastPath[seq] = pid
+	s.PacketsSent++
+	if seq < s.iw && !rtx {
+		s.fwSent++
+	}
+	if !s.timer.Pending() {
+		s.timer.Reset(s.rto)
+	}
+	s.st.Host.Send(p)
+}
+
+// sendNext releases one packet of pull credit: queued retransmissions first,
+// then new data.
+func (s *Sender) sendNext() {
+	for len(s.rtxq) > 0 {
+		seq := s.rtxq[0]
+		s.rtxq = s.rtxq[1:]
+		if s.state[seq] != psRtxQueued {
+			continue // ACKed while queued
+		}
+		s.sendData(seq, true)
+		return
+	}
+	if s.total < 0 || s.nextNew < s.total {
+		s.sendData(s.nextNew, false)
+		s.nextNew++
+	}
+}
+
+// Receive handles control traffic addressed to this sender: ACKs, NACKs,
+// PULLs and bounced (return-to-sender) headers.
+func (s *Sender) Receive(p *fabric.Packet) {
+	switch {
+	case p.Type == fabric.Ack:
+		s.onAck(p)
+	case p.Type == fabric.Nack:
+		s.onNack(p)
+	case p.Type == fabric.Pull:
+		s.onPull(p)
+	case p.Type == fabric.Data && p.Flags&fabric.FlagBounced != 0:
+		s.onBounce(p)
+	}
+	fabric.Free(p)
+}
+
+func (s *Sender) noteEvent(ack bool) {
+	if ack {
+		s.recentAcks++
+	} else {
+		s.recentNacks++
+	}
+	s.recentEvents++
+	if s.recentEvents >= 64 {
+		s.recentAcks /= 2
+		s.recentNacks /= 2
+		s.recentEvents = 0
+	}
+}
+
+func (s *Sender) onAck(p *fabric.Packet) {
+	s.rxEvents++
+	if p.Seq == s.probeSeq {
+		s.probeSeq = -1 // the bounce probe resolved
+	}
+	seq := p.Seq
+	if seq < 0 || int64(len(s.state)) <= seq || s.state[seq] == psAcked {
+		return
+	}
+	if p.PathID >= 0 && int(p.PathID) < len(s.pathAcks) {
+		s.pathAcks[p.PathID]++
+	}
+	if s.state[seq] == psInflight {
+		s.inflight--
+	}
+	s.state[seq] = psAcked
+	s.ackedCount++
+	s.ackedOrNacked++
+	s.noteEvent(true)
+	sz := int64(s.st.cfg.MTU)
+	if s.total >= 0 && seq == s.total-1 {
+		sz = int64(s.lastSize)
+	}
+	s.ackedBytes += sz
+	if s.OnPacketLatency != nil && s.firstTx[seq] >= 0 {
+		s.OnPacketLatency(s.st.el.Now() - s.firstTx[seq])
+	}
+	if s.total >= 0 && s.ackedCount == s.total && !s.complete {
+		s.complete = true
+		s.CompletedAt = s.st.el.Now()
+		s.timer.Stop()
+		s.st.enterTimeWait(s.Flow)
+		if s.onDone != nil {
+			s.onDone(s)
+		}
+	}
+}
+
+func (s *Sender) onNack(p *fabric.Packet) {
+	s.rxEvents++
+	if p.Seq == s.probeSeq {
+		s.probeSeq = -1 // the bounce probe resolved
+	}
+	seq := p.Seq
+	if seq < 0 || int64(len(s.state)) <= seq {
+		return
+	}
+	s.NacksSeen++
+	if p.PathID >= 0 && int(p.PathID) < len(s.pathNaks) {
+		s.pathNaks[p.PathID]++
+	}
+	s.noteEvent(false)
+	if s.state[seq] != psInflight {
+		return // already ACKed or already queued for rtx
+	}
+	s.inflight--
+	s.state[seq] = psRtxQueued
+	s.ackedOrNacked++
+	s.rtxq = append(s.rtxq, seq)
+	s.RtxFromNack++
+}
+
+func (s *Sender) onPull(p *fabric.Packet) {
+	s.rxEvents++
+	delta := p.PullSeq - s.lastPullSeq
+	if delta <= 0 {
+		return // reordered pull: a later one already released this credit
+	}
+	s.lastPullSeq = p.PullSeq
+	for i := int64(0); i < delta; i++ {
+		s.sendNext()
+	}
+}
+
+// onBounce implements return-to-sender (§3.2.4): the switch sent this
+// header back because its header queue overflowed. Resending everything
+// immediately would echo the incast; never resending would stall flows
+// whose entire window bounced (no pull clock). The paper's compromise:
+// resend only when not expecting more pulls, or when every first-window
+// packet also bounced, or when recent feedback is mostly ACKs (asymmetric
+// network). We additionally keep at most one bounce-triggered probe in
+// flight per connection — enough to restart the pull clock, bounded enough
+// that a thousand-flow incast does not re-detonate itself.
+func (s *Sender) onBounce(p *fabric.Packet) {
+	seq := p.Seq
+	if seq < 0 || int64(len(s.state)) <= seq || s.state[seq] != psInflight {
+		return
+	}
+	s.rxEvents++
+	s.BouncesSeen++
+	if seq < s.iw {
+		s.fwBounced++
+	}
+	if seq == s.probeSeq {
+		s.probeSeq = -1 // the probe itself bounced again
+	}
+	s.inflight--
+	s.state[seq] = psRtxQueued
+	s.RtxFromBounce++
+
+	expectMorePulls := s.lastPullSeq < s.ackedOrNacked
+	allFirstWindowBounced := s.fwBounced >= s.fwSent
+	mostlyAcked := s.recentAcks > s.recentNacks && s.recentAcks >= 4
+	resendNow := mostlyAcked || (!expectMorePulls || allFirstWindowBounced) && s.probeSeq < 0
+	if resendNow {
+		s.probeSeq = seq
+		s.sendDataAvoiding(seq, true, p.PathID) // flips state back to inflight
+		return
+	}
+	s.rtxq = append(s.rtxq, seq)
+}
+
+// onTimeout is the RTO backstop: it directly retransmits packets that have
+// been in flight for a full RTO (corruption, double bounce, or lost control
+// packets), charging a loss to the path they used.
+//
+// It also runs the self-clock safety valve for the case where the pull
+// clock died entirely (e.g. PULLs lost to header-queue overflow): after
+// several RTO windows with no feedback of any kind, it releases one queued
+// retransmission. Any ACK, NACK, PULL or bounce counts as liveness — in a
+// huge incast a flow may legitimately hear from the receiver only every
+// few milliseconds while the shared pull queue drains, and firing the
+// valve then would re-detonate the incast. The silence threshold doubles
+// on every firing (capped) and halves on progress, so a genuinely dead
+// flow recovers within a few RTOs while a patient one stays quiet.
+func (s *Sender) onTimeout() {
+	if s.complete {
+		return
+	}
+	now := s.st.el.Now()
+	resent := 0
+	for seq := int64(0); seq < int64(len(s.state)); seq++ {
+		if s.state[seq] == psInflight && s.sentAt[seq]+s.rto <= now {
+			if pid := s.lastPath[seq]; pid >= 0 {
+				s.pathLoss[pid]++
+			}
+			s.inflight-- // sendDataAvoiding re-increments
+			s.state[seq] = psRtxQueued
+			s.RtxFromTimeout++
+			s.sendDataAvoiding(seq, true, s.lastPath[seq])
+			resent++
+		}
+	}
+	if s.valveThreshold == 0 {
+		s.valveThreshold = 1
+	}
+	if resent == 0 && s.rxEvents == s.lastEventSnap && len(s.rtxq) > 0 {
+		s.valveSilent++
+		if s.valveSilent >= s.valveThreshold {
+			s.valveSilent = 0
+			if s.valveThreshold < 64 {
+				s.valveThreshold *= 2
+			}
+			s.RtxFromTimeout++
+			s.sendNext()
+		}
+	} else if s.rxEvents != s.lastEventSnap {
+		s.valveSilent = 0
+		if s.valveThreshold > 1 {
+			s.valveThreshold /= 2
+		}
+	}
+	s.lastEventSnap = s.rxEvents
+	s.timer.Reset(s.rto)
+}
+
+// Complete reports whether every packet has been ACKed.
+func (s *Sender) Complete() bool { return s.complete }
+
+// AckedBytes returns cumulatively acknowledged payload bytes (the sender-
+// side goodput measure used for unbounded flows).
+func (s *Sender) AckedBytes() int64 { return s.ackedBytes }
+
+// TotalPackets returns the transfer length in packets (-1 if unbounded).
+func (s *Sender) TotalPackets() int64 { return s.total }
+
+// Retransmissions returns the total number of retransmitted sends.
+func (s *Sender) Retransmissions() int64 {
+	return s.RtxFromNack + s.RtxFromBounce + s.RtxFromTimeout
+}

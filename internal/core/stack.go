@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+
+	"ndp/internal/fabric"
+	"ndp/internal/sim"
+)
+
+// Config parameterizes the NDP endpoint protocol. The zero value plus
+// DefaultConfig's fill-ins match the paper's defaults.
+type Config struct {
+	// MTU is the maximum data packet size in bytes (paper default 9000).
+	MTU int
+	// IW is the initial window in packets: the amount pushed at line rate
+	// in the first RTT before the protocol becomes receiver-driven
+	// (paper default 30).
+	IW int
+	// RTO is the retransmission timeout, the backstop for corrupted or
+	// doubly-bounced packets. With small queues the worst-case RTT is
+	// ~400us, so 1ms is safe (§3.2.4).
+	RTO sim.Time
+	// PullSpacing is the interval between PULL packets from one receiver.
+	// Zero derives it from the NIC rate so that pulled data arrives just
+	// under line rate (MTU+header serialization time).
+	PullSpacing sim.Time
+	// PullJitter, when set, adds a sample to each pull gap — the empirical
+	// imperfect-pacing model of Figures 12/13.
+	PullJitter func(r *sim.Rand) sim.Time
+	// RxDelay is a per-packet host processing delay applied before the
+	// stack handles an arrival, modeling the endpoint costs the paper
+	// measures on its DPDK testbed (Figure 11).
+	RxDelay sim.Time
+	// DisablePathPenalty turns off the path scoreboard of §3.2.3
+	// (the "NDP without path penalty" line of Figure 22).
+	DisablePathPenalty bool
+	// SwitchLB makes senders emit destination-routed packets so switches
+	// perform per-packet random ECMP instead of sender-chosen paths — the
+	// source-vs-switch load-balancing ablation of §3.1.1 and §3.2.4.
+	SwitchLB bool
+	// PullFIFO serves the pull queue in strict arrival order instead of
+	// round-robin fair queuing across connections — the ablation for the
+	// receiver-fairness claims (§3.2's fair pull queue, Figure 21).
+	PullFIFO bool
+	// Seed perturbs the per-stack RNG (path permutations, control routing).
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's endpoint parameters.
+func DefaultConfig() Config {
+	return Config{MTU: 9000, IW: 30, RTO: sim.Millisecond}
+}
+
+func (c Config) withDefaults() Config {
+	if c.MTU == 0 {
+		c.MTU = 9000
+	}
+	if c.IW == 0 {
+		c.IW = 30
+	}
+	if c.RTO == 0 {
+		c.RTO = sim.Millisecond
+	}
+	return c
+}
+
+// PathsFunc enumerates source routes from this stack's host to a
+// destination host; topologies provide it (e.g. (*topo.FatTree).Paths).
+type PathsFunc func(dst int32) [][]int16
+
+// Stack is the per-host NDP endpoint: it owns the host's flow demultiplexer,
+// the single shared pull pacer ("a receiver only has one pull queue, shared
+// by all connections for which it is the receiver"), time-wait state for
+// at-most-once connection semantics, and the listen hook that instantiates
+// receiver state from whichever first-window packet arrives first.
+type Stack struct {
+	Host *fabric.Host
+
+	cfg     Config
+	el      *sim.EventList
+	rand    *sim.Rand
+	pathsTo PathsFunc
+	demux   *fabric.Demux
+	pacer   *pullPacer
+
+	listening  bool
+	onComplete func(*Receiver)
+	prioFlows  map[uint64]bool
+	flowDone   map[uint64]func(*Receiver) // per-flow completion callbacks
+	flowData   map[uint64]func(int64)     // per-flow goodput observers
+
+	// timeWait records recently-closed/seen flow ids with their expiry so
+	// duplicate connections are rejected (at-most-once, §3.2.2). The
+	// maximum segment lifetime in a datacenter is under 1ms, so entries
+	// are short-lived.
+	timeWait    map[uint64]sim.Time
+	msl         sim.Time
+	DupRejected int64
+
+	senders   map[uint64]*Sender
+	receivers map[uint64]*Receiver
+}
+
+// NewStack installs an NDP endpoint on a host. pathsTo must enumerate source
+// routes toward any peer the host will talk to.
+func NewStack(host *fabric.Host, pathsTo PathsFunc, cfg Config) *Stack {
+	cfg = cfg.withDefaults()
+	st := &Stack{
+		Host:      host,
+		cfg:       cfg,
+		el:        host.EventList(),
+		rand:      sim.NewRand(cfg.Seed ^ (uint64(host.ID)+1)*0x9e3779b97f4a7c15),
+		pathsTo:   pathsTo,
+		demux:     fabric.NewDemux(),
+		prioFlows: make(map[uint64]bool),
+		flowDone:  make(map[uint64]func(*Receiver)),
+		flowData:  make(map[uint64]func(int64)),
+		timeWait:  make(map[uint64]sim.Time),
+		msl:       sim.Millisecond,
+		senders:   make(map[uint64]*Sender),
+		receivers: make(map[uint64]*Receiver),
+	}
+	spacing := cfg.PullSpacing
+	if spacing == 0 {
+		// Pace pulls so the elicited data arrives marginally below line
+		// rate (~1.5% slack). Exactly line rate would leave the last-hop
+		// queue wherever the first-RTT burst put it — often full — and
+		// then path-length jitter re-trims pulled retransmissions; a
+		// little slack drains the queue between pulls.
+		spacing = sim.TransmissionTime(cfg.MTU+2*fabric.HeaderSize, host.LinkRate())
+	}
+	st.pacer = newPullPacer(st, spacing)
+	if cfg.RxDelay > 0 {
+		host.Stack = fabric.SinkFunc(func(p *fabric.Packet) {
+			st.el.After(cfg.RxDelay, func() { st.demux.Receive(p) })
+		})
+	} else {
+		host.Stack = st.demux
+	}
+	st.demux.Listen = st.listen
+	return st
+}
+
+// Config returns the stack's effective configuration.
+func (st *Stack) Config() Config { return st.cfg }
+
+// Listen accepts incoming connections; onComplete (may be nil) fires when a
+// receiver has all its data.
+func (st *Stack) Listen(onComplete func(*Receiver)) {
+	st.listening = true
+	st.onComplete = onComplete
+}
+
+// SetPriority marks a flow for strict-priority pulling at this receiver
+// ("the receiver knows its own priorities, and can pull high priority
+// traffic more often than low priority traffic").
+func (st *Stack) SetPriority(flow uint64) { st.prioFlows[flow] = true }
+
+// listen is the demux hook: it creates receiver state for an unknown flow,
+// but only from packets that carry the SYN flag (every packet of the first
+// window does) and only if the flow id is not in time-wait.
+func (st *Stack) listen(p *fabric.Packet) fabric.Sink {
+	if !st.listening || p.Flags&fabric.FlagSYN == 0 {
+		return nil
+	}
+	if p.Type != fabric.Data {
+		return nil
+	}
+	if exp, ok := st.timeWait[p.Flow]; ok && st.el.Now() < exp {
+		st.DupRejected++
+		return nil
+	}
+	r := newReceiver(st, p.Flow, p.Src)
+	if cb, ok := st.flowDone[p.Flow]; ok {
+		r.OnComplete = cb
+	} else {
+		r.OnComplete = st.onComplete
+	}
+	if cb, ok := st.flowData[p.Flow]; ok {
+		r.OnData = cb
+	}
+	st.receivers[p.Flow] = r
+	return r
+}
+
+// Receiver returns the receiver state for a flow, if any.
+func (st *Stack) Receiver(flow uint64) *Receiver { return st.receivers[flow] }
+
+// Sender returns the sender state for a flow, if any.
+func (st *Stack) Sender(flow uint64) *Sender { return st.senders[flow] }
+
+// enterTimeWait records a flow id for MSL so a duplicate connection attempt
+// with the same id is rejected.
+func (st *Stack) enterTimeWait(flow uint64) {
+	st.timeWait[flow] = st.el.Now() + st.msl
+}
+
+// sendControl emits an ACK/NACK/PULL toward peer on a random source route
+// (or destination-routed in the switch-LB ablation), through the host NIC's
+// control-priority band.
+func (st *Stack) sendControl(p *fabric.Packet) {
+	if !st.cfg.SwitchLB {
+		paths := st.pathsTo(p.Dst)
+		if len(paths) > 0 {
+			p.Path = paths[st.rand.Intn(len(paths))]
+			p.Hop = 0
+		}
+	}
+	st.Host.Send(p)
+}
+
+// OnPullGap installs an observer of the actual gaps between transmitted
+// PULL packets at this receiver (the Figure 12 measurement).
+func (st *Stack) OnPullGap(fn func(gap sim.Time)) { st.pacer.OnGap = fn }
+
+// FlowOpts tunes a single NDP transfer.
+type FlowOpts struct {
+	// Flow forces a connection id; zero allocates one.
+	Flow uint64
+	// Priority asks the receiver to pull this flow strictly first.
+	Priority bool
+	// OnSenderDone fires when every packet has been cumulatively acked.
+	OnSenderDone func(s *Sender)
+	// OnReceiverDone fires when the receiver holds all data (the FCT
+	// event used throughout the evaluation).
+	OnReceiverDone func(r *Receiver)
+	// OnReceiverData observes every newly received payload byte count
+	// (goodput time series).
+	OnReceiverData func(bytes int64)
+	// IW overrides the stack's initial window for this flow.
+	IW int
+}
+
+var flowCounter uint64
+
+// NextFlowID allocates a process-unique connection id.
+func NextFlowID() uint64 {
+	flowCounter++
+	return flowCounter
+}
+
+// Connect starts an NDP transfer of size bytes from this stack to the dst
+// stack. size < 0 means an unbounded flow (permutation-style long flows).
+// Transfer begins immediately: NDP is a zero-RTT protocol, so the first
+// window leaves at line rate with SYN set on every packet.
+func (st *Stack) Connect(dst *Stack, size int64, opts FlowOpts) *Sender {
+	if opts.Flow == 0 {
+		opts.Flow = NextFlowID()
+	}
+	if opts.Priority {
+		dst.SetPriority(opts.Flow)
+	}
+	if opts.OnReceiverDone != nil {
+		dst.flowDone[opts.Flow] = opts.OnReceiverDone
+	}
+	if opts.OnReceiverData != nil {
+		dst.flowData[opts.Flow] = opts.OnReceiverData
+	}
+	paths := st.pathsTo(dst.Host.ID)
+	if len(paths) == 0 {
+		panic(fmt.Sprintf("core: no paths from host %d to host %d", st.Host.ID, dst.Host.ID))
+	}
+	s := newSender(st, opts, dst.Host.ID, size, paths)
+	st.senders[opts.Flow] = s
+	st.demux.Register(opts.Flow, s)
+	s.start()
+	return s
+}

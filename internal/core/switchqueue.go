@@ -1,0 +1,231 @@
+// Package core implements the paper's primary contribution: the NDP switch
+// service model (§3.1) and the NDP receiver-driven transport protocol
+// (§3.2), including per-packet multipath spraying with sender-permuted path
+// lists, packet trimming, priority forwarding of headers and control
+// packets, pull pacing with per-connection fair queuing and strict
+// prioritization, the path scoreboard for asymmetric networks (§3.2.3), and
+// return-to-sender (§3.2.4).
+package core
+
+import (
+	"ndp/internal/fabric"
+	"ndp/internal/sim"
+)
+
+// SwitchConfig parameterizes the NDP switch queue. The zero value is not
+// usable; call DefaultSwitchConfig.
+type SwitchConfig struct {
+	// DataCapPackets is the low-priority data queue capacity in packets
+	// (the paper's famous 8).
+	DataCapPackets int
+	// HeaderCapBytes is the high-priority queue capacity in bytes. The
+	// paper sizes it as the same memory as the data queue: 8 x 9KB holds
+	// 1125 64-byte headers.
+	HeaderCapBytes int
+	// HeaderWRR is the weighted-round-robin ratio: at most this many
+	// consecutive header/control packets are served before one data packet
+	// when both queues are occupied (10:1 in the paper). Zero means strict
+	// priority — the congestion-collapse ablation.
+	HeaderWRR int
+	// TrimArrivingOnly disables the 50% coin and always trims the arriving
+	// packet — the CP-style behaviour that exhibits phase effects; ablation
+	// for Figure 2.
+	TrimArrivingOnly bool
+	// DisableBounce drops headers on header-queue overflow instead of
+	// returning them to the sender — ablation for Figure 20.
+	DisableBounce bool
+}
+
+// DefaultSwitchConfig returns the paper's switch parameters for the given
+// MTU: 8-packet data queue, equal-memory header queue, 10:1 WRR.
+func DefaultSwitchConfig(mtu int) SwitchConfig {
+	return SwitchConfig{
+		DataCapPackets: 8,
+		HeaderCapBytes: 8 * mtu,
+		HeaderWRR:      10,
+	}
+}
+
+// SwitchQueue is the NDP switch output-port discipline:
+//
+//   - two queues per port: low-priority data, high-priority for trimmed
+//     headers, ACKs, NACKs and PULLs;
+//   - when the data queue is full, an arriving data packet is trimmed to a
+//     header — with probability 1/2 the packet at the tail of the data
+//     queue is trimmed instead and the arrival takes its place, which
+//     breaks up the phase effects that make CP unfair;
+//   - the scheduler runs weighted round-robin between the queues (10
+//     headers : 1 data packet) so header floods cannot collapse goodput;
+//   - if the header queue overflows, the header is returned to its sender
+//     (return-to-sender) rather than dropped; a header that has already
+//     been bounced once is dropped.
+type SwitchQueue struct {
+	fabric.QueueStats
+	cfg  SwitchConfig
+	rand *sim.Rand
+
+	data, hdr       queueRing
+	hdrServed       int // consecutive header packets served since last data
+	dataBytesQueued int
+	hdrBytesQueued  int
+
+	// BounceSink receives headers being returned to their sender; wire it
+	// to the owning switch's ForwardBounced. If nil, overflow headers are
+	// dropped.
+	BounceSink func(p *fabric.Packet)
+}
+
+// queueRing is a tiny FIFO with tail access (mirrors fabric's ring; kept
+// local so the hot path stays inlineable and free of interface calls).
+type queueRing struct {
+	buf        []*fabric.Packet
+	head, tail int
+	n          int
+}
+
+func (r *queueRing) push(p *fabric.Packet) {
+	if r.n == len(r.buf) {
+		size := len(r.buf) * 2
+		if size == 0 {
+			size = 16
+		}
+		nb := make([]*fabric.Packet, size)
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		}
+		r.buf, r.head, r.tail = nb, 0, r.n
+	}
+	r.buf[r.tail] = p
+	r.tail = (r.tail + 1) & (len(r.buf) - 1)
+	r.n++
+}
+
+func (r *queueRing) pop() *fabric.Packet {
+	if r.n == 0 {
+		return nil
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return p
+}
+
+func (r *queueRing) popTail() *fabric.Packet {
+	if r.n == 0 {
+		return nil
+	}
+	r.tail = (r.tail - 1) & (len(r.buf) - 1)
+	p := r.buf[r.tail]
+	r.buf[r.tail] = nil
+	r.n--
+	return p
+}
+
+// NewSwitchQueue builds an NDP port queue. rand drives the 50% trim coin and
+// must be the topology's deterministic generator.
+func NewSwitchQueue(cfg SwitchConfig, rand *sim.Rand) *SwitchQueue {
+	return &SwitchQueue{cfg: cfg, rand: rand}
+}
+
+// Enqueue applies the NDP admission policy.
+func (q *SwitchQueue) Enqueue(p *fabric.Packet) {
+	q.NoteEnqueue(p)
+	if p.IsControl() {
+		q.enqueueControl(p)
+		return
+	}
+	if q.data.n < q.cfg.DataCapPackets {
+		q.dataBytesQueued += int(p.Size)
+		q.data.push(p)
+		q.NoteDepth(q.dataBytesQueued + q.hdrBytesQueued)
+		return
+	}
+	// Data queue full: trim. With probability 1/2 the tail of the data
+	// queue is the victim and the arrival takes its place.
+	victim := p
+	if !q.cfg.TrimArrivingOnly && q.data.n > 0 && q.rand.Bool() {
+		victim = q.data.popTail()
+		q.dataBytesQueued -= int(victim.Size)
+		q.dataBytesQueued += int(p.Size)
+		q.data.push(p)
+	}
+	victim.Trim()
+	q.Trims++
+	q.enqueueControl(victim)
+}
+
+func (q *SwitchQueue) enqueueControl(p *fabric.Packet) {
+	if q.hdrBytesQueued+int(p.Size) <= q.cfg.HeaderCapBytes {
+		q.hdrBytesQueued += int(p.Size)
+		q.hdr.push(p)
+		q.NoteDepth(q.dataBytesQueued + q.hdrBytesQueued)
+		return
+	}
+	// Header queue overflow: return-to-sender, unless the packet has
+	// already been bounced once (or bouncing is disabled), in which case
+	// it is lost and the sender's RTO is the backstop.
+	if !q.cfg.DisableBounce && q.BounceSink != nil &&
+		p.Trimmed() && p.Flags&fabric.FlagBounced == 0 {
+		q.Bounces++
+		p.Bounce()
+		q.BounceSink(p)
+		return
+	}
+	q.Drops++
+	fabric.Free(p)
+}
+
+// Dequeue serves the header queue with priority, but after HeaderWRR
+// consecutive header packets it serves one data packet so that trimmed
+// headers cannot starve payloads (the anti-collapse measure of §3.1).
+func (q *SwitchQueue) Dequeue() *fabric.Packet {
+	serveData := q.hdr.n == 0 ||
+		(q.cfg.HeaderWRR > 0 && q.hdrServed >= q.cfg.HeaderWRR && q.data.n > 0)
+	if serveData && q.data.n > 0 {
+		p := q.data.pop()
+		q.dataBytesQueued -= int(p.Size)
+		q.hdrServed = 0
+		return p
+	}
+	if p := q.hdr.pop(); p != nil {
+		q.hdrBytesQueued -= int(p.Size)
+		q.hdrServed++
+		return p
+	}
+	return nil
+}
+
+// Empty reports whether both queues are empty.
+func (q *SwitchQueue) Empty() bool { return q.data.n == 0 && q.hdr.n == 0 }
+
+// Bytes returns total queued bytes across both queues.
+func (q *SwitchQueue) Bytes() int { return q.dataBytesQueued + q.hdrBytesQueued }
+
+// DataPackets returns the data-queue depth in packets.
+func (q *SwitchQueue) DataPackets() int { return q.data.n }
+
+// HeaderPackets returns the header-queue depth in packets.
+func (q *SwitchQueue) HeaderPackets() int { return q.hdr.n }
+
+// QueueFactory returns a topo.Config-compatible queue factory producing NDP
+// switch queues with the given configuration. Call WireBounce on the built
+// topology's switches afterwards so return-to-sender headers re-enter the
+// routing pipeline.
+func QueueFactory(cfg SwitchConfig, rand *sim.Rand) func(name string) fabric.Queue {
+	return func(string) fabric.Queue { return NewSwitchQueue(cfg, rand) }
+}
+
+// WireBounce connects every NDP SwitchQueue on the given switches to its
+// switch's ForwardBounced so return-to-sender headers re-enter the routing
+// pipeline. Call after the topology is built.
+func WireBounce(switches []*fabric.Switch) {
+	for _, sw := range switches {
+		sw := sw
+		for _, port := range sw.Ports {
+			if q, ok := port.Q.(*SwitchQueue); ok {
+				q.BounceSink = sw.ForwardBounced
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package fabric
+
+// Lossless Ethernet (IEEE 802.1Qbb priority flow control) support.
+//
+// In lossless mode a switch gates admission from each input link through an
+// ingress queue. A packet moves from ingress to its egress queue only while
+// the egress holds fewer than the configured byte budget; otherwise it waits
+// at the ingress, head-of-line blocking everything behind it — including
+// packets bound for uncongested egresses. When an ingress backlog crosses
+// Xoff, a PAUSE is signalled to the upstream transmitter (one link
+// propagation delay later); it resumes below Xon. This reproduces exactly
+// the collateral-damage and pause-cascade behaviour §2.3 and §6.1 of the
+// paper attribute to PFC, which DCQCN rides on.
+
+type heldEntry struct {
+	p   *Packet
+	out int
+}
+
+type losslessState struct {
+	limit     int // egress byte budget before ingress must hold
+	xoff, xon int
+	ingresses []*IngressQueue
+}
+
+// EnableLossless puts the switch in PFC mode. limit is the per-egress byte
+// budget; xoff/xon are the ingress backlog watermarks (bytes) for pausing
+// and resuming the upstream transmitter.
+func (s *Switch) EnableLossless(limit, xoff, xon int) {
+	s.lossless = &losslessState{limit: limit, xoff: xoff, xon: xon}
+	for _, p := range s.Ports {
+		p.OnDequeue = s.drainHeld
+	}
+}
+
+// Lossless reports whether PFC mode is enabled.
+func (s *Switch) Lossless() bool { return s.lossless != nil }
+
+// NewIngress creates the ingress queue for one input link and connects the
+// upstream transmitter to it. Must be called after EnableLossless.
+func (s *Switch) NewIngress(upstream *Port) *IngressQueue {
+	iq := &IngressQueue{sw: s, upstream: upstream}
+	s.lossless.ingresses = append(s.lossless.ingresses, iq)
+	upstream.Connect(iq)
+	return iq
+}
+
+func (s *Switch) canAccept(out int, p *Packet) bool {
+	return s.Ports[out].Q.Bytes()+int(p.Size) <= s.lossless.limit
+}
+
+// drainHeld moves held ingress packets to egress queues as space appears.
+// It loops until a full pass makes no progress, so one freed slot can unblock
+// a chain of ingresses.
+func (s *Switch) drainHeld() {
+	ls := s.lossless
+	for {
+		progress := false
+		for _, iq := range ls.ingresses {
+			for {
+				e, ok := iq.peek()
+				if !ok || !s.canAccept(e.out, e.p) {
+					break
+				}
+				iq.popForward()
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// IngressQueue is the receiving end of one link at a PFC switch.
+type IngressQueue struct {
+	sw       *Switch
+	upstream *Port
+
+	held  []heldEntry
+	head  int
+	bytes int
+
+	pausedUpstream bool
+	PauseEvents    int64 // number of XOFF transitions signalled
+}
+
+// Receive routes the packet; if its egress is at budget, the packet is held
+// and may trigger PAUSE.
+func (iq *IngressQueue) Receive(p *Packet) {
+	out := iq.sw.Route(iq.sw, p)
+	if out < 0 || out >= len(iq.sw.Ports) {
+		iq.sw.RouteDrops++
+		Free(p)
+		return
+	}
+	if iq.head == len(iq.held) && iq.sw.canAccept(out, p) {
+		iq.sw.Ports[out].Enqueue(p)
+		return
+	}
+	iq.held = append(iq.held, heldEntry{p: p, out: out})
+	iq.bytes += int(p.Size)
+	iq.updatePause()
+}
+
+func (iq *IngressQueue) peek() (heldEntry, bool) {
+	if iq.head == len(iq.held) {
+		return heldEntry{}, false
+	}
+	return iq.held[iq.head], true
+}
+
+func (iq *IngressQueue) popForward() {
+	e := iq.held[iq.head]
+	iq.held[iq.head] = heldEntry{}
+	iq.head++
+	if iq.head == len(iq.held) {
+		iq.held = iq.held[:0]
+		iq.head = 0
+	}
+	iq.bytes -= int(e.p.Size)
+	iq.sw.Ports[e.out].Enqueue(e.p)
+	iq.updatePause()
+}
+
+// Backlog returns the bytes currently held at this ingress.
+func (iq *IngressQueue) Backlog() int { return iq.bytes }
+
+func (iq *IngressQueue) updatePause() {
+	ls := iq.sw.lossless
+	if !iq.pausedUpstream && iq.bytes > ls.xoff {
+		iq.pausedUpstream = true
+		iq.PauseEvents++
+		up := iq.upstream
+		iq.sw.el.After(up.Delay, func() { up.SetPaused(true) })
+	} else if iq.pausedUpstream && iq.bytes <= ls.xon {
+		iq.pausedUpstream = false
+		up := iq.upstream
+		iq.sw.el.After(up.Delay, func() { up.SetPaused(false) })
+	}
+}

@@ -1,0 +1,191 @@
+// Package fabric models the data plane of a datacenter network: packets,
+// output-queued store-and-forward switch ports, queue disciplines (drop-tail,
+// ECN marking, lossless/PFC), switches and hosts. It is protocol-agnostic;
+// transport protocols (internal/core, internal/tcp, ...) and the NDP switch
+// service model (internal/core) plug in through the Queue and Sink
+// interfaces.
+//
+// Packets are pooled (GetPacket/Free) so the per-packet hot path performs no
+// allocation; this keeps the Go GC out of packet-rate timing, which matters
+// when a single run forwards tens of millions of packets.
+package fabric
+
+import (
+	"fmt"
+	"sync"
+
+	"ndp/internal/sim"
+)
+
+// PacketType identifies the protocol role of a packet.
+type PacketType uint8
+
+// Packet types used across all transports in this repository.
+const (
+	// Data is a payload-bearing packet (possibly trimmed to a header).
+	Data PacketType = iota
+	// Ack acknowledges received data (NDP per-packet ACK, TCP cumulative ACK).
+	Ack
+	// Nack reports a trimmed header's arrival to the sender (NDP).
+	Nack
+	// Pull is an NDP receiver-driven credit packet.
+	Pull
+	// CNP is a DCQCN congestion notification packet.
+	CNP
+)
+
+// String returns a short human-readable name for tracing.
+func (t PacketType) String() string {
+	switch t {
+	case Data:
+		return "DATA"
+	case Ack:
+		return "ACK"
+	case Nack:
+		return "NACK"
+	case Pull:
+		return "PULL"
+	case CNP:
+		return "CNP"
+	}
+	return fmt.Sprintf("PacketType(%d)", uint8(t))
+}
+
+// Packet flags.
+const (
+	// FlagSYN marks first-window packets (NDP puts it on every packet of
+	// the first RTT so connection state can be established by whichever
+	// arrives first; TCP uses it conventionally).
+	FlagSYN uint16 = 1 << iota
+	// FlagFIN marks the sender's last packet ("when the sender runs out of
+	// data to send, it marks the last packet").
+	FlagFIN
+	// FlagTrimmed marks a data packet whose payload was cut by a switch.
+	FlagTrimmed
+	// FlagBounced marks a header returned to its sender by a switch whose
+	// header queue overflowed (NDP return-to-sender, §3.2.4).
+	FlagBounced
+	// FlagCE is the ECN congestion-experienced mark set by a queue.
+	FlagCE
+	// FlagECNEcho echoes FlagCE back to the sender in an ACK.
+	FlagECNEcho
+	// FlagPull on a Nack asks the sender to retransmit immediately
+	// (the NACK "has the PULL bit set" in Figure 3).
+	FlagPull
+	// FlagRTX marks a retransmission, for accounting only.
+	FlagRTX
+)
+
+// HeaderSize is the on-wire size in bytes of a trimmed header or a control
+// packet (ACK/NACK/PULL/CNP), matching the paper's 64-byte accounting.
+const HeaderSize = 64
+
+// Packet is the single packet representation shared by every protocol in the
+// repository. Fields are a union of what the protocols need; keeping one
+// pooled struct avoids per-protocol allocation in the forwarding path.
+//
+// Path, when non-nil, is a source route: Path[i] is the egress port index to
+// take at the i-th switch. It references a slice owned by the topology and
+// must never be mutated through a Packet.
+type Packet struct {
+	Type  PacketType
+	Flags uint16
+
+	Flow uint64 // connection identifier, globally unique
+	Src  int32  // source host id
+	Dst  int32  // destination host id
+
+	Seq      int64 // data sequence (packets for NDP, bytes for TCP-family)
+	AckNo    int64 // cumulative ACK (TCP-family) or acked seq (NDP)
+	PullSeq  int64 // NDP pull sequence number
+	Size     int32 // current wire size in bytes (shrinks when trimmed)
+	DataSize int32 // payload bytes this packet delivers when untrimmed
+
+	Path   []int16 // source route (shared, read-only); nil = destination-routed
+	Hop    int16   // next index into Path
+	PathID int16   // sender's index for the path scoreboard
+
+	Sent     sim.Time // when the packet (or its first incarnation) left the sender
+	TSEcho   sim.Time // timestamp echoed for RTT measurement
+	QueueOcc int32    // queue occupancy snapshot (DCQCN-style telemetry)
+}
+
+// IsControl reports whether the packet gets control-plane priority at NDP
+// switches and host NICs: trimmed headers, ACKs, NACKs, PULLs and CNPs.
+func (p *Packet) IsControl() bool {
+	return p.Type != Data || p.Flags&FlagTrimmed != 0
+}
+
+// Trim cuts the payload, leaving a HeaderSize-byte header on the wire.
+func (p *Packet) Trim() {
+	p.Flags |= FlagTrimmed
+	p.Size = HeaderSize
+}
+
+// Trimmed reports whether the payload has been cut.
+func (p *Packet) Trimmed() bool { return p.Flags&FlagTrimmed != 0 }
+
+// Bounce converts a header into a return-to-sender packet: source and
+// destination swap and the packet loses its source route so that switches
+// fall back to destination-based routing toward the original sender.
+func (p *Packet) Bounce() {
+	p.Flags |= FlagBounced
+	p.Src, p.Dst = p.Dst, p.Src
+	p.Path = nil
+	p.Hop = 0
+}
+
+// String formats the packet for traces and test failures.
+func (p *Packet) String() string {
+	trim := ""
+	if p.Trimmed() {
+		trim = "/trim"
+	}
+	if p.Flags&FlagBounced != 0 {
+		trim += "/bounce"
+	}
+	return fmt.Sprintf("%v%s flow=%d %d->%d seq=%d size=%d", p.Type, trim, p.Flow, p.Src, p.Dst, p.Seq, p.Size)
+}
+
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// GetPacket returns a zeroed packet from the pool.
+func GetPacket() *Packet {
+	p := packetPool.Get().(*Packet)
+	*p = Packet{}
+	return p
+}
+
+// Free returns a packet to the pool. The caller must not retain references.
+func Free(p *Packet) {
+	if p == nil {
+		return
+	}
+	p.Path = nil
+	packetPool.Put(p)
+}
+
+// NewControl builds a control packet (ACK/NACK/PULL/CNP) for the given flow
+// from src to dst, sized at HeaderSize.
+func NewControl(t PacketType, flow uint64, src, dst int32) *Packet {
+	p := GetPacket()
+	p.Type = t
+	p.Flow = flow
+	p.Src = src
+	p.Dst = dst
+	p.Size = HeaderSize
+	return p
+}
+
+// NewData builds a payload packet of the given total wire size.
+func NewData(flow uint64, src, dst int32, seq int64, size int32) *Packet {
+	p := GetPacket()
+	p.Type = Data
+	p.Flow = flow
+	p.Src = src
+	p.Dst = dst
+	p.Seq = seq
+	p.Size = size
+	p.DataSize = size
+	return p
+}

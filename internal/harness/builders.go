@@ -1,0 +1,360 @@
+package harness
+
+import (
+	"ndp/internal/core"
+	"ndp/internal/dcqcn"
+	"ndp/internal/fabric"
+	"ndp/internal/mptcp"
+	"ndp/internal/phost"
+	"ndp/internal/sim"
+	"ndp/internal/stats"
+	"ndp/internal/tcp"
+	"ndp/internal/topo"
+)
+
+// BuildFunc constructs a topology from a base config (queue factory and
+// seed already filled in by the per-protocol builder).
+type BuildFunc func(topo.Config) topo.Cluster
+
+// FatTreeBuilder returns a BuildFunc for a k-ary FatTree.
+func FatTreeBuilder(k int) BuildFunc {
+	return func(c topo.Config) topo.Cluster { return topo.NewFatTree(k, c) }
+}
+
+// OversubFatTreeBuilder returns a BuildFunc for an oversubscribed FatTree.
+func OversubFatTreeBuilder(k, oversub int) BuildFunc {
+	return func(c topo.Config) topo.Cluster { return topo.NewFatTreeOversub(k, oversub, c) }
+}
+
+// TwoTierBuilder returns a BuildFunc for a leaf/spine network.
+func TwoTierBuilder(tors, hostsPerTor, spines int) BuildFunc {
+	return func(c topo.Config) topo.Cluster { return topo.NewTwoTier(tors, hostsPerTor, spines, c) }
+}
+
+// BackToBackBuilder returns a BuildFunc for two directly-wired hosts.
+func BackToBackBuilder() BuildFunc {
+	return func(c topo.Config) topo.Cluster { return topo.NewBackToBack(c) }
+}
+
+// ---------------------------------------------------------------- NDP ----
+
+// NDPNet bundles an NDP-enabled cluster with its per-host stacks.
+type NDPNet struct {
+	C      topo.Cluster
+	Stacks []*core.Stack
+}
+
+// BuildNDP constructs a topology with NDP switch queues and a listening NDP
+// stack on every host.
+func BuildNDP(build BuildFunc, base topo.Config, scfg core.SwitchConfig, hcfg core.Config) *NDPNet {
+	base.SwitchQueue = core.QueueFactory(scfg, sim.NewRand(base.Seed*2654435761+17))
+	c := build(base)
+	core.WireBounce(c.SwitchList())
+	n := &NDPNet{C: c}
+	for i, h := range c.HostList() {
+		h := h
+		cfg := hcfg
+		cfg.Seed = base.Seed + uint64(i)*7919
+		st := core.NewStack(h, func(dst int32) [][]int16 { return c.Paths(h.ID, dst) }, cfg)
+		st.Listen(nil)
+		n.Stacks = append(n.Stacks, st)
+	}
+	return n
+}
+
+// EL returns the cluster's scheduler.
+func (n *NDPNet) EL() *sim.EventList { return n.C.EventList() }
+
+// Transfer starts one NDP flow.
+func (n *NDPNet) Transfer(src, dst int, size int64, opts core.FlowOpts) *core.Sender {
+	return n.Stacks[src].Connect(n.Stacks[dst], size, opts)
+}
+
+// Incast launches len(senders) flows of size bytes at the receiver,
+// recording each flow's FCT into fcts (microseconds) and returning a
+// pointer to the running maximum (last-flow completion).
+func (n *NDPNet) Incast(receiver int, senders []int, size int64, fcts *stats.Dist) *sim.Time {
+	last := new(sim.Time)
+	for _, s := range senders {
+		start := n.EL().Now()
+		n.Transfer(s, receiver, size, core.FlowOpts{OnReceiverDone: func(r *core.Receiver) {
+			fct := r.CompletedAt - start
+			if fcts != nil {
+				fcts.AddTime(fct)
+			}
+			if r.CompletedAt > *last {
+				*last = r.CompletedAt
+			}
+		}})
+	}
+	return last
+}
+
+// Permutation starts one unbounded flow per host following the dst matrix
+// and returns the senders for goodput metering.
+func (n *NDPNet) Permutation(dst []int) []*core.Sender {
+	out := make([]*core.Sender, 0, len(dst))
+	for src, d := range dst {
+		out = append(out, n.Transfer(src, d, -1, core.FlowOpts{}))
+	}
+	return out
+}
+
+// ------------------------------------------------------------ TCP-family ----
+
+// TCPNet bundles a cluster with per-host demuxes for the TCP/DCTCP/MPTCP
+// baselines.
+type TCPNet struct {
+	C     topo.Cluster
+	Demux []*fabric.Demux
+	Rand  *sim.Rand
+
+	nextFlow uint64
+}
+
+// BuildTCPFamily constructs a topology with the given switch queues and a
+// demux on every host.
+func BuildTCPFamily(build BuildFunc, base topo.Config, queue topo.QueueFactory) *TCPNet {
+	base.SwitchQueue = queue
+	c := build(base)
+	t := &TCPNet{C: c, Rand: sim.NewRand(base.Seed*48271 + 5), nextFlow: 1}
+	for _, h := range c.HostList() {
+		d := fabric.NewDemux()
+		h.Stack = d
+		t.Demux = append(t.Demux, d)
+	}
+	return t
+}
+
+// EL returns the cluster's scheduler.
+func (t *TCPNet) EL() *sim.EventList { return t.C.EventList() }
+
+func (t *TCPNet) flowID(stride uint64) uint64 {
+	id := t.nextFlow
+	t.nextFlow += stride
+	return id
+}
+
+// randPath picks one fixed source route — the per-flow ECMP stand-in.
+func (t *TCPNet) randPath(src, dst int32) []int16 {
+	paths := t.C.Paths(src, dst)
+	return paths[t.Rand.Intn(len(paths))]
+}
+
+// Flow starts a single-path TCP (or DCTCP, via cfg.DCTCP) transfer.
+// size < 0 runs an unbounded flow.
+func (t *TCPNet) Flow(src, dst int, size int64, cfg tcp.Config, onDone func(*tcp.Receiver)) (*tcp.Sender, *tcp.Receiver) {
+	flow := t.flowID(1)
+	hs, hd := t.C.HostList()[src], t.C.HostList()[dst]
+	var source tcp.DataSource
+	if size < 0 {
+		source = unboundedSource{mss: cfg.MSS}
+	} else {
+		source = tcp.NewFixedSource(size, cfg.MSS)
+	}
+	snd := tcp.NewSender(hs, hd.ID, flow, t.randPath(hs.ID, hd.ID), source, cfg)
+	rcv := tcp.NewReceiver(hd, hs.ID, flow, t.randPath(hd.ID, hs.ID))
+	rcv.OnComplete = onDone
+	t.Demux[src].Register(flow, snd)
+	t.Demux[dst].Register(flow, rcv)
+	snd.Start()
+	return snd, rcv
+}
+
+type unboundedSource struct{ mss int }
+
+func (u unboundedSource) Claim() int      { return u.mss }
+func (u unboundedSource) Exhausted() bool { return false }
+
+// MPTCPFlow starts a multipath transfer with the given config.
+func (t *TCPNet) MPTCPFlow(src, dst int, size int64, cfg mptcp.Config, onDone func(*mptcp.Flow)) *mptcp.Flow {
+	flow := t.flowID(uint64(cfg.Subflows) + 1)
+	hs, hd := t.C.HostList()[src], t.C.HostList()[dst]
+	f := mptcp.New(hs, hd, t.Demux[src], t.Demux[dst], flow, size,
+		t.C.Paths(hs.ID, hd.ID), t.C.Paths(hd.ID, hs.ID), t.Rand, cfg)
+	f.OnComplete = onDone
+	f.Start()
+	return f
+}
+
+// --------------------------------------------------------------- DCQCN ----
+
+// DCQCNNet bundles a lossless cluster with demuxes and the DCQCN config.
+type DCQCNNet struct {
+	C     topo.Cluster
+	Demux []*fabric.Demux
+	Cfg   dcqcn.Config
+
+	nextFlow uint64
+	senders  []*dcqcn.Sender
+}
+
+// BuildDCQCN constructs a PFC-enabled topology with DCQCN ECN queues.
+func BuildDCQCN(build BuildFunc, base topo.Config, mtu int) *DCQCNNet {
+	base.Lossless = true
+	base.SwitchQueue = dcqcn.QueueFactory(mtu)
+	if base.LosslessLimit == 0 {
+		base.LosslessLimit = 200 * mtu
+	}
+	if base.PFCXoff == 0 {
+		base.PFCXoff = 2 * mtu
+	}
+	if base.PFCXon == 0 {
+		base.PFCXon = mtu
+	}
+	c := build(base)
+	cfg := dcqcn.DefaultConfig()
+	cfg.MTU = mtu
+	cfg.LineRate = c.LinkRate()
+	d := &DCQCNNet{C: c, Cfg: cfg, nextFlow: 1}
+	for _, h := range c.HostList() {
+		dm := fabric.NewDemux()
+		h.Stack = dm
+		d.Demux = append(d.Demux, dm)
+	}
+	return d
+}
+
+// EL returns the cluster's scheduler.
+func (d *DCQCNNet) EL() *sim.EventList { return d.C.EventList() }
+
+// Flow starts a DCQCN transfer on a fixed path (RoCE is single-path).
+func (d *DCQCNNet) Flow(src, dst int, size int64, onDone func(*dcqcn.Receiver)) (*dcqcn.Sender, *dcqcn.Receiver) {
+	flow := d.nextFlow
+	d.nextFlow++
+	hs, hd := d.C.HostList()[src], d.C.HostList()[dst]
+	fwd := d.C.Paths(hs.ID, hd.ID)
+	rev := d.C.Paths(hd.ID, hs.ID)
+	r := sim.NewRand(flow * 2654435761)
+	s := dcqcn.NewSender(hs, hd.ID, flow, fwd[r.Intn(len(fwd))], size, d.Cfg)
+	rc := dcqcn.NewReceiver(hd, hs.ID, flow, rev[r.Intn(len(rev))], d.Cfg)
+	rc.OnComplete = onDone
+	d.Demux[src].Register(flow, s)
+	d.Demux[dst].Register(flow, rc)
+	d.senders = append(d.senders, s)
+	s.Start()
+	return s, rc
+}
+
+// StopAll halts every sender's timers (cleanup for unbounded flows).
+func (d *DCQCNNet) StopAll() {
+	for _, s := range d.senders {
+		s.Stop()
+	}
+}
+
+// --------------------------------------------------------------- pHost ----
+
+// PHostNet bundles a drop-tail cluster with pHost agents.
+type PHostNet struct {
+	C     topo.Cluster
+	Hosts []*phost.Host
+}
+
+// BuildPHost constructs the §6.2 comparison network: 8-packet drop-tail
+// queues, per-packet ECMP spraying, pHost endpoints.
+func BuildPHost(build BuildFunc, base topo.Config, cfg phost.Config) *PHostNet {
+	mtu := cfg.MTU
+	if mtu == 0 {
+		mtu = 9000
+	}
+	base.SwitchQueue = func(string) fabric.Queue { return fabric.NewFIFOQueue(8 * mtu) }
+	c := build(base)
+	p := &PHostNet{C: c}
+	for _, h := range c.HostList() {
+		ph := phost.NewHost(h, cfg)
+		ph.Listen(nil)
+		p.Hosts = append(p.Hosts, ph)
+	}
+	return p
+}
+
+// EL returns the cluster's scheduler.
+func (p *PHostNet) EL() *sim.EventList { return p.C.EventList() }
+
+// ------------------------------------------------------------- metering ----
+
+// meter snapshots sender-side goodput counters so throughput can be
+// measured over a warm interval.
+type meter struct {
+	read func() int64
+	at0  int64
+}
+
+func newMeter(read func() int64) *meter { return &meter{read: read} }
+
+func (m *meter) start()       { m.at0 = m.read() }
+func (m *meter) bytes() int64 { return m.read() - m.at0 }
+
+// runWarmMeasure runs the event list through a warmup, snapshots the
+// meters, runs the measurement window, and returns per-meter Gb/s.
+func runWarmMeasure(el *sim.EventList, warm, window sim.Time, meters []*meter) []float64 {
+	el.RunUntil(warm)
+	for _, m := range meters {
+		m.start()
+	}
+	el.RunUntil(warm + window)
+	out := make([]float64, len(meters))
+	for i, m := range meters {
+		out[i] = stats.Gbps(m.bytes(), window)
+	}
+	return out
+}
+
+// utilization converts per-flow Gb/s into fraction of aggregate host
+// capacity.
+func utilization(gbps []float64, linkRate int64) float64 {
+	var sum float64
+	for _, g := range gbps {
+		sum += g
+	}
+	return sum / (float64(len(gbps)) * float64(linkRate) / 1e9)
+}
+
+// Blaster is an unresponsive line-rate data source used by the Figure 2
+// switch-service-model experiment: it emits MTU-sized packets on a fixed
+// one-hop route forever, ignoring all feedback.
+type Blaster struct {
+	host *fabric.Host
+	dst  int32
+	flow uint64
+	path []int16
+	mtu  int
+	gap  sim.Time
+	el   *sim.EventList
+	stop bool
+}
+
+// StartBlast begins blasting from src toward dst on the first enumerated
+// path, with the given static phase offset for the first packet. Real
+// senders are never synchronized to the picosecond, but their relative
+// phases are stable at identical rates — exactly the regularity that
+// produces CP's phase effects (and that NDP's trim coin must break).
+func StartBlast(c topo.Cluster, src, dst int, flow uint64, mtu int, offset sim.Time) *Blaster {
+	h := c.HostList()[src]
+	b := &Blaster{
+		host: h,
+		dst:  c.HostList()[dst].ID,
+		flow: flow,
+		path: c.Paths(h.ID, c.HostList()[dst].ID)[0],
+		mtu:  mtu,
+		gap:  sim.TransmissionTime(mtu, c.LinkRate()),
+		el:   c.EventList(),
+	}
+	b.el.After(offset, b.tick)
+	return b
+}
+
+func (b *Blaster) tick() {
+	if b.stop {
+		return
+	}
+	seq := int64(0)
+	p := fabric.NewData(b.flow, b.host.ID, b.dst, seq, int32(b.mtu))
+	p.Path = b.path
+	b.host.Send(p)
+	b.el.After(b.gap, b.tick)
+}
+
+// Stop halts the blaster.
+func (b *Blaster) Stop() { b.stop = true }

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+
+	"ndp/internal/core"
+	"ndp/internal/mptcp"
+	"ndp/internal/sim"
+	"ndp/internal/stats"
+	"ndp/internal/topo"
+	"ndp/internal/workload"
+)
+
+func init() {
+	run("t-limits", "Limitations (section 3): NDP on an asymmetric Jellyfish vs MPTCP", tLimits)
+}
+
+// tLimits reproduces the paper's "Limitations of NDP" discussion: on an
+// asymmetric random topology (Jellyfish), NDP sprays packets onto unequal-
+// length paths that are costly under load, while MPTCP's per-path
+// congestion control shifts traffic onto the good paths. We run the same
+// permutation on a Jellyfish and on a fully-provisioned FatTree and report
+// utilization side by side.
+func tLimits(o Options, r *Result) {
+	nSwitches := o.pick(12, 16, 24)
+	hostsPer := 2 // modest oversubscription: path choice, not raw bisection,
+	degree := 5   // dominates the outcome
+	warm := 3 * sim.Millisecond
+	window := sim.Time(o.pick(5, 8, 15)) * sim.Millisecond
+
+	jfBuilder := func(c topo.Config) topo.Cluster {
+		return topo.NewJellyfish(nSwitches, hostsPer, degree, 8, c)
+	}
+
+	t := &stats.Table{Header: []string{"topology", "protocol", "util%", "min_gbps", "p50_gbps"}}
+	rowFix := func(topoName, proto string, g []float64) {
+		var d stats.Dist
+		for _, v := range g {
+			d.Add(v)
+		}
+		t.AddRow(topoName, proto, f4(100*utilization(g, 10e9)), f4(d.Min()), f4(d.Median()))
+	}
+
+	// NDP on Jellyfish: sprays across the asymmetric path set.
+	{
+		n := BuildNDP(jfBuilder, topo.Config{Seed: o.Seed},
+			core.DefaultSwitchConfig(9000), core.DefaultConfig())
+		dst := workload.Permutation(n.C.NumHosts(), sim.NewRand(o.Seed))
+		senders := n.Permutation(dst)
+		meters := make([]*meter, len(senders))
+		for i, s := range senders {
+			s := s
+			meters[i] = newMeter(func() int64 { return s.AckedBytes() })
+		}
+		rowFix("jellyfish", "NDP", runWarmMeasure(n.EL(), warm, window, meters))
+	}
+	// MPTCP on the same Jellyfish: per-path congestion control.
+	{
+		tn := BuildTCPFamily(jfBuilder, topo.Config{Seed: o.Seed}, dropTail(200*9000))
+		dst := workload.Permutation(tn.C.NumHosts(), sim.NewRand(o.Seed))
+		cfg := mptcp.DefaultConfig()
+		meters := make([]*meter, 0, len(dst))
+		for src, d := range dst {
+			f := tn.MPTCPFlow(src, d, -1, cfg, nil)
+			meters = append(meters, newMeter(f.AckedBytes))
+		}
+		rowFix("jellyfish", "MPTCP", runWarmMeasure(tn.EL(), warm, window, meters))
+	}
+	// Reference: NDP on a FatTree of comparable size (symmetric paths).
+	{
+		k := 4
+		if nSwitches*hostsPer > 16 {
+			k = 8
+		}
+		n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: o.Seed},
+			core.DefaultSwitchConfig(9000), core.DefaultConfig())
+		dst := workload.Permutation(n.C.NumHosts(), sim.NewRand(o.Seed))
+		senders := n.Permutation(dst)
+		meters := make([]*meter, len(senders))
+		for i, s := range senders {
+			s := s
+			meters[i] = newMeter(func() int64 { return s.AckedBytes() })
+		}
+		rowFix("fattree", "NDP", runWarmMeasure(n.EL(), warm, window, meters))
+	}
+
+	jf := topo.NewJellyfish(nSwitches, hostsPer, degree, 8, topo.Config{Seed: o.Seed})
+	min, max := jf.PathLengthSpread(200, sim.NewRand(o.Seed))
+	r.AddTable(fmt.Sprintf("permutation on jellyfish (%d switches x deg %d, path lengths %d-%d hops)",
+		nSwitches, degree, min, max), t)
+	r.Notef("paper claim (section 3, Limitations): NDP 'will behave poorly' on asymmetric topologies. Compare each protocol against its own Clos number (fig14): NDP loses far more moving to Jellyfish than MPTCP does, because uniform spraying keeps paying for the long paths while per-path congestion control walks away from them")
+}

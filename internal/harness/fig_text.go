@@ -1,0 +1,229 @@
+package harness
+
+import (
+	"fmt"
+
+	"ndp/internal/core"
+	"ndp/internal/dctcp"
+	"ndp/internal/phost"
+	"ndp/internal/sim"
+	"ndp/internal/stats"
+	"ndp/internal/tcp"
+	"ndp/internal/topo"
+	"ndp/internal/workload"
+)
+
+func init() {
+	run("fig23", "Facebook web workload on a 4:1 oversubscribed FatTree", fig23)
+	run("t-phost", "pHost vs NDP: who needs packet trimming? (section 6.2)", tPhost)
+	run("t-scale", "Permutation utilization vs topology size (section 6.2)", tScale)
+	run("t-trim", "Uplink trim locality: source vs switch load balancing (section 3.2.4)", tTrim)
+}
+
+// fig23 runs the closed-loop Facebook web workload on an oversubscribed
+// FatTree for NDP and DCTCP at moderate and high load.
+func fig23(o Options, r *Result) {
+	k := o.pick(4, 4, 8)
+	oversub := 4
+	mtu := 1500 // the web workload is dominated by small packets
+	deadline := sim.Time(o.pick(20, 40, 60)) * sim.Millisecond
+	loads := []int{5, 10} // simultaneous connections per host
+
+	t := &stats.Table{Header: []string{"conns/host", "protocol", "p50_ms", "p90_ms", "p99_ms", "flows"}}
+	for _, conns := range loads {
+		{ // NDP
+			scfg := core.DefaultSwitchConfig(mtu)
+			hcfg := core.DefaultConfig()
+			hcfg.MTU = mtu
+			n := BuildNDP(OversubFatTreeBuilder(k, oversub), topo.Config{Seed: o.Seed}, scfg, hcfg)
+			var fcts stats.Dist
+			cl := &workload.ClosedLoop{
+				EL:    n.EL(),
+				Rand:  sim.NewRand(o.Seed + 7),
+				Hosts: n.C.NumHosts(),
+				Conns: conns,
+				Gap:   sim.Millisecond,
+				Sizes: workload.FacebookWeb(),
+				Start: func(src, dst int, size int64, done func()) {
+					start := n.EL().Now()
+					n.Transfer(src, dst, size, core.FlowOpts{OnReceiverDone: func(rcv *core.Receiver) {
+						fcts.Add((rcv.CompletedAt - start).Millis())
+						done()
+					}})
+				},
+			}
+			cl.Run()
+			n.EL().RunUntil(deadline)
+			st := n.C.CollectStats()
+			t.AddRow(fmt.Sprint(conns), "NDP", f4(fcts.Median()), f4(fcts.Quantile(0.9)), f4(fcts.Quantile(0.99)), fmt.Sprint(fcts.N()))
+			r.Notef("NDP conns=%d: %d trims, %d bounces, %d drops", conns, st.Trims, st.Bounces, st.Drops)
+		}
+		{ // DCTCP
+			tn := BuildTCPFamily(OversubFatTreeBuilder(k, oversub), topo.Config{Seed: o.Seed}, dctcp.QueueFactory(mtu))
+			var fcts stats.Dist
+			cfg := dctcp.SenderConfig(mtu)
+			cl := &workload.ClosedLoop{
+				EL:    tn.EL(),
+				Rand:  sim.NewRand(o.Seed + 7),
+				Hosts: tn.C.NumHosts(),
+				Conns: conns,
+				Gap:   sim.Millisecond,
+				Sizes: workload.FacebookWeb(),
+				Start: func(src, dst int, size int64, done func()) {
+					start := tn.EL().Now()
+					tn.Flow(src, dst, size, cfg, func(rcv *tcp.Receiver) {
+						fcts.Add((rcv.CompletedAt - start).Millis())
+						done()
+					})
+				},
+			}
+			cl.Run()
+			tn.EL().RunUntil(deadline)
+			t.AddRow(fmt.Sprint(conns), "DCTCP", f4(fcts.Median()), f4(fcts.Quantile(0.9)), f4(fcts.Quantile(0.99)), fmt.Sprint(fcts.N()))
+		}
+	}
+	r.AddTable("closed-loop web-workload FCTs (4:1 oversubscribed core)", t)
+	r.Notef("paper shape: moderate load: NDP median ~half of DCTCP, p99 ~a third; high load: NDP still at least matches DCTCP, no collapse")
+}
+
+// tPhost reproduces the section 6.2 comparison: pHost (no trimming,
+// per-packet ECMP, drop-tail) against NDP on the big incast and the
+// permutation matrix.
+func tPhost(o Options, r *Result) {
+	k := o.pick(4, 8, 8)
+	hosts := k * k * k / 4
+	nsend := hosts - 1
+	const size = 450_000
+	t := &stats.Table{Header: []string{"metric", "pHost", "NDP"}}
+
+	// Incast: last-flow completion.
+	var phostLast, ndpLast sim.Time
+	{
+		pn := BuildPHost(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, phost.DefaultConfig())
+		for _, s := range workload.IncastSenders(0, nsend, hosts) {
+			pn.Hosts[s].Connect(0, core.NextFlowID(), size, func(snd *phost.Sender) {
+				if snd.CompletedAt > phostLast {
+					phostLast = snd.CompletedAt
+				}
+			})
+		}
+		pn.EL().RunUntil(10 * sim.Second)
+	}
+	{
+		n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, core.DefaultSwitchConfig(9000), core.DefaultConfig())
+		last := n.Incast(0, workload.IncastSenders(0, nsend, hosts), size, nil)
+		n.EL().RunUntil(10 * sim.Second)
+		ndpLast = *last
+	}
+	t.AddRow(fmt.Sprintf("%d:1 incast last FCT (ms)", nsend), f4(phostLast.Millis()), f4(ndpLast.Millis()))
+
+	// Permutation: utilization.
+	var phostUtil, ndpUtil float64
+	warm := 3 * sim.Millisecond
+	window := sim.Time(o.pick(5, 10, 15)) * sim.Millisecond
+	{
+		pn := BuildPHost(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, phost.DefaultConfig())
+		dst := workload.Permutation(hosts, sim.NewRand(o.Seed))
+		meters := make([]*meter, 0, hosts)
+		for src, d := range dst {
+			s := pn.Hosts[src].Connect(int32(d), core.NextFlowID(), 1<<40, nil)
+			meters = append(meters, newMeter(s.AckedBytes))
+		}
+		g := runWarmMeasure(pn.EL(), warm, window, meters)
+		phostUtil = utilization(g, 10e9)
+	}
+	{
+		n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, core.DefaultSwitchConfig(9000), core.DefaultConfig())
+		dst := workload.Permutation(hosts, sim.NewRand(o.Seed))
+		senders := n.Permutation(dst)
+		meters := make([]*meter, len(senders))
+		for i, s := range senders {
+			s := s
+			meters[i] = newMeter(func() int64 { return s.AckedBytes() })
+		}
+		g := runWarmMeasure(n.EL(), warm, window, meters)
+		ndpUtil = utilization(g, 10e9)
+	}
+	t.AddRow("permutation utilization (%)", f4(100*phostUtil), f4(100*ndpUtil))
+	r.AddTable("pHost vs NDP", t)
+	r.Notef("paper shape: pHost's incast ~10x slower than NDP; permutation ~70%% vs NDP ~95%%")
+}
+
+// tScale measures permutation utilization as the FatTree grows.
+func tScale(o Options, r *Result) {
+	ks := []int{4, 8}
+	if o.Scale >= 0.4 {
+		ks = []int{8, 12}
+	}
+	if o.Scale >= 0.99 {
+		ks = []int{8, 12, 16}
+	}
+	if o.Full {
+		ks = append(ks, 32)
+	}
+	warm := 3 * sim.Millisecond
+	window := sim.Time(o.pick(5, 8, 10)) * sim.Millisecond
+	t := &stats.Table{Header: []string{"hosts", "utilization%"}}
+	for _, k := range ks {
+		n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: o.Seed},
+			core.DefaultSwitchConfig(9000), core.DefaultConfig())
+		dst := workload.Permutation(n.C.NumHosts(), sim.NewRand(o.Seed))
+		senders := n.Permutation(dst)
+		meters := make([]*meter, len(senders))
+		for i, s := range senders {
+			s := s
+			meters[i] = newMeter(func() int64 { return s.AckedBytes() })
+		}
+		g := runWarmMeasure(n.EL(), warm, window, meters)
+		t.AddFloats(fmt.Sprint(n.C.NumHosts()), 100*utilization(g, 10e9))
+	}
+	r.AddTable("permutation utilization vs size (8pkt buffers, IW 30)", t)
+	r.Notef("paper shape: gentle decline from ~98%% (128 hosts) to ~90%% (8192 hosts); pass -full for k=32")
+}
+
+// tTrim compares where packets get trimmed when the sender chooses paths
+// (permuted lists) versus per-packet random ECMP at switches.
+func tTrim(o Options, r *Result) {
+	k := o.pick(4, 8, 8)
+	t := &stats.Table{Header: []string{"load balancing", "uplink_trim%", "total_trim%", "util%"}}
+	for _, switchLB := range []bool{false, true} {
+		hcfg := core.DefaultConfig()
+		hcfg.SwitchLB = switchLB
+		base := topo.Config{Seed: o.Seed}
+		base.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(9000), sim.NewRand(o.Seed+41))
+		ft := topo.NewFatTree(k, base)
+		core.WireBounce(ft.Switches)
+		n := &NDPNet{C: ft}
+		for i, h := range ft.Hosts {
+			h := h
+			cfg := hcfg
+			cfg.Seed = o.Seed + uint64(i)*7919
+			st := core.NewStack(h, func(dst int32) [][]int16 { return ft.Paths(h.ID, dst) }, cfg)
+			st.Listen(nil)
+			n.Stacks = append(n.Stacks, st)
+		}
+		dst := workload.Permutation(ft.NumHosts(), sim.NewRand(o.Seed))
+		senders := n.Permutation(dst)
+		meters := make([]*meter, len(senders))
+		for i, s := range senders {
+			s := s
+			meters[i] = newMeter(func() int64 { return s.AckedBytes() })
+		}
+		g := runWarmMeasure(n.EL(), 3*sim.Millisecond, sim.Time(o.pick(5, 10, 15))*sim.Millisecond, meters)
+
+		var packets int64
+		for _, s := range senders {
+			packets += s.PacketsSent
+		}
+		name := "sender-permuted paths"
+		if switchLB {
+			name = "switch per-packet ECMP"
+		}
+		t.AddFloats(name,
+			pct(float64(ft.UplinkTrims()), float64(packets)),
+			pct(float64(ft.TotalTrims()), float64(packets)),
+			100*utilization(g, 10e9))
+	}
+	r.AddTable("trim locality under permutation", t)
+	r.Notef("paper shape: uplink trims ~0.01%% with source LB vs ~2.4%% with switch LB; source LB also buys a few %% utilization")
+}

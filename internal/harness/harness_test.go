@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs every registered experiment at the smallest
+// scale and checks it produces non-empty tables. This is the integration
+// test that keeps the whole evaluation pipeline runnable.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(Options{Scale: 0.1, Seed: 2})
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for i, tab := range res.Tables {
+				if len(tab.Rows) == 0 {
+					t.Errorf("table %d (%s) has no rows", i, res.Labels[i])
+				}
+			}
+			out := res.String()
+			if !strings.Contains(out, e.ID) {
+				t.Errorf("rendered result missing id:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := []string{"fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "fig19", "fig20",
+		"fig21", "fig22", "fig23", "t-ablate", "t-limits", "t-phost", "t-scale", "t-trim"}
+	for _, id := range ids {
+		if Get(id) == nil {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(ids) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(ids))
+	}
+}
+
+func TestOptionsPick(t *testing.T) {
+	o := Options{Scale: 1}.withDefaults()
+	if o.pick(1, 2, 3) != 3 {
+		t.Error("scale 1 should pick full")
+	}
+	o = Options{Scale: 0.5}.withDefaults()
+	if o.pick(1, 2, 3) != 2 {
+		t.Error("scale 0.5 should pick medium")
+	}
+	o = Options{Scale: 0.1}.withDefaults()
+	if o.pick(1, 2, 3) != 1 {
+		t.Error("scale 0.1 should pick small")
+	}
+	o = Options{}.withDefaults()
+	if o.Scale != 1 || o.Seed == 0 {
+		t.Errorf("defaults: %+v", o)
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := &Result{ID: "x", Title: "demo"}
+	r.Notef("answer is %d", 42)
+	if len(r.Notes) != 1 || !strings.Contains(r.Notes[0], "42") {
+		t.Errorf("notes: %v", r.Notes)
+	}
+	out := r.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, strconv.Itoa(42)) {
+		t.Errorf("render: %s", out)
+	}
+}

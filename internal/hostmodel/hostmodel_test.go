@@ -1,0 +1,81 @@
+package hostmodel
+
+import (
+	"testing"
+
+	"ndp/internal/sim"
+)
+
+func TestCostModelsOrdering(t *testing.T) {
+	ndp := NDPHost()
+	tfoNoSleep := TCPHostNoSleep()
+	deep := TCPHostDeepSleep()
+	if !(ndp.PerRPC() < tfoNoSleep.PerRPC() && tfoNoSleep.PerRPC() < deep.PerRPC()) {
+		t.Errorf("cost ordering broken: ndp=%v tcpNoSleep=%v tcpSleep=%v",
+			ndp.PerRPC(), tfoNoSleep.PerRPC(), deep.PerRPC())
+	}
+	// The paper's headline: one deep-sleep wake (~160us) dominates.
+	if deep.PerRPC()-tfoNoSleep.PerRPC() != 160*sim.Microsecond {
+		t.Errorf("deep sleep delta = %v, want 160us (one wake per RPC)", deep.PerRPC()-tfoNoSleep.PerRPC())
+	}
+}
+
+func TestRPCLatencyComposition(t *testing.T) {
+	net := 3 * sim.Microsecond // 1KB request+response back-to-back
+	ndp := RPCLatency(net, 1, NDPHost())
+	tfo := RPCLatency(net, 1, TCPHostDeepSleep())
+	tcp := RPCLatency(net, 2, TCPHostDeepSleep())
+	if !(ndp < tfo && tfo < tcp) {
+		t.Errorf("latency ordering: ndp=%v tfo=%v tcp=%v", ndp, tfo, tcp)
+	}
+	// Figure 8 shape: TFO ~4x NDP (paper: 62us vs ~250us), TCP ~5x.
+	if ratio := float64(tfo) / float64(ndp); ratio < 3 || ratio > 9 {
+		t.Errorf("TFO/NDP ratio %.2f outside Figure 8's ballpark", ratio)
+	}
+	if ratio := float64(tcp) / float64(ndp); ratio < 4 || ratio > 12 {
+		t.Errorf("TCP/NDP ratio %.2f outside Figure 8's ballpark", ratio)
+	}
+	// Without sleep states the gap narrows to ~2x/~4x.
+	tfoNS := RPCLatency(net, 1, TCPHostNoSleep())
+	if ratio := float64(tfoNS) / float64(ndp); ratio < 1.5 || ratio > 4 {
+		t.Errorf("no-sleep TFO/NDP ratio %.2f outside ballpark", ratio)
+	}
+}
+
+func TestPullJitterDistribution(t *testing.T) {
+	r := sim.NewRand(5)
+	for _, mtu := range []int{1500, 9000} {
+		j := PullJitter(mtu)
+		var sum sim.Time
+		var max sim.Time
+		const n = 100000
+		for i := 0; i < n; i++ {
+			v := j(r)
+			if v > max {
+				max = v
+			}
+			sum += v
+		}
+		mean := sum / n
+		if mean < 0 {
+			t.Errorf("mtu=%d: mean jitter %v negative; pacer would run early", mtu, mean)
+		}
+		if mean > 2*sim.Microsecond {
+			t.Errorf("mtu=%d: mean jitter %v too large", mtu, mean)
+		}
+		if max < sim.Microsecond {
+			t.Errorf("mtu=%d: no tail stragglers observed (max %v)", mtu, max)
+		}
+	}
+	// 1500B jitter must be wider than 9000B (Figure 12).
+	wide := PullJitter(1500)
+	narrow := PullJitter(9000)
+	var sw, sn sim.Time
+	for i := 0; i < 50000; i++ {
+		sw += wide(r)
+		sn += narrow(r)
+	}
+	if sw <= sn {
+		t.Errorf("1500B jitter (%v total) not wider than 9000B (%v)", sw, sn)
+	}
+}

@@ -1,0 +1,175 @@
+// Package mptcp implements Multipath TCP with the Linked-Increases
+// Algorithm (LIA, RFC 6356 / Raiciu et al., the paper's high-throughput
+// baseline). A Flow opens N subflows, each a TCP NewReno instance
+// (internal/tcp) pinned to a distinct source route; congestion-avoidance
+// growth is coupled across subflows so the aggregate is fair to single-path
+// TCP while moving traffic off congested paths.
+package mptcp
+
+import (
+	"ndp/internal/fabric"
+	"ndp/internal/sim"
+	"ndp/internal/tcp"
+)
+
+// Config parameterizes an MPTCP connection.
+type Config struct {
+	// Subflows is the number of subflows (the paper's comparisons use 8).
+	Subflows int
+	// TCP is the per-subflow configuration; DCTCP must be off.
+	TCP tcp.Config
+}
+
+// DefaultConfig matches the paper's MPTCP setup: 8 subflows, 9000B MSS,
+// datacenter-tuned MinRTO.
+func DefaultConfig() Config {
+	return Config{
+		Subflows: 8,
+		TCP: tcp.Config{
+			MSS:         9000,
+			InitialCwnd: 10,
+			MaxCwnd:     1000,
+			MinRTO:      10 * sim.Millisecond,
+			Handshake:   true,
+		},
+	}
+}
+
+// Flow is one MPTCP connection: a shared stream striped over subflows.
+type Flow struct {
+	Flow uint64
+	Size int64 // bytes; <0 unbounded
+
+	Senders   []*tcp.Sender
+	Receivers []*tcp.Receiver
+
+	received    int64
+	complete    bool
+	CompletedAt sim.Time
+	OnComplete  func(f *Flow)
+}
+
+// sharedSource stripes one stream across subflows: each subflow claims the
+// next MSS when it wants to send a fresh packet.
+type sharedSource struct{ inner *tcp.FixedSource }
+
+func (s *sharedSource) Claim() int      { return s.inner.Claim() }
+func (s *sharedSource) Exhausted() bool { return s.inner.Exhausted() }
+
+// unboundedSource never runs out (permutation-style long flows).
+type unboundedSource struct{ mss int }
+
+func (s *unboundedSource) Claim() int      { return s.mss }
+func (s *unboundedSource) Exhausted() bool { return false }
+
+// New builds an MPTCP flow from srcHost to dstHost. paths must contain the
+// forward source routes and revPaths the reverse ones; subflows are pinned
+// to distinct paths chosen by rand (wrapping if there are fewer paths than
+// subflows). Flows are registered on the given demuxes under ids
+// flow..flow+Subflows-1.
+func New(src, dst *fabric.Host, srcDemux, dstDemux *fabric.Demux, flow uint64,
+	size int64, paths, revPaths [][]int16, rand *sim.Rand, cfg Config) *Flow {
+	if cfg.Subflows <= 0 {
+		cfg.Subflows = 8
+	}
+	f := &Flow{Flow: flow, Size: size}
+
+	var source tcp.DataSource
+	if size < 0 {
+		source = &unboundedSource{mss: cfg.TCP.MSS}
+	} else {
+		source = &sharedSource{inner: tcp.NewFixedSource(size, cfg.TCP.MSS)}
+	}
+
+	fwdPerm := rand.Perm(len(paths))
+	revPerm := rand.Perm(len(revPaths))
+	for i := 0; i < cfg.Subflows; i++ {
+		id := flow + uint64(i)
+		fwd := paths[fwdPerm[i%len(fwdPerm)]]
+		rev := revPaths[revPerm[i%len(revPerm)]]
+		snd := tcp.NewSender(src, dst.ID, id, fwd, source, cfg.TCP)
+		rcv := tcp.NewReceiver(dst, src.ID, id, rev)
+		rcv.OnData = func(n int64) {
+			f.received += n
+			if f.Size >= 0 && f.received >= f.Size && !f.complete {
+				f.complete = true
+				f.CompletedAt = dst.EventList().Now()
+				if f.OnComplete != nil {
+					f.OnComplete(f)
+				}
+			}
+		}
+		srcDemux.Register(id, snd)
+		dstDemux.Register(id, rcv)
+		f.Senders = append(f.Senders, snd)
+		f.Receivers = append(f.Receivers, rcv)
+	}
+	// Couple congestion avoidance across the subflows (LIA).
+	for _, snd := range f.Senders {
+		snd.SetIncrease(f.liaIncrease)
+	}
+	return f
+}
+
+// Start launches every subflow.
+func (f *Flow) Start() {
+	for _, s := range f.Senders {
+		s.Start()
+	}
+}
+
+// liaIncrease is RFC 6356's coupled increase: for one acked packet on a
+// subflow with window w, the increment is min(alpha/w_total, 1/w) where
+//
+//	alpha = w_total * max_i(w_i / rtt_i^2) / (sum_i w_i / rtt_i)^2
+//
+// computed over subflows with an RTT estimate.
+func (f *Flow) liaIncrease(sub *tcp.Sender) float64 {
+	var total, sumWR, maxWR2 float64
+	for _, s := range f.Senders {
+		w := s.Cwnd()
+		total += w
+		rtt := s.SRTT().Seconds()
+		if rtt <= 0 {
+			continue
+		}
+		sumWR += w / rtt
+		if v := w / (rtt * rtt); v > maxWR2 {
+			maxWR2 = v
+		}
+	}
+	if total <= 0 || sumWR <= 0 {
+		return 1 / sub.Cwnd()
+	}
+	alpha := total * maxWR2 / (sumWR * sumWR)
+	inc := alpha / total
+	if single := 1 / sub.Cwnd(); inc > single {
+		inc = single
+	}
+	return inc
+}
+
+// ReceivedBytes returns distinct stream bytes received across subflows.
+func (f *Flow) ReceivedBytes() int64 { return f.received }
+
+// AckedBytes sums sender-side acknowledged bytes across subflows (the
+// goodput measure for unbounded flows).
+func (f *Flow) AckedBytes() int64 {
+	var n int64
+	for _, s := range f.Senders {
+		n += s.AckedBytes
+	}
+	return n
+}
+
+// Complete reports whether the stream has been fully received.
+func (f *Flow) Complete() bool { return f.complete }
+
+// TotalRtx sums retransmissions across subflows.
+func (f *Flow) TotalRtx() int64 {
+	var n int64
+	for _, s := range f.Senders {
+		n += s.Rtx
+	}
+	return n
+}

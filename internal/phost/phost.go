@@ -1,0 +1,325 @@
+// Package phost implements pHost (Gao et al., CoNEXT 2015), the
+// receiver-driven transport the paper compares against in §6.2 ("Who needs
+// packet trimming?"). Like NDP, pHost bursts the first RTT at line rate and
+// then paces token (pull) grants from the receiver; unlike NDP it runs over
+// plain drop-tail switches with per-packet ECMP spraying, so losses are
+// silent: the receiver cannot distinguish "not yet arrived" from "dropped",
+// and recovery falls back on sender timeouts. That difference is exactly
+// what the comparison isolates.
+package phost
+
+import (
+	"ndp/internal/fabric"
+	"ndp/internal/sim"
+)
+
+// Config parameterizes pHost endpoints.
+type Config struct {
+	MTU          int
+	IW           int      // first-RTT burst, packets
+	RTO          sim.Time // loss-recovery timeout
+	TokenSpacing sim.Time // 0: derive from link rate
+}
+
+// DefaultConfig mirrors the NDP comparison settings.
+func DefaultConfig() Config {
+	return Config{MTU: 9000, IW: 30, RTO: sim.Millisecond}
+}
+
+// Host is the per-host pHost agent: demux plus the shared token pacer.
+type Host struct {
+	host    *fabric.Host
+	el      *sim.EventList
+	demux   *fabric.Demux
+	spacing sim.Time
+	cfg     Config
+
+	queue     []*Receiver // round-robin token queue
+	scheduled bool
+	lastSent  sim.Time
+	everSent  bool
+}
+
+// NewHost installs a pHost agent on a host.
+func NewHost(h *fabric.Host, cfg Config) *Host {
+	if cfg.MTU == 0 {
+		cfg.MTU = 9000
+	}
+	if cfg.IW == 0 {
+		cfg.IW = 30
+	}
+	if cfg.RTO == 0 {
+		cfg.RTO = sim.Millisecond
+	}
+	spacing := cfg.TokenSpacing
+	if spacing == 0 {
+		spacing = sim.TransmissionTime(cfg.MTU+fabric.HeaderSize, h.LinkRate())
+	}
+	ph := &Host{host: h, el: h.EventList(), demux: fabric.NewDemux(), spacing: spacing, cfg: cfg}
+	h.Stack = ph.demux
+	return ph
+}
+
+// Listen accepts incoming pHost transfers.
+func (ph *Host) Listen(onComplete func(r *Receiver)) {
+	ph.demux.Listen = func(p *fabric.Packet) fabric.Sink {
+		if p.Type != fabric.Data {
+			return nil
+		}
+		r := &Receiver{ph: ph, Flow: p.Flow, Peer: p.Src, total: -1, OnComplete: onComplete}
+		return r
+	}
+}
+
+// Connect starts a transfer of size bytes toward the destination host.
+// Packets are destination-routed (per-packet ECMP spraying by switches).
+func (ph *Host) Connect(dst int32, flow uint64, size int64, onDone func(s *Sender)) *Sender {
+	s := &Sender{
+		ph: ph, Flow: flow, Dst: dst, size: size,
+		onDone: onDone,
+	}
+	mtu := int64(ph.cfg.MTU)
+	s.total = (size + mtu - 1) / mtu
+	if s.total == 0 {
+		s.total = 1
+	}
+	s.lastSize = int32(size - (s.total-1)*mtu)
+	if s.lastSize <= 0 {
+		s.lastSize = int32(mtu)
+	}
+	s.timer = sim.NewTimer(ph.el, s.onTimeout)
+	ph.demux.Register(flow, s)
+	burst := int64(ph.cfg.IW)
+	if s.total < burst {
+		burst = s.total
+	}
+	for i := int64(0); i < burst; i++ {
+		s.send(s.next, false)
+		s.next++
+	}
+	return s
+}
+
+// Sender is the sending half of a pHost transfer.
+type Sender struct {
+	Flow uint64
+	Dst  int32
+
+	ph       *Host
+	size     int64
+	total    int64
+	lastSize int32
+	next     int64
+
+	acked  []bool
+	nAck   int64
+	sentAt []sim.Time
+
+	lastToken int64
+	timer     *sim.Timer
+	complete  bool
+	onDone    func(s *Sender)
+
+	PacketsSent, Rtx int64
+	CompletedAt      sim.Time
+}
+
+func (s *Sender) grow(seq int64) {
+	for int64(len(s.acked)) <= seq {
+		s.acked = append(s.acked, false)
+		s.sentAt = append(s.sentAt, -1) // -1 = never sent (0 is a valid send time)
+	}
+}
+
+func (s *Sender) send(seq int64, rtx bool) {
+	s.grow(seq)
+	size := int32(s.ph.cfg.MTU)
+	if seq == s.total-1 {
+		size = s.lastSize
+	}
+	p := fabric.NewData(s.Flow, s.ph.host.ID, s.Dst, seq, size)
+	p.Sent = s.ph.el.Now()
+	if seq == s.total-1 {
+		p.Flags |= fabric.FlagFIN
+	}
+	if rtx {
+		p.Flags |= fabric.FlagRTX
+		s.Rtx++
+	}
+	s.sentAt[seq] = s.ph.el.Now()
+	s.PacketsSent++
+	if !s.timer.Pending() {
+		s.timer.Reset(s.ph.cfg.RTO)
+	}
+	s.ph.host.Send(p)
+}
+
+// sendNext releases one token of credit: the oldest unacked timed-out
+// packet is preferred; otherwise new data.
+func (s *Sender) sendNext() {
+	if s.next < s.total {
+		s.send(s.next, false)
+		s.next++
+	}
+	// If all data has been pushed, tokens carry no information for us:
+	// losses are recovered by the RTO below.
+}
+
+// Receive handles ACKs and tokens.
+func (s *Sender) Receive(p *fabric.Packet) {
+	switch p.Type {
+	case fabric.Ack:
+		seq := p.Seq
+		if seq >= 0 {
+			s.grow(seq)
+			if !s.acked[seq] {
+				s.acked[seq] = true
+				s.nAck++
+			}
+		}
+		if s.nAck == s.total && !s.complete {
+			s.complete = true
+			s.CompletedAt = s.ph.el.Now()
+			s.timer.Stop()
+			if s.onDone != nil {
+				s.onDone(s)
+			}
+		}
+	case fabric.Pull: // token
+		delta := p.PullSeq - s.lastToken
+		if delta > 0 {
+			s.lastToken = p.PullSeq
+			for i := int64(0); i < delta; i++ {
+				s.sendNext()
+			}
+		}
+	}
+	fabric.Free(p)
+}
+
+// onTimeout retransmits every packet unacked for a full RTO — pHost's only
+// loss-recovery mechanism.
+func (s *Sender) onTimeout() {
+	if s.complete {
+		return
+	}
+	now := s.ph.el.Now()
+	for seq := int64(0); seq < int64(len(s.acked)); seq++ {
+		if !s.acked[seq] && s.sentAt[seq] >= 0 && s.sentAt[seq]+s.ph.cfg.RTO <= now {
+			s.send(seq, true)
+		}
+	}
+	s.timer.Reset(s.ph.cfg.RTO)
+}
+
+// Complete reports whether every packet was acked.
+func (s *Sender) Complete() bool { return s.complete }
+
+// AckedBytes approximates acknowledged payload bytes (acked packets times
+// MTU) — the goodput meter for long flows.
+func (s *Sender) AckedBytes() int64 { return s.nAck * int64(s.ph.cfg.MTU) }
+
+// Receiver is the receiving half: per-packet ACKs plus paced tokens.
+type Receiver struct {
+	Flow uint64
+	Peer int32
+
+	ph     *Host
+	got    []bool
+	nGot   int64
+	total  int64
+	bytes  int64
+	tokens int64 // pending token count
+	tokSeq int64
+
+	complete    bool
+	CompletedAt sim.Time
+	OnComplete  func(r *Receiver)
+}
+
+// Receive handles data packets.
+func (r *Receiver) Receive(p *fabric.Packet) {
+	if p.Type != fabric.Data {
+		fabric.Free(p)
+		return
+	}
+	seq := p.Seq
+	for int64(len(r.got)) <= seq {
+		r.got = append(r.got, false)
+	}
+	if p.Flags&fabric.FlagFIN != 0 && r.total < 0 {
+		r.total = seq + 1
+	}
+	dup := r.got[seq]
+	if !dup {
+		r.got[seq] = true
+		r.nGot++
+		r.bytes += int64(p.DataSize)
+	}
+	a := fabric.NewControl(fabric.Ack, r.Flow, r.ph.host.ID, r.Peer)
+	a.Seq = seq
+	r.ph.host.Send(a)
+	if r.total >= 0 && r.nGot == r.total && !r.complete {
+		r.complete = true
+		r.CompletedAt = r.ph.el.Now()
+		if r.OnComplete != nil {
+			r.OnComplete(r)
+		}
+	} else if !dup && !r.complete {
+		r.addToken()
+	}
+	fabric.Free(p)
+}
+
+// Bytes returns distinct payload bytes received.
+func (r *Receiver) Bytes() int64 { return r.bytes }
+
+// Complete reports whether all data arrived.
+func (r *Receiver) Complete() bool { return r.complete }
+
+func (r *Receiver) addToken() {
+	if r.total >= 0 && int64(r.tokens) >= r.total-r.nGot {
+		return
+	}
+	r.tokens++
+	if r.tokens == 1 {
+		r.ph.queue = append(r.ph.queue, r)
+	}
+	r.ph.schedule()
+}
+
+func (ph *Host) schedule() {
+	if ph.scheduled || len(ph.queue) == 0 {
+		return
+	}
+	at := ph.el.Now()
+	if ph.everSent && ph.lastSent+ph.spacing > at {
+		at = ph.lastSent + ph.spacing
+	}
+	ph.scheduled = true
+	ph.el.At(at, ph.fire)
+}
+
+func (ph *Host) fire() {
+	ph.scheduled = false
+	for len(ph.queue) > 0 {
+		r := ph.queue[0]
+		ph.queue = ph.queue[1:]
+		if r.tokens <= 0 || r.complete {
+			r.tokens = 0
+			continue
+		}
+		r.tokens--
+		if r.tokens > 0 {
+			ph.queue = append(ph.queue, r)
+		}
+		r.tokSeq++
+		p := fabric.NewControl(fabric.Pull, r.Flow, ph.host.ID, r.Peer)
+		p.PullSeq = r.tokSeq
+		ph.lastSent = ph.el.Now()
+		ph.everSent = true
+		ph.host.Send(p)
+		break
+	}
+	ph.schedule()
+}

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventListChurn measures raw scheduler throughput: schedule one
+// event per step at a random-ish future offset, pop the earliest. This is
+// the per-packet overhead floor of every simulation in the repository.
+func BenchmarkEventListChurn(b *testing.B) {
+	el := NewEventList()
+	r := NewRand(1)
+	// Keep a standing population of events, as real simulations do.
+	for i := 0; i < 1024; i++ {
+		el.At(Time(r.Intn(1_000_000)), func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		el.After(Time(r.Intn(10_000))*Nanosecond, func() {})
+		el.Step()
+	}
+}
+
+// BenchmarkTimerReset measures the restartable-timer path (every data
+// packet sent by every transport resets an RTO timer).
+func BenchmarkTimerReset(b *testing.B) {
+	el := NewEventList()
+	tm := NewTimer(el, func() {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(Millisecond)
+		if i%64 == 0 {
+			el.RunUntil(el.Now() + Microsecond)
+		}
+	}
+}
+
+// BenchmarkRand measures the RNG used for every ECMP/path/coin decision.
+func BenchmarkRand(b *testing.B) {
+	r := NewRand(7)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,184 @@
+package sim
+
+// EventList is the simulation scheduler: a binary min-heap of timestamped
+// callbacks. All components of a simulation share one EventList; Run drains
+// it in timestamp order, advancing the virtual clock as it goes.
+//
+// Events with equal timestamps fire in the order they were scheduled
+// (FIFO tie-break via a sequence counter), which keeps simulations
+// deterministic regardless of heap internals.
+type EventList struct {
+	now    Time
+	seq    uint64
+	heap   []event
+	halted bool
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// NewEventList returns an empty scheduler with the clock at zero.
+func NewEventList() *EventList { return &EventList{} }
+
+// Now returns the current simulated time.
+func (el *EventList) Now() Time { return el.now }
+
+// Len returns the number of pending events.
+func (el *EventList) Len() int { return len(el.heap) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error; it is clamped to "now" so the event still fires, which
+// is the least surprising recovery during development.
+func (el *EventList) At(t Time, fn func()) {
+	if t < el.now {
+		t = el.now
+	}
+	el.seq++
+	el.heap = append(el.heap, event{at: t, seq: el.seq, fn: fn})
+	el.up(len(el.heap) - 1)
+}
+
+// After schedules fn to run d after the current time.
+func (el *EventList) After(d Time, fn func()) { el.At(el.now+d, fn) }
+
+// Step runs the earliest pending event and returns true, or returns false if
+// the list is empty or the simulation was halted.
+func (el *EventList) Step() bool {
+	if el.halted || len(el.heap) == 0 {
+		return false
+	}
+	ev := el.heap[0]
+	last := len(el.heap) - 1
+	el.heap[0] = el.heap[last]
+	el.heap = el.heap[:last]
+	if last > 0 {
+		el.down(0)
+	}
+	el.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run drains the event list until it is empty or Halt is called.
+func (el *EventList) Run() {
+	for el.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= deadline, then sets the clock
+// to the deadline. Events scheduled beyond the deadline remain pending.
+func (el *EventList) RunUntil(deadline Time) {
+	for !el.halted && len(el.heap) > 0 && el.heap[0].at <= deadline {
+		el.Step()
+	}
+	if el.now < deadline {
+		el.now = deadline
+	}
+}
+
+// Halt stops Run/RunUntil after the current event returns. Pending events
+// are retained; Resume allows stepping again.
+func (el *EventList) Halt() { el.halted = true }
+
+// Resume clears a previous Halt.
+func (el *EventList) Resume() { el.halted = false }
+
+// Halted reports whether Halt has been called without a matching Resume.
+func (el *EventList) Halted() bool { return el.halted }
+
+// NextAt returns the timestamp of the earliest pending event, or Infinity if
+// none is pending.
+func (el *EventList) NextAt() Time {
+	if len(el.heap) == 0 {
+		return Infinity
+	}
+	return el.heap[0].at
+}
+
+func (el *EventList) less(i, j int) bool {
+	if el.heap[i].at != el.heap[j].at {
+		return el.heap[i].at < el.heap[j].at
+	}
+	return el.heap[i].seq < el.heap[j].seq
+}
+
+func (el *EventList) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !el.less(i, parent) {
+			break
+		}
+		el.heap[i], el.heap[parent] = el.heap[parent], el.heap[i]
+		i = parent
+	}
+}
+
+func (el *EventList) down(i int) {
+	n := len(el.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && el.less(right, left) {
+			smallest = right
+		}
+		if !el.less(smallest, i) {
+			return
+		}
+		el.heap[i], el.heap[smallest] = el.heap[smallest], el.heap[i]
+		i = smallest
+	}
+}
+
+// Timer is a restartable one-shot timer bound to an EventList, used for
+// retransmission timeouts. A Timer may be rescheduled or stopped at any
+// time; a stale expiry (from before the most recent Reset/Stop) is ignored.
+type Timer struct {
+	el      *EventList
+	fn      func()
+	expires Time
+	version uint64
+	pending bool
+}
+
+// NewTimer returns a stopped timer that will invoke fn on expiry.
+func NewTimer(el *EventList, fn func()) *Timer {
+	return &Timer{el: el, fn: fn, expires: Infinity}
+}
+
+// Reset (re)arms the timer to fire d from now.
+func (t *Timer) Reset(d Time) { t.ResetAt(t.el.Now() + d) }
+
+// ResetAt (re)arms the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	t.version++
+	t.expires = at
+	t.pending = true
+	v := t.version
+	t.el.At(at, func() {
+		if t.version != v || !t.pending {
+			return // superseded by a later Reset or Stop
+		}
+		t.pending = false
+		t.expires = Infinity
+		t.fn()
+	})
+}
+
+// Stop disarms the timer. It is safe to call on a stopped timer.
+func (t *Timer) Stop() {
+	t.version++
+	t.pending = false
+	t.expires = Infinity
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.pending }
+
+// Expires returns the absolute expiry time, or Infinity when stopped.
+func (t *Timer) Expires() Time { return t.expires }

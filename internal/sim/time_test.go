@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTransmissionTime(t *testing.T) {
+	tests := []struct {
+		name string
+		size int
+		rate int64
+		want Time
+	}{
+		{"9KB at 10G is 7.2us", 9000, 10e9, 7200 * Nanosecond},
+		{"1500B at 10G is 1.2us", 1500, 10e9, 1200 * Nanosecond},
+		{"64B at 10G is 51.2ns", 64, 10e9, Time(51200)},
+		{"zero rate", 100, 0, 0},
+		{"1B at 1G", 1, 1e9, 8 * Nanosecond},
+	}
+	for _, tt := range tests {
+		if got := TransmissionTime(tt.size, tt.rate); got != tt.want {
+			t.Errorf("%s: TransmissionTime(%d, %d) = %v, want %v",
+				tt.name, tt.size, tt.rate, got, tt.want)
+		}
+	}
+}
+
+// Property: transmission time is monotone in size and rounds up, so N
+// packets take at least N times the exact wire time.
+func TestTransmissionTimeMonotone(t *testing.T) {
+	prop := func(a, b uint16) bool {
+		small, big := int(a), int(b)
+		if small > big {
+			small, big = big, small
+		}
+		return TransmissionTime(small, 10e9) <= TransmissionTime(big, 10e9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	tests := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{7200 * Nanosecond, "7.2us"},
+		{100 * Microsecond, "100us"},
+		{3 * Millisecond, "3ms"},
+		{2 * Second, "2s"},
+		{Infinity, "inf"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(tt.in), got, tt.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (1500 * Microsecond).Millis(); got != 1.5 {
+		t.Errorf("Millis = %v, want 1.5", got)
+	}
+	if got := (2500 * Nanosecond).Micros(); got != 2.5 {
+		t.Errorf("Micros = %v, want 2.5", got)
+	}
+	if got := FromSeconds(0.001); got != Millisecond {
+		t.Errorf("FromSeconds(0.001) = %v, want 1ms", got)
+	}
+	if got := (3 * Millisecond).Std().Milliseconds(); got != 3 {
+		t.Errorf("Std = %v ms, want 3", got)
+	}
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ndp/internal/sim"
+)
+
+func TestDistQuantiles(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	if got := d.Median(); got != 50 {
+		t.Errorf("median = %v, want 50", got)
+	}
+	if got := d.Quantile(0.9); got != 90 {
+		t.Errorf("p90 = %v, want 90", got)
+	}
+	if got := d.Quantile(0.99); got != 99 {
+		t.Errorf("p99 = %v, want 99", got)
+	}
+	if got := d.Min(); got != 1 {
+		t.Errorf("min = %v, want 1", got)
+	}
+	if got := d.Max(); got != 100 {
+		t.Errorf("max = %v, want 100", got)
+	}
+	if got := d.Mean(); got != 50.5 {
+		t.Errorf("mean = %v, want 50.5", got)
+	}
+}
+
+func TestDistEmpty(t *testing.T) {
+	var d Dist
+	if d.Median() != 0 || d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 {
+		t.Error("empty dist should return zeros")
+	}
+	if d.CDF(10) != nil {
+		t.Error("empty CDF should be nil")
+	}
+}
+
+func TestMeanOfBottom(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{10, 1, 9, 2, 8, 3, 7, 4, 6, 5} {
+		d.Add(v)
+	}
+	if got := d.MeanOfBottom(0.1); got != 1 {
+		t.Errorf("bottom 10%% mean = %v, want 1", got)
+	}
+	if got := d.MeanOfBottom(0.2); got != 1.5 {
+		t.Errorf("bottom 20%% mean = %v, want 1.5", got)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by [min, max].
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var d Dist
+		for _, v := range raw {
+			d.Add(float64(v))
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := d.Quantile(q)
+			if v < prev || v < d.Min() || v > d.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFShape(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 1000; i++ {
+		d.Add(float64(i))
+	}
+	rows := d.CDF(10)
+	if len(rows) != 10 {
+		t.Fatalf("CDF rows = %d", len(rows))
+	}
+	if rows[4].Frac != 0.5 || rows[4].Value != 500 {
+		t.Errorf("CDF midpoint = %+v, want {500 0.5}", rows[4])
+	}
+	if rows[9].Frac != 1 || rows[9].Value != 1000 {
+		t.Errorf("CDF endpoint = %+v", rows[9])
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(sim.Millisecond)
+	ts.Record(100*sim.Microsecond, 1_250_000) // bin 0: 10Gb/s
+	ts.Record(500*sim.Microsecond, 0)
+	ts.Record(2500*sim.Microsecond, 625_000) // bin 2: 5Gb/s
+	rates := ts.RateGbps()
+	if len(rates) != 3 {
+		t.Fatalf("bins = %d, want 3", len(rates))
+	}
+	if math.Abs(rates[0]-10) > 1e-9 || rates[1] != 0 || math.Abs(rates[2]-5) > 1e-9 {
+		t.Errorf("rates = %v, want [10 0 5]", rates)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares: %v, want 1", got)
+	}
+	got := JainIndex([]float64{10, 0, 0, 0})
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("one hog of four: %v, want 0.25", got)
+	}
+	if JainIndex(nil) != 0 {
+		t.Error("empty index should be 0")
+	}
+}
+
+func TestGbps(t *testing.T) {
+	if got := Gbps(1_250_000_000, sim.Second); got != 10 {
+		t.Errorf("Gbps = %v, want 10", got)
+	}
+	if Gbps(100, 0) != 0 {
+		t.Error("zero interval should yield 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"flows", "mean", "worst10"}}
+	tb.AddFloats("8", 99.5, 97.25)
+	tb.AddRow("128", "88.1", "61")
+	out := tb.String()
+	if !strings.Contains(out, "flows") || !strings.Contains(out, "99.5") {
+		t.Errorf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Errorf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestDistSummary(t *testing.T) {
+	var d Dist
+	d.AddTime(100 * sim.Microsecond)
+	d.AddTime(200 * sim.Microsecond)
+	s := d.Summary("us")
+	if !strings.Contains(s, "n=2") || !strings.Contains(s, "us") {
+		t.Errorf("summary = %q", s)
+	}
+}

@@ -1,0 +1,311 @@
+package topo
+
+import (
+	"fmt"
+
+	"ndp/internal/fabric"
+)
+
+// FatTree is a k-ary three-tier folded-Clos network (Al-Fares et al.).
+// With Oversub == 1 it is the fully-provisioned FatTree of the paper's
+// evaluation: k pods, each with k/2 ToR and k/2 aggregation switches,
+// (k/2)^2 core switches, and k/2 hosts per ToR, giving k^3/4 hosts.
+//
+// With Oversub == f each ToR serves f*k/2 hosts over the same k/2 uplinks,
+// the 4:1 oversubscribed configuration of the Facebook-workload experiment
+// (§6.3).
+type FatTree struct {
+	Network
+
+	K           int
+	Oversub     int
+	HostsPerTor int
+
+	Tors, Aggs, Cores []*fabric.Switch
+
+	// Port maps for fault injection and telemetry.
+	HostNIC  []*fabric.Port   // [host] host->ToR uplink
+	TorDown  [][]*fabric.Port // [tor][hostOff]
+	TorUp    [][]*fabric.Port // [tor][agg]
+	AggDown  [][]*fabric.Port // [agg][tor]
+	AggUp    [][]*fabric.Port // [agg][coreOff]
+	CoreDown [][]*fabric.Port // [core][pod]
+
+	level []int // per switch ID: 0 tor, 1 agg, 2 core
+	pod   []int // per switch ID
+	idx   []int // per switch ID: position within pod (or core index)
+}
+
+const (
+	levelTor = iota
+	levelAgg
+	levelCore
+)
+
+// NewFatTree builds a fully-provisioned k-ary FatTree.
+func NewFatTree(k int, cfg Config) *FatTree { return NewFatTreeOversub(k, 1, cfg) }
+
+// NewFatTreeOversub builds a k-ary FatTree whose ToRs serve oversub times
+// more hosts than a fully-provisioned tree. k must be even, oversub >= 1.
+func NewFatTreeOversub(k, oversub int, cfg Config) *FatTree {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topo: FatTree k must be even and >= 2, got %d", k))
+	}
+	if oversub < 1 {
+		panic("topo: oversub must be >= 1")
+	}
+	cfg = cfg.withDefaults()
+	ft := &FatTree{K: k, Oversub: oversub, HostsPerTor: oversub * k / 2}
+	ft.init(cfg)
+
+	half := k / 2
+	nPods := k
+	nTorsPerPod := half
+	nAggsPerPod := half
+	nCores := half * half
+	nHosts := nPods * nTorsPerPod * ft.HostsPerTor
+
+	// Create switches. IDs are dense across all levels for the meta arrays.
+	newSwitch := func(level, pod, idx int, name string) *fabric.Switch {
+		sw := fabric.NewSwitch(ft.EL, len(ft.Switches), name)
+		sw.Route = ft.route
+		ft.Switches = append(ft.Switches, sw)
+		ft.level = append(ft.level, level)
+		ft.pod = append(ft.pod, pod)
+		ft.idx = append(ft.idx, idx)
+		if cfg.Lossless {
+			sw.EnableLossless(cfg.LosslessLimit, cfg.PFCXoff, cfg.PFCXon)
+		}
+		return sw
+	}
+	for p := 0; p < nPods; p++ {
+		for t := 0; t < nTorsPerPod; t++ {
+			ft.Tors = append(ft.Tors, newSwitch(levelTor, p, t, fmt.Sprintf("tor%d.%d", p, t)))
+		}
+	}
+	for p := 0; p < nPods; p++ {
+		for a := 0; a < nAggsPerPod; a++ {
+			ft.Aggs = append(ft.Aggs, newSwitch(levelAgg, p, a, fmt.Sprintf("agg%d.%d", p, a)))
+		}
+	}
+	for c := 0; c < nCores; c++ {
+		ft.Cores = append(ft.Cores, newSwitch(levelCore, -1, c, fmt.Sprintf("core%d", c)))
+	}
+
+	// Hosts.
+	for h := 0; h < nHosts; h++ {
+		host := fabric.NewHost(ft.EL, int32(h), fmt.Sprintf("h%d", h))
+		ft.Hosts = append(ft.Hosts, host)
+	}
+
+	ft.TorDown = make([][]*fabric.Port, len(ft.Tors))
+	ft.TorUp = make([][]*fabric.Port, len(ft.Tors))
+	ft.AggDown = make([][]*fabric.Port, len(ft.Aggs))
+	ft.AggUp = make([][]*fabric.Port, len(ft.Aggs))
+	ft.CoreDown = make([][]*fabric.Port, len(ft.Cores))
+	ft.HostNIC = make([]*fabric.Port, nHosts)
+
+	newPort := func(name string, q fabric.Queue) *fabric.Port {
+		return fabric.NewPort(ft.EL, name, q, cfg.LinkRateBps, cfg.LinkDelay)
+	}
+
+	// Wire hosts <-> ToRs. ToR egress ports [0, HostsPerTor) go down.
+	for ti, tor := range ft.Tors {
+		ft.TorDown[ti] = make([]*fabric.Port, ft.HostsPerTor)
+		for off := 0; off < ft.HostsPerTor; off++ {
+			h := ft.hostID(ft.pod[tor.ID], ft.idx[tor.ID], off)
+			host := ft.Hosts[h]
+			down := newPort(portName("tor", ti, int(h)), cfg.SwitchQueue(fmt.Sprintf("%s->h%d", tor.Name, h)))
+			link(down, host)
+			tor.AddPort(down)
+			ft.TorDown[ti][off] = down
+
+			up := newPort(portName("h", int(h), ti), cfg.HostQueue(fmt.Sprintf("h%d", h)))
+			link(up, tor)
+			host.NIC = up
+			ft.HostNIC[h] = up
+		}
+	}
+	// Wire ToRs <-> Aggs. ToR egress ports [HostsPerTor, HostsPerTor+half).
+	// Agg egress ports [0, half) go down to ToRs.
+	for ti, tor := range ft.Tors {
+		p := ft.pod[tor.ID]
+		ft.TorUp[ti] = make([]*fabric.Port, half)
+		for a := 0; a < half; a++ {
+			agg := ft.Aggs[p*half+a]
+			up := newPort(portName("torUp", ti, a), cfg.SwitchQueue(fmt.Sprintf("%s->%s", tor.Name, agg.Name)))
+			link(up, agg)
+			tor.AddPort(up)
+			ft.TorUp[ti][a] = up
+		}
+	}
+	for ai, agg := range ft.Aggs {
+		p := ft.pod[agg.ID]
+		ft.AggDown[ai] = make([]*fabric.Port, half)
+		for t := 0; t < half; t++ {
+			tor := ft.Tors[p*half+t]
+			down := newPort(portName("aggDown", ai, t), cfg.SwitchQueue(fmt.Sprintf("%s->%s", agg.Name, tor.Name)))
+			link(down, tor)
+			agg.AddPort(down)
+			ft.AggDown[ai][t] = down
+		}
+	}
+	// Wire Aggs <-> Cores. Agg a connects to cores [a*half, (a+1)*half).
+	// Agg egress ports [half, k) go up; core egress port p goes to pod p.
+	for ai, agg := range ft.Aggs {
+		a := ft.idx[agg.ID]
+		ft.AggUp[ai] = make([]*fabric.Port, half)
+		for j := 0; j < half; j++ {
+			core := ft.Cores[a*half+j]
+			up := newPort(portName("aggUp", ai, j), cfg.SwitchQueue(fmt.Sprintf("%s->%s", agg.Name, core.Name)))
+			link(up, core)
+			agg.AddPort(up)
+			ft.AggUp[ai][j] = up
+		}
+	}
+	for ci, core := range ft.Cores {
+		a := ci / half // which agg position this core group serves
+		ft.CoreDown[ci] = make([]*fabric.Port, nPods)
+		for p := 0; p < nPods; p++ {
+			agg := ft.Aggs[p*half+a]
+			down := newPort(portName("coreDown", ci, p), cfg.SwitchQueue(fmt.Sprintf("%s->%s", core.Name, agg.Name)))
+			link(down, agg)
+			core.AddPort(down)
+			ft.CoreDown[ci][p] = down
+		}
+	}
+	return ft
+}
+
+// hostID maps (pod, torInPod, offset) to a host id.
+func (ft *FatTree) hostID(pod, tor, off int) int32 {
+	half := ft.K / 2
+	return int32((pod*half+tor)*ft.HostsPerTor + off)
+}
+
+// locate maps a host id to (pod, torInPod, offset).
+func (ft *FatTree) locate(h int32) (pod, tor, off int) {
+	half := ft.K / 2
+	off = int(h) % ft.HostsPerTor
+	t := int(h) / ft.HostsPerTor
+	return t / half, t % half, off
+}
+
+// route is the FatTree RouteFunc: source routes are followed verbatim;
+// destination-routed packets (baselines and bounced NDP headers) use
+// up/down routing with ECMP on the up segments.
+func (ft *FatTree) route(sw *fabric.Switch, p *fabric.Packet) int {
+	if out, ok := sourceRouteHop(p); ok {
+		return out
+	}
+	half := ft.K / 2
+	dpod, dtor, doff := ft.locate(p.Dst)
+	switch ft.level[sw.ID] {
+	case levelTor:
+		if ft.pod[sw.ID] == dpod && ft.idx[sw.ID] == dtor {
+			return doff
+		}
+		return ft.HostsPerTor + ft.pickUp(sw, p, half)
+	case levelAgg:
+		if ft.pod[sw.ID] == dpod {
+			return dtor
+		}
+		return half + ft.pickUp(sw, p, half)
+	default: // core
+		return dpod
+	}
+}
+
+func (ft *FatTree) pickUp(sw *fabric.Switch, p *fabric.Packet, n int) int {
+	if ft.cfg.ECMPPerFlow {
+		return int(hash64(p.Flow^(uint64(sw.ID)<<32|0x5bd1e995)) % uint64(n))
+	}
+	return ft.Rand.Intn(n)
+}
+
+// Paths enumerates the source routes from src to dst: one route per core
+// switch for inter-pod pairs ((k/2)^2 routes), one per aggregation switch
+// within a pod (k/2 routes), and the single ToR hop within a rack. The
+// result is cached and shared; callers must not mutate the slices.
+func (ft *FatTree) Paths(src, dst int32) [][]int16 {
+	if src == dst {
+		return nil
+	}
+	key := pairKey{src, dst}
+	if p, ok := ft.pathCache[key]; ok {
+		return p
+	}
+	spod, stor, _ := ft.locate(src)
+	dpod, dtor, doff := ft.locate(dst)
+	half := ft.K / 2
+	var paths [][]int16
+	switch {
+	case spod == dpod && stor == dtor:
+		paths = [][]int16{{int16(doff)}}
+	case spod == dpod:
+		for a := 0; a < half; a++ {
+			paths = append(paths, []int16{
+				int16(ft.HostsPerTor + a), // ToR up to agg a
+				int16(dtor),               // agg down to dst ToR
+				int16(doff),               // ToR down to host
+			})
+		}
+	default:
+		for a := 0; a < half; a++ {
+			for j := 0; j < half; j++ {
+				paths = append(paths, []int16{
+					int16(ft.HostsPerTor + a), // ToR up to agg a
+					int16(half + j),           // agg up to its j-th core
+					int16(dpod),               // core down to dst pod
+					int16(dtor),               // agg down to dst ToR
+					int16(doff),               // ToR down to host
+				})
+			}
+		}
+	}
+	ft.pathCache[key] = paths
+	return paths
+}
+
+// NumHosts returns the number of hosts in the tree.
+func (ft *FatTree) NumHosts() int { return len(ft.Hosts) }
+
+// DegradeLink reduces the line rate of the bidirectional link between agg
+// switch aggIdx (global index) and its coreOff-th core to newRate — the
+// failure scenario of Figure 22.
+func (ft *FatTree) DegradeLink(aggIdx, coreOff int, newRate int64) {
+	up := ft.AggUp[aggIdx][coreOff]
+	up.RateBps = newRate
+	a := ft.idx[ft.Aggs[aggIdx].ID]
+	pod := ft.pod[ft.Aggs[aggIdx].ID]
+	core := a*(ft.K/2) + coreOff
+	ft.CoreDown[core][pod].RateBps = newRate
+}
+
+// UplinkTrims sums payload trims on ToR->Agg and Agg->Core ports (the
+// "uplink trimming" statistic of §3.2.4's congestion-collapse discussion).
+func (ft *FatTree) UplinkTrims() int64 {
+	var n int64
+	for _, ports := range ft.TorUp {
+		for _, p := range ports {
+			n += p.Q.Stats().Trims
+		}
+	}
+	for _, ports := range ft.AggUp {
+		for _, p := range ports {
+			n += p.Q.Stats().Trims
+		}
+	}
+	return n
+}
+
+// TotalTrims sums payload trims across every switch port.
+func (ft *FatTree) TotalTrims() int64 {
+	var n int64
+	for _, sw := range ft.Switches {
+		for _, p := range sw.Ports {
+			n += p.Q.Stats().Trims
+		}
+	}
+	return n
+}

@@ -1,0 +1,315 @@
+package topo
+
+import (
+	"fmt"
+
+	"ndp/internal/fabric"
+	"ndp/internal/sim"
+)
+
+// Jellyfish is a random regular graph of switches (Singla et al., NSDI
+// 2012), the asymmetric topology the paper's "Limitations of NDP" section
+// (§3) calls out: paths between hosts have different lengths, so NDP's
+// uniform per-packet spraying wastes capacity on long paths under load,
+// whereas per-path congestion control (MPTCP) adapts.
+//
+// Each of N switches has H host ports and R inter-switch ports wired as a
+// connected random R-regular graph. Path enumeration returns up to MaxPaths
+// routes per pair: all shortest paths plus paths one hop longer (the ECMP
+// set a Jellyfish deployment would use), so the set is intentionally
+// length-asymmetric.
+type Jellyfish struct {
+	Network
+
+	NSwitches, HostsPerSwitch, Degree int
+	MaxPaths                          int
+
+	adj [][]int // adjacency: switch -> neighbor switch ids
+
+	// port layout per switch: [0,H) host ports, then one port per adj entry.
+	distCache map[int32][]int // per destination switch: BFS distances
+}
+
+// NewJellyfish builds a connected random regular topology. n*degree must be
+// even; degree >= 2. maxPaths bounds the per-pair path enumeration
+// (default 8).
+func NewJellyfish(n, hostsPerSwitch, degree, maxPaths int, cfg Config) *Jellyfish {
+	if n < 3 || degree < 2 || n*degree%2 != 0 {
+		panic(fmt.Sprintf("topo: invalid Jellyfish n=%d degree=%d", n, degree))
+	}
+	if maxPaths <= 0 {
+		maxPaths = 8
+	}
+	cfg = cfg.withDefaults()
+	j := &Jellyfish{NSwitches: n, HostsPerSwitch: hostsPerSwitch, Degree: degree, MaxPaths: maxPaths}
+	j.init(cfg)
+	j.distCache = make(map[int32][]int)
+
+	j.adj = randomRegularGraph(n, degree, j.Rand)
+
+	for s := 0; s < n; s++ {
+		sw := fabric.NewSwitch(j.EL, s, fmt.Sprintf("jf%d", s))
+		sw.Route = j.route
+		j.Switches = append(j.Switches, sw)
+		if cfg.Lossless {
+			sw.EnableLossless(cfg.LosslessLimit, cfg.PFCXoff, cfg.PFCXon)
+		}
+	}
+	newPort := func(name string, q fabric.Queue) *fabric.Port {
+		return fabric.NewPort(j.EL, name, q, cfg.LinkRateBps, cfg.LinkDelay)
+	}
+	// Hosts and host ports.
+	for s := 0; s < n; s++ {
+		for o := 0; o < hostsPerSwitch; o++ {
+			id := int32(s*hostsPerSwitch + o)
+			host := fabric.NewHost(j.EL, id, fmt.Sprintf("h%d", id))
+			j.Hosts = append(j.Hosts, host)
+			down := newPort(portName("jf", s, int(id)), cfg.SwitchQueue(fmt.Sprintf("jf%d->h%d", s, id)))
+			link(down, host)
+			j.Switches[s].AddPort(down)
+			up := newPort(portName("h", int(id), s), cfg.HostQueue(fmt.Sprintf("h%d", id)))
+			link(up, j.Switches[s])
+			host.NIC = up
+		}
+	}
+	// Inter-switch ports, in adjacency order.
+	for s := 0; s < n; s++ {
+		for _, nb := range j.adj[s] {
+			p := newPort(portName("jfUp", s, nb), cfg.SwitchQueue(fmt.Sprintf("jf%d->jf%d", s, nb)))
+			link(p, j.Switches[nb])
+			j.Switches[s].AddPort(p)
+		}
+	}
+	return j
+}
+
+// randomRegularGraph wires a connected degree-regular graph: a Hamiltonian
+// ring guarantees connectivity and degree 2; remaining stubs are matched
+// randomly with rejection of self-loops and duplicate edges.
+func randomRegularGraph(n, degree int, r *sim.Rand) [][]int {
+	adj := make([][]int, n)
+	has := func(a, b int) bool {
+		for _, x := range adj[a] {
+			if x == b {
+				return true
+			}
+		}
+		return false
+	}
+	addEdge := func(a, b int) {
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	perm := r.Perm(n) // random ring order
+	for i := 0; i < n; i++ {
+		addEdge(perm[i], perm[(i+1)%n])
+	}
+	removeEdge := func(a, b int) {
+		for i, x := range adj[a] {
+			if x == b {
+				adj[a] = append(adj[a][:i], adj[a][i+1:]...)
+				break
+			}
+		}
+		for i, x := range adj[b] {
+			if x == a {
+				adj[b] = append(adj[b][:i], adj[b][i+1:]...)
+				break
+			}
+		}
+	}
+	// Match remaining stubs; when the random matching gets stuck (the
+	// leftover stubs are mutual neighbors or identical), break an existing
+	// edge (c,d) and rewire a-c, b-d — the standard Jellyfish fix-up.
+	for attempt := 0; attempt < 500; attempt++ {
+		var stubs []int
+		for s := 0; s < n; s++ {
+			for d := len(adj[s]); d < degree; d++ {
+				stubs = append(stubs, s)
+			}
+		}
+		if len(stubs) == 0 {
+			return adj
+		}
+		r.ShuffleInts(stubs)
+		progress := false
+		for i := 0; i+1 < len(stubs); i += 2 {
+			a, b := stubs[i], stubs[i+1]
+			if a != b && !has(a, b) && len(adj[a]) < degree && len(adj[b]) < degree {
+				addEdge(a, b)
+				progress = true
+			}
+		}
+		if !progress && attempt > 20 && len(stubs) >= 2 {
+			// Swap: break a random existing edge (c,d) disjoint from the
+			// stuck stubs a,b and rewire. If both stubs belong to one node
+			// (a==b), splice it into the middle of the edge (a-c, a-d);
+			// otherwise cross-wire (a-c, b-d).
+			a, b := stubs[0], stubs[1]
+			for try := 0; try < 200; try++ {
+				c := r.Intn(n)
+				if c == a || c == b || len(adj[c]) == 0 {
+					continue
+				}
+				d := adj[c][r.Intn(len(adj[c]))]
+				if d == a || d == b {
+					continue
+				}
+				if a == b {
+					if has(a, c) || has(a, d) {
+						continue
+					}
+					removeEdge(c, d)
+					addEdge(a, c)
+					addEdge(a, d)
+				} else {
+					if has(a, c) || has(b, d) {
+						continue
+					}
+					removeEdge(c, d)
+					addEdge(a, c)
+					addEdge(b, d)
+				}
+				break
+			}
+		}
+	}
+	return adj
+}
+
+func (j *Jellyfish) locate(h int32) (sw, off int) {
+	return int(h) / j.HostsPerSwitch, int(h) % j.HostsPerSwitch
+}
+
+// dist returns BFS distances from every switch to the destination switch.
+func (j *Jellyfish) dist(dstSwitch int) []int {
+	key := int32(dstSwitch)
+	if d, ok := j.distCache[key]; ok {
+		return d
+	}
+	d := make([]int, j.NSwitches)
+	for i := range d {
+		d[i] = -1
+	}
+	d[dstSwitch] = 0
+	queue := []int{dstSwitch}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range j.adj[cur] {
+			if d[nb] < 0 {
+				d[nb] = d[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	j.distCache[key] = d
+	return d
+}
+
+// route follows source routes; destination-routed packets walk downhill on
+// BFS distance (random tie-break among equally-good neighbors).
+func (j *Jellyfish) route(sw *fabric.Switch, p *fabric.Packet) int {
+	if out, ok := sourceRouteHop(p); ok {
+		return out
+	}
+	dsw, doff := j.locate(p.Dst)
+	if sw.ID == dsw {
+		return doff
+	}
+	d := j.dist(dsw)
+	var best []int
+	bestD := d[sw.ID]
+	for i, nb := range j.adj[sw.ID] {
+		if d[nb] >= 0 && d[nb] < bestD {
+			bestD = d[nb]
+			best = best[:0]
+			best = append(best, i)
+		} else if d[nb] == bestD && bestD < d[sw.ID] {
+			best = append(best, i)
+		}
+	}
+	if len(best) == 0 {
+		return -1
+	}
+	return j.HostsPerSwitch + best[j.Rand.Intn(len(best))]
+}
+
+// Paths enumerates up to MaxPaths source routes: all shortest switch paths
+// plus paths allowing one sideways (equal-distance) hop — a deliberately
+// length-mixed set reflecting Jellyfish ECMP.
+func (j *Jellyfish) Paths(src, dst int32) [][]int16 {
+	if src == dst {
+		return nil
+	}
+	key := pairKey{src, dst}
+	if p, ok := j.pathCache[key]; ok {
+		return p
+	}
+	ssw, _ := j.locate(src)
+	dsw, doff := j.locate(dst)
+	var paths [][]int16
+	if ssw == dsw {
+		paths = [][]int16{{int16(doff)}}
+		j.pathCache[key] = paths
+		return paths
+	}
+	d := j.dist(dsw)
+
+	var walk func(cur int, route []int16, sidewaysUsed bool)
+	walk = func(cur int, route []int16, sidewaysUsed bool) {
+		if len(paths) >= j.MaxPaths {
+			return
+		}
+		if cur == dsw {
+			full := make([]int16, len(route)+1)
+			copy(full, route)
+			full[len(route)] = int16(doff)
+			paths = append(paths, full)
+			return
+		}
+		for i, nb := range j.adj[cur] {
+			if d[nb] < 0 {
+				continue
+			}
+			step := int16(j.HostsPerSwitch + i)
+			// Copy the prefix: sibling branches must not share backing
+			// arrays.
+			next := append(append([]int16(nil), route...), step)
+			switch {
+			case d[nb] < d[cur]:
+				walk(nb, next, sidewaysUsed)
+			case d[nb] == d[cur] && !sidewaysUsed:
+				walk(nb, next, true)
+			}
+		}
+	}
+	walk(ssw, nil, false)
+	j.pathCache[key] = paths
+	return paths
+}
+
+// NumHosts returns the host count.
+func (j *Jellyfish) NumHosts() int { return len(j.Hosts) }
+
+// PathLengthSpread returns the min and max path lengths (switch hops) over
+// a sample of host pairs — the asymmetry measure.
+func (j *Jellyfish) PathLengthSpread(samples int, r *sim.Rand) (min, max int) {
+	min, max = 1<<30, 0
+	n := j.NumHosts()
+	for i := 0; i < samples; i++ {
+		a, b := int32(r.Intn(n)), int32(r.Intn(n))
+		if a == b {
+			continue
+		}
+		for _, p := range j.Paths(a, b) {
+			if len(p) < min {
+				min = len(p)
+			}
+			if len(p) > max {
+				max = len(p)
+			}
+		}
+	}
+	return min, max
+}

@@ -1,0 +1,105 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndp/internal/sim"
+)
+
+func TestJellyfishConstruction(t *testing.T) {
+	j := NewJellyfish(16, 4, 4, 8, Config{Seed: 3})
+	if j.NumHosts() != 64 {
+		t.Fatalf("hosts = %d, want 64", j.NumHosts())
+	}
+	if len(j.Switches) != 16 {
+		t.Fatalf("switches = %d", len(j.Switches))
+	}
+	// Degree-regular (the builder may fall slightly short only on
+	// pathological seeds; this seed must be exact).
+	for s, nbs := range j.adj {
+		if len(nbs) != 4 {
+			t.Errorf("switch %d degree %d, want 4", s, len(nbs))
+		}
+		for _, nb := range nbs {
+			if nb == s {
+				t.Errorf("switch %d has a self-loop", s)
+			}
+		}
+	}
+}
+
+func TestJellyfishPathsDeliver(t *testing.T) {
+	j := NewJellyfish(12, 2, 4, 8, Config{Seed: 7})
+	for _, pair := range [][2]int32{{0, 23}, {5, 18}, {1, 2}, {22, 3}} {
+		src, dst := pair[0], pair[1]
+		paths := j.Paths(src, dst)
+		if len(paths) == 0 {
+			t.Fatalf("no paths %d->%d", src, dst)
+		}
+		for _, path := range paths {
+			if got := deliver(t, &j.Network, j.Hosts, src, dst, path); got != dst {
+				t.Errorf("path %v from %d delivered to %d, want %d", path, src, got, dst)
+			}
+		}
+		// Destination routing too (bounced headers).
+		if got := deliver(t, &j.Network, j.Hosts, src, dst, nil); got != dst {
+			t.Errorf("destination-routed %d->%d arrived at %d", src, dst, got)
+		}
+	}
+}
+
+func TestJellyfishPathAsymmetry(t *testing.T) {
+	// The point of the topology: enumerated path sets mix lengths.
+	j := NewJellyfish(20, 2, 3, 8, Config{Seed: 11})
+	min, max := j.PathLengthSpread(200, sim.NewRand(5))
+	if max <= min {
+		t.Errorf("path lengths uniform (min=%d max=%d); Jellyfish sets should be asymmetric", min, max)
+	}
+}
+
+// Property: every enumerated path for random pairs delivers correctly.
+func TestJellyfishPathsProperty(t *testing.T) {
+	j := NewJellyfish(10, 2, 4, 6, Config{Seed: 23})
+	n := int32(j.NumHosts())
+	prop := func(a, b uint8) bool {
+		src, dst := int32(a)%n, int32(b)%n
+		if src == dst {
+			return true
+		}
+		for _, path := range j.Paths(src, dst) {
+			if got := deliver(t, &j.Network, j.Hosts, src, dst, path); got != dst {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomRegularGraphConnected(t *testing.T) {
+	for seed := uint64(1); seed < 20; seed++ {
+		adj := randomRegularGraph(14, 3, sim.NewRand(seed))
+		// BFS from 0 must reach everything (ring guarantees it).
+		seen := make([]bool, 14)
+		seen[0] = true
+		queue := []int{0}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[cur] {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("seed %d: switch %d unreachable", seed, i)
+			}
+		}
+	}
+}

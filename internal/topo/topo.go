@@ -1,0 +1,177 @@
+// Package topo builds the Clos topologies the paper evaluates on: k-ary
+// 3-tier FatTrees (optionally oversubscribed), 2-tier leaf/spine networks,
+// and degenerate test topologies (back-to-back hosts, single switch). It
+// also provides path enumeration for source routing and destination-based
+// ECMP routing (per-packet random or per-flow hashed) for the baselines and
+// for NDP's return-to-sender headers.
+package topo
+
+import (
+	"fmt"
+
+	"ndp/internal/fabric"
+	"ndp/internal/sim"
+)
+
+// QueueFactory builds a queue discipline for a named port. Experiments pick
+// the discipline per protocol: NDP switch queues, ECN queues for DCTCP,
+// plain drop-tail for TCP.
+type QueueFactory func(name string) fabric.Queue
+
+// Config carries the physical parameters shared by all topology builders.
+type Config struct {
+	// LinkRateBps is the line rate of every link (default 10Gb/s).
+	LinkRateBps int64
+	// LinkDelay is the one-way propagation delay per link (default 500ns).
+	LinkDelay sim.Time
+	// SwitchQueue builds each switch egress queue (default: drop-tail FIFO
+	// of 8 jumbograms).
+	SwitchQueue QueueFactory
+	// HostQueue builds each host NIC queue (default: unbounded control-
+	// priority queue, the NDP host discipline; harmless for others).
+	HostQueue QueueFactory
+	// ECMPPerFlow selects hashed per-flow ECMP for destination-routed
+	// packets instead of per-packet random spraying.
+	ECMPPerFlow bool
+	// Lossless enables PFC at every switch.
+	Lossless bool
+	// LosslessLimit, PFCXoff, PFCXon configure PFC byte budgets; zero
+	// values take defaults sized in MTUs.
+	LosslessLimit, PFCXoff, PFCXon int
+	// Seed seeds the topology's private RNG (per-packet ECMP choices).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LinkRateBps == 0 {
+		c.LinkRateBps = 10e9
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = 500 * sim.Nanosecond
+	}
+	if c.SwitchQueue == nil {
+		c.SwitchQueue = func(string) fabric.Queue { return fabric.NewFIFOQueue(8 * 9000) }
+	}
+	if c.HostQueue == nil {
+		c.HostQueue = func(string) fabric.Queue { return fabric.NewCtrlPrioQueue() }
+	}
+	if c.LosslessLimit == 0 {
+		c.LosslessLimit = 200 * 9000
+	}
+	if c.PFCXoff == 0 {
+		c.PFCXoff = 2 * 9000
+	}
+	if c.PFCXon == 0 {
+		c.PFCXon = 9000
+	}
+	return c
+}
+
+// Cluster is the view of a topology that transport harnesses need: the
+// scheduler, the hosts, source-route enumeration and telemetry. All
+// concrete topologies (*FatTree, *TwoTier, *BackToBack) implement it.
+type Cluster interface {
+	EventList() *sim.EventList
+	HostList() []*fabric.Host
+	SwitchList() []*fabric.Switch
+	Paths(src, dst int32) [][]int16
+	NumHosts() int
+	LinkRate() int64
+	CollectStats() SwitchStats
+}
+
+// Network is the common state every topology exposes: the event list, the
+// hosts and switches, and cached source-route path lists.
+type Network struct {
+	EL       *sim.EventList
+	Rand     *sim.Rand
+	Hosts    []*fabric.Host
+	Switches []*fabric.Switch
+
+	cfg       Config
+	pathCache map[pairKey][][]int16
+}
+
+type pairKey struct{ src, dst int32 }
+
+// EventList returns the simulation scheduler.
+func (n *Network) EventList() *sim.EventList { return n.EL }
+
+// HostList returns the hosts in id order.
+func (n *Network) HostList() []*fabric.Host { return n.Hosts }
+
+// SwitchList returns all switches.
+func (n *Network) SwitchList() []*fabric.Switch { return n.Switches }
+
+// LinkRate returns the line rate in bits per second.
+func (n *Network) LinkRate() int64 { return n.cfg.LinkRateBps }
+
+// LinkDelay returns the per-link one-way propagation delay.
+func (n *Network) LinkDelay() sim.Time { return n.cfg.LinkDelay }
+
+// Config returns the configuration the network was built with.
+func (n *Network) Config() Config { return n.cfg }
+
+func (n *Network) init(cfg Config) {
+	n.cfg = cfg
+	n.EL = sim.NewEventList()
+	n.Rand = sim.NewRand(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	n.pathCache = make(map[pairKey][][]int16)
+}
+
+// hash64 mixes a flow id with a per-switch salt for per-flow ECMP.
+func hash64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// sourceRouteHop consumes one hop of a packet's source route, or returns
+// false if the packet is destination-routed.
+func sourceRouteHop(p *fabric.Packet) (int, bool) {
+	if p.Path == nil {
+		return 0, false
+	}
+	if int(p.Hop) >= len(p.Path) {
+		return -1, true // malformed: off the end of the route
+	}
+	out := int(p.Path[p.Hop])
+	p.Hop++
+	return out, true
+}
+
+// link wires a unidirectional link from the given port to a destination
+// node, inserting a PFC ingress queue when dst is a lossless switch.
+func link(from *fabric.Port, dst fabric.Sink) {
+	if sw, ok := dst.(*fabric.Switch); ok && sw.Lossless() {
+		sw.NewIngress(from)
+		return
+	}
+	from.Connect(dst)
+}
+
+// SwitchStats aggregates queue counters across a set of switches.
+type SwitchStats struct {
+	Drops, Trims, Marks, Bounces int64
+}
+
+// CollectStats sums queue counters over every switch port in the network.
+func (n *Network) CollectStats() SwitchStats {
+	var s SwitchStats
+	for _, sw := range n.Switches {
+		for _, p := range sw.Ports {
+			qs := p.Q.Stats()
+			s.Drops += qs.Drops
+			s.Trims += qs.Trims
+			s.Marks += qs.Marks
+			s.Bounces += qs.Bounces
+		}
+	}
+	return s
+}
+
+// portName builds a stable debug name for a link endpoint.
+func portName(kind string, a, b int) string { return fmt.Sprintf("%s%d->%d", kind, a, b) }

@@ -1,0 +1,208 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ndp/internal/fabric"
+	"ndp/internal/sim"
+)
+
+func TestFatTreeDimensions(t *testing.T) {
+	tests := []struct {
+		k, oversub          int
+		hosts, tors, aggs   int
+		cores, pathsPerPair int
+	}{
+		{4, 1, 16, 8, 8, 4, 4},
+		{8, 1, 128, 32, 32, 16, 16},
+		{12, 1, 432, 72, 72, 36, 36},
+		{8, 4, 512, 32, 32, 16, 16},
+	}
+	for _, tt := range tests {
+		ft := NewFatTreeOversub(tt.k, tt.oversub, Config{})
+		if got := ft.NumHosts(); got != tt.hosts {
+			t.Errorf("k=%d oversub=%d: hosts=%d want %d", tt.k, tt.oversub, got, tt.hosts)
+		}
+		if len(ft.Tors) != tt.tors || len(ft.Aggs) != tt.aggs || len(ft.Cores) != tt.cores {
+			t.Errorf("k=%d: switches %d/%d/%d want %d/%d/%d", tt.k,
+				len(ft.Tors), len(ft.Aggs), len(ft.Cores), tt.tors, tt.aggs, tt.cores)
+		}
+		// Inter-pod pair: host 0 and the last host are in different pods.
+		paths := ft.Paths(0, int32(tt.hosts-1))
+		if len(paths) != tt.pathsPerPair {
+			t.Errorf("k=%d: inter-pod paths=%d want %d", tt.k, len(paths), tt.pathsPerPair)
+		}
+	}
+}
+
+func TestFatTreePathCounts(t *testing.T) {
+	ft := NewFatTree(4, Config{})
+	// k=4: 2 hosts/ToR, 2 ToRs/pod, 4 hosts/pod.
+	if got := len(ft.Paths(0, 1)); got != 1 {
+		t.Errorf("same-ToR paths = %d, want 1", got)
+	}
+	if got := len(ft.Paths(0, 2)); got != 2 {
+		t.Errorf("same-pod paths = %d, want k/2 = 2", got)
+	}
+	if got := len(ft.Paths(0, 4)); got != 4 {
+		t.Errorf("inter-pod paths = %d, want (k/2)^2 = 4", got)
+	}
+	if ft.Paths(3, 3) != nil {
+		t.Error("self paths should be nil")
+	}
+}
+
+// deliver injects a data packet at src with the given source route and runs
+// the simulation; it returns the host the packet arrived at (or -1).
+func deliver(t *testing.T, n *Network, hosts []*fabric.Host, src, dst int32, path []int16) int32 {
+	t.Helper()
+	arrived := int32(-1)
+	for _, h := range hosts {
+		h := h
+		h.Stack = fabric.SinkFunc(func(p *fabric.Packet) {
+			arrived = h.ID
+			fabric.Free(p)
+		})
+	}
+	p := fabric.NewData(uint64(src)<<32|uint64(dst), src, dst, 0, 1500)
+	p.Path = path
+	hosts[src].Send(p)
+	n.EL.Run()
+	return arrived
+}
+
+// Property: every enumerated FatTree path physically delivers the packet to
+// its destination.
+func TestFatTreePathsDeliverProperty(t *testing.T) {
+	prop := func(srcRaw, dstRaw uint8) bool {
+		ft := NewFatTree(4, Config{})
+		src := int32(srcRaw) % 16
+		dst := int32(dstRaw) % 16
+		if src == dst {
+			return true
+		}
+		for _, path := range ft.Paths(src, dst) {
+			if got := deliver(t, &ft.Network, ft.Hosts, src, dst, path); got != dst {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFatTreeDestinationRouting(t *testing.T) {
+	// Per-packet random ECMP (Path == nil) must still deliver correctly.
+	for _, perFlow := range []bool{false, true} {
+		ft := NewFatTree(4, Config{ECMPPerFlow: perFlow})
+		for dst := int32(1); dst < 16; dst += 3 {
+			if got := deliver(t, &ft.Network, ft.Hosts, 0, dst, nil); got != dst {
+				t.Errorf("perFlow=%v: destination-routed packet to %d arrived at %d", perFlow, dst, got)
+			}
+		}
+	}
+}
+
+func TestFatTreeLocateRoundTrip(t *testing.T) {
+	ft := NewFatTreeOversub(8, 4, Config{})
+	for h := int32(0); h < int32(ft.NumHosts()); h++ {
+		pod, tor, off := ft.locate(h)
+		if got := ft.hostID(pod, tor, off); got != h {
+			t.Fatalf("locate/hostID mismatch: %d -> (%d,%d,%d) -> %d", h, pod, tor, off, got)
+		}
+	}
+}
+
+func TestTwoTierPathsAndRouting(t *testing.T) {
+	tt := NewTwoTier(4, 2, 2, Config{})
+	if tt.NumHosts() != 8 {
+		t.Fatalf("hosts = %d, want 8", tt.NumHosts())
+	}
+	if got := len(tt.Paths(0, 1)); got != 1 {
+		t.Errorf("same-rack paths = %d, want 1", got)
+	}
+	if got := len(tt.Paths(0, 7)); got != 2 {
+		t.Errorf("cross-rack paths = %d, want #spines = 2", got)
+	}
+	for dst := int32(1); dst < 8; dst++ {
+		for _, path := range tt.Paths(0, dst) {
+			if got := deliver(t, &tt.Network, tt.Hosts, 0, dst, path); got != dst {
+				t.Errorf("path to %d delivered to %d", dst, got)
+			}
+		}
+		if got := deliver(t, &tt.Network, tt.Hosts, 0, dst, nil); got != dst {
+			t.Errorf("ECMP to %d delivered to %d", dst, got)
+		}
+	}
+}
+
+func TestSingleLeafTwoTier(t *testing.T) {
+	tt := NewTwoTier(1, 6, 0, Config{})
+	if got := len(tt.Paths(0, 5)); got != 1 {
+		t.Fatalf("single-leaf paths = %d, want 1", got)
+	}
+	if got := deliver(t, &tt.Network, tt.Hosts, 0, 5, tt.Paths(0, 5)[0]); got != 5 {
+		t.Errorf("delivered to %d, want 5", got)
+	}
+}
+
+func TestBackToBack(t *testing.T) {
+	b := NewBackToBack(Config{})
+	got := int32(-1)
+	b.Hosts[1].Stack = fabric.SinkFunc(func(p *fabric.Packet) {
+		got = 1
+		fabric.Free(p)
+	})
+	p := fabric.NewData(1, 0, 1, 0, 9000)
+	b.Hosts[0].Send(p)
+	b.EL.Run()
+	if got != 1 {
+		t.Fatal("packet not delivered host0 -> host1")
+	}
+	// One hop: 7.2us + 500ns.
+	if want := sim.Time(7700) * sim.Nanosecond; b.EL.Now() != want {
+		t.Errorf("delivery at %v, want %v", b.EL.Now(), want)
+	}
+}
+
+func TestDegradeLink(t *testing.T) {
+	ft := NewFatTree(4, Config{})
+	before := ft.AggUp[0][0].RateBps
+	ft.DegradeLink(0, 0, 1e9)
+	if ft.AggUp[0][0].RateBps != 1e9 {
+		t.Errorf("uplink rate = %d, want 1e9 (was %d)", ft.AggUp[0][0].RateBps, before)
+	}
+	// Reverse direction: core 0 serves agg position 0; pod of agg 0 is 0.
+	if ft.CoreDown[0][0].RateBps != 1e9 {
+		t.Errorf("reverse core->agg rate = %d, want 1e9", ft.CoreDown[0][0].RateBps)
+	}
+	// Other links untouched.
+	if ft.AggUp[0][1].RateBps != 10e9 {
+		t.Errorf("unrelated link degraded")
+	}
+}
+
+func TestLosslessFatTreeWiring(t *testing.T) {
+	ft := NewFatTree(4, Config{Lossless: true, LosslessLimit: 12000, PFCXoff: 3000, PFCXon: 1500})
+	for _, sw := range ft.Switches {
+		if !sw.Lossless() {
+			t.Fatalf("switch %s not lossless", sw.Name)
+		}
+	}
+	// Destination routing must still work through ingress queues.
+	if got := deliver(t, &ft.Network, ft.Hosts, 0, 9, nil); got != 9 {
+		t.Errorf("lossless delivery to 9 arrived at %d", got)
+	}
+}
+
+func TestPathCacheSharing(t *testing.T) {
+	ft := NewFatTree(4, Config{})
+	a := ft.Paths(0, 5)
+	b := ft.Paths(0, 5)
+	if &a[0] != &b[0] {
+		t.Error("paths should be cached and shared")
+	}
+}

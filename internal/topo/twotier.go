@@ -1,0 +1,190 @@
+package topo
+
+import (
+	"fmt"
+
+	"ndp/internal/fabric"
+)
+
+// TwoTier is a leaf/spine Clos: Tors leaf switches each serving
+// HostsPerTor hosts, fully meshed to Spines spine switches. The paper's
+// 8-server NetFPGA testbed is TwoTier{Tors: 4, HostsPerTor: 2, Spines: 2}
+// (six 4-port switches); the sender-limited scenario of Figure 21 is a
+// single leaf.
+type TwoTier struct {
+	Network
+
+	NTors, HostsPerTor, NSpines int
+
+	Tors, Spines []*fabric.Switch
+
+	HostNIC  []*fabric.Port
+	TorDown  [][]*fabric.Port // [tor][hostOff]
+	TorUp    [][]*fabric.Port // [tor][spine]
+	SpineDwn [][]*fabric.Port // [spine][tor]
+
+	level []int // 0 tor, 1 spine
+	idx   []int
+}
+
+// NewTwoTier builds a leaf/spine network. spines may be zero when tors==1.
+func NewTwoTier(tors, hostsPerTor, spines int, cfg Config) *TwoTier {
+	if tors < 1 || hostsPerTor < 1 || (tors > 1 && spines < 1) {
+		panic(fmt.Sprintf("topo: invalid TwoTier %d/%d/%d", tors, hostsPerTor, spines))
+	}
+	cfg = cfg.withDefaults()
+	tt := &TwoTier{NTors: tors, HostsPerTor: hostsPerTor, NSpines: spines}
+	tt.init(cfg)
+
+	newSwitch := func(level, idx int, name string) *fabric.Switch {
+		sw := fabric.NewSwitch(tt.EL, len(tt.Switches), name)
+		sw.Route = tt.route
+		tt.Switches = append(tt.Switches, sw)
+		tt.level = append(tt.level, level)
+		tt.idx = append(tt.idx, idx)
+		if cfg.Lossless {
+			sw.EnableLossless(cfg.LosslessLimit, cfg.PFCXoff, cfg.PFCXon)
+		}
+		return sw
+	}
+	for t := 0; t < tors; t++ {
+		tt.Tors = append(tt.Tors, newSwitch(0, t, fmt.Sprintf("tor%d", t)))
+	}
+	for s := 0; s < spines; s++ {
+		tt.Spines = append(tt.Spines, newSwitch(1, s, fmt.Sprintf("spine%d", s)))
+	}
+	nHosts := tors * hostsPerTor
+	for h := 0; h < nHosts; h++ {
+		tt.Hosts = append(tt.Hosts, fabric.NewHost(tt.EL, int32(h), fmt.Sprintf("h%d", h)))
+	}
+
+	newPort := func(name string, q fabric.Queue) *fabric.Port {
+		return fabric.NewPort(tt.EL, name, q, cfg.LinkRateBps, cfg.LinkDelay)
+	}
+
+	tt.HostNIC = make([]*fabric.Port, nHosts)
+	tt.TorDown = make([][]*fabric.Port, tors)
+	tt.TorUp = make([][]*fabric.Port, tors)
+	tt.SpineDwn = make([][]*fabric.Port, spines)
+
+	for t, tor := range tt.Tors {
+		tt.TorDown[t] = make([]*fabric.Port, hostsPerTor)
+		for off := 0; off < hostsPerTor; off++ {
+			h := int32(t*hostsPerTor + off)
+			host := tt.Hosts[h]
+			down := newPort(portName("tor", t, int(h)), cfg.SwitchQueue(fmt.Sprintf("%s->h%d", tor.Name, h)))
+			link(down, host)
+			tor.AddPort(down)
+			tt.TorDown[t][off] = down
+
+			up := newPort(portName("h", int(h), t), cfg.HostQueue(fmt.Sprintf("h%d", h)))
+			link(up, tor)
+			host.NIC = up
+			tt.HostNIC[h] = up
+		}
+		tt.TorUp[t] = make([]*fabric.Port, spines)
+		for s := 0; s < spines; s++ {
+			spine := tt.Spines[s]
+			up := newPort(portName("torUp", t, s), cfg.SwitchQueue(fmt.Sprintf("%s->%s", tor.Name, spine.Name)))
+			link(up, spine)
+			tor.AddPort(up)
+			tt.TorUp[t][s] = up
+		}
+	}
+	for s, spine := range tt.Spines {
+		tt.SpineDwn[s] = make([]*fabric.Port, tors)
+		for t, tor := range tt.Tors {
+			down := newPort(portName("spineDown", s, t), cfg.SwitchQueue(fmt.Sprintf("%s->%s", spine.Name, tor.Name)))
+			link(down, tor)
+			spine.AddPort(down)
+			tt.SpineDwn[s][t] = down
+		}
+	}
+	return tt
+}
+
+func (tt *TwoTier) locate(h int32) (tor, off int) {
+	return int(h) / tt.HostsPerTor, int(h) % tt.HostsPerTor
+}
+
+func (tt *TwoTier) route(sw *fabric.Switch, p *fabric.Packet) int {
+	if out, ok := sourceRouteHop(p); ok {
+		return out
+	}
+	dtor, doff := tt.locate(p.Dst)
+	if tt.level[sw.ID] == 1 { // spine
+		return dtor
+	}
+	if tt.idx[sw.ID] == dtor {
+		return doff
+	}
+	if tt.cfg.ECMPPerFlow {
+		return tt.HostsPerTor + int(hash64(p.Flow^(uint64(sw.ID)<<32|0x5bd1e995))%uint64(tt.NSpines))
+	}
+	return tt.HostsPerTor + tt.Rand.Intn(tt.NSpines)
+}
+
+// Paths enumerates source routes: one per spine between racks, the single
+// ToR hop within a rack.
+func (tt *TwoTier) Paths(src, dst int32) [][]int16 {
+	if src == dst {
+		return nil
+	}
+	key := pairKey{src, dst}
+	if p, ok := tt.pathCache[key]; ok {
+		return p
+	}
+	stor, _ := tt.locate(src)
+	dtor, doff := tt.locate(dst)
+	var paths [][]int16
+	if stor == dtor {
+		paths = [][]int16{{int16(doff)}}
+	} else {
+		for s := 0; s < tt.NSpines; s++ {
+			paths = append(paths, []int16{
+				int16(tt.HostsPerTor + s),
+				int16(dtor),
+				int16(doff),
+			})
+		}
+	}
+	tt.pathCache[key] = paths
+	return paths
+}
+
+// NumHosts returns the number of hosts.
+func (tt *TwoTier) NumHosts() int { return len(tt.Hosts) }
+
+// BackToBack is two hosts wired NIC-to-NIC with no switch: the paper's
+// RPC-latency and initial-window testbed configuration.
+type BackToBack struct {
+	Network
+}
+
+// NewBackToBack builds the two-host topology.
+func NewBackToBack(cfg Config) *BackToBack {
+	cfg = cfg.withDefaults()
+	b := &BackToBack{}
+	b.init(cfg)
+	h0 := fabric.NewHost(b.EL, 0, "h0")
+	h1 := fabric.NewHost(b.EL, 1, "h1")
+	b.Hosts = []*fabric.Host{h0, h1}
+	p0 := fabric.NewPort(b.EL, "h0->h1", cfg.HostQueue("h0"), cfg.LinkRateBps, cfg.LinkDelay)
+	p1 := fabric.NewPort(b.EL, "h1->h0", cfg.HostQueue("h1"), cfg.LinkRateBps, cfg.LinkDelay)
+	p0.Connect(h1)
+	p1.Connect(h0)
+	h0.NIC = p0
+	h1.NIC = p1
+	return b
+}
+
+// Paths returns a single zero-hop route (there are no switches).
+func (b *BackToBack) Paths(src, dst int32) [][]int16 {
+	if src == dst {
+		return nil
+	}
+	return [][]int16{{}}
+}
+
+// NumHosts returns 2.
+func (b *BackToBack) NumHosts() int { return 2 }

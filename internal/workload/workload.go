@@ -1,0 +1,168 @@
+// Package workload generates the traffic patterns of the paper's
+// evaluation: permutation and random traffic matrices, N-to-1 incasts,
+// and the Facebook web-server flow-size distribution used for the
+// oversubscribed-core experiment (§6.3, after Roy et al., SIGCOMM 2015).
+package workload
+
+import (
+	"sort"
+
+	"ndp/internal/sim"
+)
+
+// Permutation returns a derangement-style traffic matrix: dst[i] is the
+// destination of host i, every host sends to exactly one host and receives
+// from exactly one host, and no host sends to itself. This is the paper's
+// worst-case full-load matrix.
+func Permutation(n int, r *sim.Rand) []int {
+	for {
+		p := r.Perm(n)
+		ok := true
+		for i, d := range p {
+			if d == i {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p
+		}
+	}
+}
+
+// RandomMatrix returns dst[i] = a uniformly random host other than i
+// (hosts may receive from many senders — the "Random" curve of Figure 4).
+func RandomMatrix(n int, r *sim.Rand) []int {
+	dst := make([]int, n)
+	for i := range dst {
+		d := r.Intn(n - 1)
+		if d >= i {
+			d++
+		}
+		dst[i] = d
+	}
+	return dst
+}
+
+// IncastSenders picks n distinct senders for a single receiver, nearest
+// racks first (the paper's incasts fan in from across the topology; taking
+// hosts in index order after the receiver reproduces the mixed-distance
+// composition).
+func IncastSenders(receiver, n, hosts int) []int {
+	if n > hosts-1 {
+		n = hosts - 1
+	}
+	out := make([]int, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, (receiver+i)%hosts)
+	}
+	return out
+}
+
+// SizeDist is a discrete flow-size distribution sampled by inverse CDF.
+type SizeDist struct {
+	sizes []int64   // ascending
+	cdf   []float64 // cumulative probability aligned with sizes
+}
+
+// NewSizeDist builds a distribution from (size, probability) pairs; the
+// probabilities are normalized.
+func NewSizeDist(pairs map[int64]float64) *SizeDist {
+	d := &SizeDist{}
+	var total float64
+	for _, p := range pairs {
+		total += p
+	}
+	for s := range pairs {
+		d.sizes = append(d.sizes, s)
+	}
+	sort.Slice(d.sizes, func(i, j int) bool { return d.sizes[i] < d.sizes[j] })
+	var cum float64
+	for _, s := range d.sizes {
+		cum += pairs[s] / total
+		d.cdf = append(d.cdf, cum)
+	}
+	return d
+}
+
+// Sample draws one flow size.
+func (d *SizeDist) Sample(r *sim.Rand) int64 {
+	u := r.Float64()
+	for i, c := range d.cdf {
+		if u <= c {
+			return d.sizes[i]
+		}
+	}
+	return d.sizes[len(d.sizes)-1]
+}
+
+// Mean returns the distribution mean in bytes.
+func (d *SizeDist) Mean() float64 {
+	var m, prev float64
+	for i, s := range d.sizes {
+		m += float64(s) * (d.cdf[i] - prev)
+		prev = d.cdf[i]
+	}
+	return m
+}
+
+// FacebookWeb approximates the web-server flow-size distribution of Roy et
+// al. (Figure 6a): dominated by very small flows (single small packets —
+// the "really small packets, poor compression" case the paper calls least
+// favourable to NDP), with a heavy tail of multi-hundred-KB responses.
+func FacebookWeb() *SizeDist {
+	return NewSizeDist(map[int64]float64{
+		300:     0.30,
+		700:     0.20,
+		2_000:   0.15,
+		5_000:   0.10,
+		10_000:  0.08,
+		30_000:  0.07,
+		80_000:  0.05,
+		200_000: 0.03,
+		600_000: 0.02,
+	})
+}
+
+// ClosedLoop drives a closed-loop flow generator: each host keeps conns
+// simultaneous connections to random destinations; when a flow finishes, a
+// new one starts after gap (the paper uses a 1ms median inter-flow gap).
+// The caller supplies start, which must launch one flow and invoke done
+// when it completes.
+type ClosedLoop struct {
+	EL    *sim.EventList
+	Rand  *sim.Rand
+	Hosts int
+	Conns int
+	Gap   sim.Time
+	Sizes *SizeDist
+
+	// Start launches a flow of size bytes from src to dst; it must call
+	// the provided completion callback when the flow finishes.
+	Start func(src, dst int, size int64, done func())
+
+	Launched int64
+}
+
+// Run primes Conns flows per host and keeps the loop going until the event
+// list deadline is reached (the caller bounds the simulation).
+func (c *ClosedLoop) Run() {
+	for h := 0; h < c.Hosts; h++ {
+		for i := 0; i < c.Conns; i++ {
+			c.launch(h)
+		}
+	}
+}
+
+func (c *ClosedLoop) launch(src int) {
+	dst := c.Rand.Intn(c.Hosts - 1)
+	if dst >= src {
+		dst++
+	}
+	size := c.Sizes.Sample(c.Rand)
+	c.Launched++
+	c.Start(src, dst, size, func() {
+		gap := c.Gap/2 + c.Rand.Duration(c.Gap) // median ~= Gap
+		c.EL.After(gap, func() { c.launch(src) })
+	})
+}

@@ -1,0 +1,70 @@
+package ndp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentsList(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	for _, want := range []string{"fig2", "fig14", "fig23", "t-phost"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %q missing from %v", want, ids)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig999", Options{}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if Describe("fig21") == "" {
+		t.Error("fig21 has no description")
+	}
+	if Describe("nonsense") != "" {
+		t.Error("unknown id should describe as empty")
+	}
+}
+
+func TestRunTinyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	res, err := Run("fig21", Options{Scale: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	if !strings.Contains(out, "F->E") {
+		t.Errorf("fig21 output missing flows:\n%s", out)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	a, err := Run("fig21", Options{Scale: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig21", Options{Scale: 0.1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different results; simulation is not deterministic")
+	}
+}

@@ -9,19 +9,42 @@
 package ndp
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 )
 
 func benchExperiment(b *testing.B, id string, scale float64) {
 	b.Helper()
+	benchExperimentWorkers(b, id, scale, 0)
+}
+
+func benchExperimentWorkers(b *testing.B, id string, scale float64, workers int) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res, err := Run(id, Options{Scale: scale, Seed: uint64(i + 1)})
+		res, err := Run(id, Options{Scale: scale, Seed: uint64(i + 1), Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if len(res.Tables) == 0 {
 			b.Fatalf("%s produced no tables", id)
 		}
+	}
+}
+
+// BenchmarkParallelSweep measures the wall-clock effect of the sweep-job
+// worker pool on fig14 (four transport simulations per run) at small
+// scale: workers=1 is the old serial harness, workers=GOMAXPROCS is the
+// new default. The ratio of the two is the parallel speedup.
+func BenchmarkParallelSweep(b *testing.B) {
+	workers := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workers = append(workers, n)
+	}
+	for _, w := range workers {
+		b.Run(fmt.Sprintf("fig14/workers=%d", w), func(b *testing.B) {
+			benchExperimentWorkers(b, "fig14", 0.2, w)
+		})
 	}
 }
 

@@ -7,6 +7,11 @@
 //	ndpsim -exp fig14            # one experiment at paper scale
 //	ndpsim -exp all -scale 0.3   # everything, shrunk for a quick pass
 //	ndpsim -exp fig20 -full      # unlock the 8192-host FatTree
+//	ndpsim -exp all -parallel 1  # force the old serial execution
+//
+// Experiments decompose into independent seed-derived simulation jobs that
+// run on a worker pool sized by -parallel (default: all cores). Results are
+// bit-identical for any worker count with the same -seed.
 package main
 
 import (
@@ -20,11 +25,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		scale = flag.Float64("scale", 1.0, "scale knob in (0,1]: 1.0 = paper dimensions")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		full  = flag.Bool("full", false, "unlock extreme sizes (8192-host FatTree)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale    = flag.Float64("scale", 1.0, "scale knob in (0,1]: 1.0 = paper dimensions")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		full     = flag.Bool("full", false, "unlock extreme sizes (8192-host FatTree)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		parallel = flag.Int("parallel", 0, "sweep-job workers: 0 = all cores, 1 = serial")
 	)
 	flag.Parse()
 
@@ -43,7 +49,7 @@ func main() {
 	if *exp == "all" {
 		ids = ndp.Experiments()
 	}
-	opts := ndp.Options{Scale: *scale, Seed: *seed, Full: *full}
+	opts := ndp.Options{Scale: *scale, Seed: *seed, Full: *full, Workers: *parallel}
 	for _, id := range ids {
 		start := time.Now()
 		res, err := ndp.Run(id, opts)

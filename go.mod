@@ -1,0 +1,3 @@
+module ndp
+
+go 1.24

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ndp/internal/fabric"
 	"ndp/internal/sim"
@@ -231,12 +232,18 @@ type FlowOpts struct {
 	IW int
 }
 
-var flowCounter uint64
+var flowCounter atomic.Uint64
 
-// NextFlowID allocates a process-unique connection id.
+// NextFlowID allocates a process-unique connection id. It is safe to call
+// from concurrent simulations (the parallel sweep harness runs several
+// event lists at once). The harness treats flow ids as identity only, so
+// sharing one process-wide counter does not perturb determinism — with
+// one caveat: topo.Config.ECMPPerFlow hashes p.Flow for path selection,
+// so an experiment that enables it must pass explicit per-simulation ids
+// (FlowOpts.Flow) instead of relying on this counter, whose values depend
+// on goroutine interleaving under Workers > 1.
 func NextFlowID() uint64 {
-	flowCounter++
-	return flowCounter
+	return flowCounter.Add(1)
 }
 
 // Connect starts an NDP transfer of size bytes from this stack to the dst

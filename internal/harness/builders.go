@@ -286,6 +286,17 @@ func newMeter(read func() int64) *meter { return &meter{read: read} }
 func (m *meter) start()       { m.at0 = m.read() }
 func (m *meter) bytes() int64 { return m.read() - m.at0 }
 
+// senderMeters wraps NDP senders' acked-byte counters for goodput
+// measurement with runWarmMeasure.
+func senderMeters(senders []*core.Sender) []*meter {
+	meters := make([]*meter, len(senders))
+	for i, s := range senders {
+		s := s
+		meters[i] = newMeter(func() int64 { return s.AckedBytes() })
+	}
+	return meters
+}
+
 // runWarmMeasure runs the event list through a warmup, snapshots the
 // meters, runs the measurement window, and returns per-meter Gb/s.
 func runWarmMeasure(el *sim.EventList, warm, window sim.Time, meters []*meter) []float64 {

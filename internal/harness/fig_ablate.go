@@ -16,11 +16,12 @@ func init() {
 
 // overloadRun drives n unresponsive line-rate flows into one egress with
 // the given NDP switch configuration and returns (mean%, worst10%) of fair
-// goodput plus total drops.
-func overloadRun(o Options, n int, scfg core.SwitchConfig) (mean, worst float64, drops int64) {
+// goodput plus total drops. Fully determined by its arguments, so each
+// ablation variant runs as an independent sweep job.
+func overloadRun(o Options, seed uint64, n int, scfg core.SwitchConfig) (mean, worst float64, drops int64) {
 	const mtu = 9000
-	base := topo.Config{Seed: o.Seed}
-	base.SwitchQueue = core.QueueFactory(scfg, sim.NewRand(o.Seed+99))
+	base := topo.Config{Seed: seed}
+	base.SwitchQueue = core.QueueFactory(scfg, sim.NewRand(seed+99))
 	tt := topo.NewTwoTier(1, n+1, 0, base)
 	core.WireBounce(tt.Switches)
 
@@ -31,7 +32,7 @@ func overloadRun(o Options, n int, scfg core.SwitchConfig) (mean, worst float64,
 		}
 		fabric.Free(p)
 	})
-	offs := sim.NewRand(o.Seed + uint64(n)*31)
+	offs := sim.NewRand(seed + uint64(n)*31)
 	gap := sim.TransmissionTime(mtu, tt.LinkRate())
 	for i := 1; i <= n; i++ {
 		StartBlast(tt, i, 0, uint64(i), mtu, offs.Duration(gap))
@@ -57,10 +58,10 @@ func overloadRun(o Options, n int, scfg core.SwitchConfig) (mean, worst float64,
 // tAblate isolates each NDP switch design decision on the Figure 2 overload
 // workload: the 10:1 WRR (vs strict priority), the 50% trim coin (vs
 // CP-style trim-arriving), and return-to-sender (vs dropping overflow
-// headers).
+// headers). One job per variant, all sharing one seed so each ablation
+// faces the identical offered load.
 func tAblate(o Options, r *Result) {
 	n := o.pick(20, 60, 120)
-	t := &stats.Table{Header: []string{"variant", "mean%", "worst10%", "drops"}}
 
 	variants := []struct {
 		name string
@@ -71,11 +72,20 @@ func tAblate(o Options, r *Result) {
 		{"trim arriving only (no coin)", func(c *core.SwitchConfig) { c.TrimArrivingOnly = true }},
 		{"no return-to-sender", func(c *core.SwitchConfig) { c.DisableBounce = true }},
 	}
-	for _, v := range variants {
-		scfg := core.DefaultSwitchConfig(9000)
-		v.mut(&scfg)
-		mean, worst, drops := overloadRun(o, n, scfg)
-		t.AddRow(v.name, f4(mean), f4(worst), fmt.Sprint(drops))
+	jobs := make([]Job[Row], len(variants))
+	for i, v := range variants {
+		v := v
+		jobs[i] = NewJob("t-ablate/"+v.name, o.Seed, func(seed uint64) Row {
+			scfg := core.DefaultSwitchConfig(9000)
+			v.mut(&scfg)
+			mean, worst, drops := overloadRun(o, seed, n, scfg)
+			return Row{v.name, f4(mean), f4(worst), fmt.Sprint(drops)}
+		})
+	}
+
+	t := &stats.Table{Header: []string{"variant", "mean%", "worst10%", "drops"}}
+	for _, row := range RunJobs(o, jobs) {
+		t.AddRow(row...)
 	}
 	r.AddTable(fmt.Sprintf("%d unresponsive flows into one 10G egress", n), t)
 	r.Notef("expected: strict priority lets the header flood crowd out data (CP-style goodput collapse); removing the coin collapses worst-10%% fairness (phase effects); disabling bounce turns overflow headers into silent drops")

@@ -30,74 +30,91 @@ func dropTail(maxBytes int) topo.QueueFactory {
 	return func(string) fabric.Queue { return fabric.NewFIFOQueue(maxBytes) }
 }
 
-// permProtocols runs the permutation matrix under the four transports and
-// returns per-flow goodput in Gb/s keyed by protocol name.
-func permProtocols(o Options, k int, warm, window sim.Time) map[string][]float64 {
-	out := make(map[string][]float64)
-	seed := o.Seed
+// The four permGoodput helpers each run the permutation matrix under one
+// transport on a k-ary FatTree and return per-flow goodput in Gb/s. Each is
+// a complete simulation derived from seed alone, so fig14/fig17/t-limits
+// can schedule them as independent sweep jobs.
 
-	{ // NDP: 8-packet NDP switch queues.
-		n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: seed},
-			core.DefaultSwitchConfig(9000), core.DefaultConfig())
-		dst := workload.Permutation(n.C.NumHosts(), sim.NewRand(seed))
-		senders := n.Permutation(dst)
-		meters := make([]*meter, len(senders))
-		for i, s := range senders {
-			s := s
-			meters[i] = newMeter(func() int64 { return s.AckedBytes() })
-		}
-		out["NDP"] = runWarmMeasure(n.EL(), warm, window, meters)
+// permGoodputNDP: 8-packet NDP switch queues.
+func permGoodputNDP(k int, seed uint64, warm, window sim.Time) []float64 {
+	n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: seed},
+		core.DefaultSwitchConfig(9000), core.DefaultConfig())
+	dst := workload.Permutation(n.C.NumHosts(), sim.NewRand(seed))
+	return runWarmMeasure(n.EL(), warm, window, senderMeters(n.Permutation(dst)))
+}
+
+// permGoodputMPTCP: 200-packet drop-tail, 8 subflows on distinct paths.
+func permGoodputMPTCP(k int, seed uint64, warm, window sim.Time) []float64 {
+	tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dropTail(200*9000))
+	dst := workload.Permutation(tn.C.NumHosts(), sim.NewRand(seed))
+	cfg := mptcp.DefaultConfig()
+	meters := make([]*meter, 0, len(dst))
+	for src, d := range dst {
+		f := tn.MPTCPFlow(src, d, -1, cfg, nil)
+		meters = append(meters, newMeter(f.AckedBytes))
 	}
-	{ // MPTCP: 200-packet drop-tail, 8 subflows on distinct paths.
-		tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dropTail(200*9000))
-		dst := workload.Permutation(tn.C.NumHosts(), sim.NewRand(seed))
-		cfg := mptcp.DefaultConfig()
-		meters := make([]*meter, 0, len(dst))
-		for src, d := range dst {
-			f := tn.MPTCPFlow(src, d, -1, cfg, nil)
-			meters = append(meters, newMeter(f.AckedBytes))
-		}
-		out["MPTCP"] = runWarmMeasure(tn.EL(), warm, window, meters)
+	return runWarmMeasure(tn.EL(), warm, window, meters)
+}
+
+// permGoodputDCTCP: ECN queues, one fixed path per flow (ECMP stand-in).
+func permGoodputDCTCP(k int, seed uint64, warm, window sim.Time) []float64 {
+	tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dctcp.QueueFactory(9000))
+	dst := workload.Permutation(tn.C.NumHosts(), sim.NewRand(seed))
+	meters := make([]*meter, 0, len(dst))
+	for src, d := range dst {
+		snd, _ := tn.Flow(src, d, -1, dctcp.SenderConfig(9000), nil)
+		meters = append(meters, newMeter(func() int64 { return snd.AckedBytes }))
 	}
-	{ // DCTCP: ECN queues, one fixed path per flow (ECMP stand-in).
-		tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dctcp.QueueFactory(9000))
-		dst := workload.Permutation(tn.C.NumHosts(), sim.NewRand(seed))
-		meters := make([]*meter, 0, len(dst))
-		for src, d := range dst {
-			snd, _ := tn.Flow(src, d, -1, dctcp.SenderConfig(9000), nil)
-			meters = append(meters, newMeter(func() int64 { return snd.AckedBytes }))
-		}
-		out["DCTCP"] = runWarmMeasure(tn.EL(), warm, window, meters)
+	return runWarmMeasure(tn.EL(), warm, window, meters)
+}
+
+// permGoodputDCQCN: lossless fabric, rate-based control, single path.
+func permGoodputDCQCN(k int, seed uint64, warm, window sim.Time) []float64 {
+	dn := BuildDCQCN(FatTreeBuilder(k), topo.Config{Seed: seed}, 9000)
+	dst := workload.Permutation(dn.C.NumHosts(), sim.NewRand(seed))
+	meters := make([]*meter, 0, len(dst))
+	for src, d := range dst {
+		_, rcv := dn.Flow(src, d, -1, nil)
+		meters = append(meters, newMeter(func() int64 { return rcv.Bytes }))
 	}
-	{ // DCQCN: lossless fabric, rate-based control, single path.
-		dn := BuildDCQCN(FatTreeBuilder(k), topo.Config{Seed: seed}, 9000)
-		dst := workload.Permutation(dn.C.NumHosts(), sim.NewRand(seed))
-		meters := make([]*meter, 0, len(dst))
-		for src, d := range dst {
-			_, rcv := dn.Flow(src, d, -1, nil)
-			meters = append(meters, newMeter(func() int64 { return rcv.Bytes }))
-		}
-		out["DCQCN"] = runWarmMeasure(dn.EL(), warm, window, meters)
-		dn.StopAll()
-	}
-	return out
+	g := runWarmMeasure(dn.EL(), warm, window, meters)
+	dn.StopAll()
+	return g
 }
 
 // fig14 reports per-flow throughput statistics for the permutation matrix.
+// One job per transport; all four share one seed so they race on the same
+// permutation.
 func fig14(o Options, r *Result) {
 	k := o.pick(4, 8, 12)
 	warm := 3 * sim.Millisecond
 	window := sim.Time(o.pick(6, 10, 20)) * sim.Millisecond
-	res := permProtocols(o, k, warm, window)
+
+	protos := []struct {
+		name string
+		run  func(k int, seed uint64, warm, window sim.Time) []float64
+	}{
+		{"NDP", permGoodputNDP},
+		{"MPTCP", permGoodputMPTCP},
+		{"DCTCP", permGoodputDCTCP},
+		{"DCQCN", permGoodputDCQCN},
+	}
+	jobs := make([]Job[[]float64], len(protos))
+	for i, p := range protos {
+		jobs[i] = NewJob("fig14/"+p.name, o.Seed, func(seed uint64) []float64 {
+			return p.run(k, seed, warm, window)
+		})
+	}
+	res := RunJobs(o, jobs)
 
 	t := &stats.Table{Header: []string{"protocol", "util%", "min_gbps", "p10_gbps", "p50_gbps", "mean_gbps", "jain"}}
-	for _, proto := range []string{"NDP", "MPTCP", "DCTCP", "DCQCN"} {
-		g := res[proto]
+	for i, p := range protos {
+		g := res[i]
 		var d stats.Dist
 		for _, v := range g {
 			d.Add(v)
 		}
-		t.AddFloats(proto, 100*utilization(g, 10e9),
+		t.AddFloats(p.name, 100*utilization(g, 10e9),
 			d.Min(), d.Quantile(0.1), d.Median(), d.Mean(), stats.JainIndex(g))
 	}
 	r.AddTable(fmt.Sprintf("permutation on %d-host FatTree", (k*k*k)/4), t)
@@ -106,13 +123,13 @@ func fig14(o Options, r *Result) {
 
 // fig15 measures FCTs of repeated 90KB transfers between two otherwise-idle
 // hosts while every other host sources four long-running background flows.
+// One job per transport.
 func fig15(o Options, r *Result) {
 	k := o.pick(4, 8, 12)
 	deadline := sim.Time(o.pick(15, 30, 60)) * sim.Millisecond
-	probeSrc, probeDst := 0, 0 // filled per topology: different pods
-	t := &stats.Table{Header: []string{"protocol", "p50_ms", "p90_ms", "p99_ms", "n"}}
+	const probeSrc = 0
 
-	bgDst := func(numHosts int, rand *sim.Rand, src int) int {
+	bgDst := func(numHosts int, rand *sim.Rand, src, probeDst int) int {
 		for {
 			d := rand.Intn(numHosts)
 			if d != src && d != probeSrc && d != probeDst {
@@ -120,120 +137,132 @@ func fig15(o Options, r *Result) {
 			}
 		}
 	}
+	fctRow := func(name string, fcts *stats.Dist) Row {
+		return Row{name, f4(fcts.Median()), f4(fcts.Quantile(0.9)), f4(fcts.Quantile(0.99)), fmt.Sprint(fcts.N())}
+	}
 
-	{ // NDP
-		n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: o.Seed},
-			core.DefaultSwitchConfig(9000), core.DefaultConfig())
-		hosts := n.C.NumHosts()
-		probeDst = hosts / 2
-		rand := sim.NewRand(o.Seed + 3)
-		for h := 0; h < hosts; h++ {
-			if h == probeSrc || h == probeDst {
-				continue
+	jobs := []Job[Row]{
+		NewJob("fig15/NDP", o.Seed, func(seed uint64) Row {
+			n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: seed},
+				core.DefaultSwitchConfig(9000), core.DefaultConfig())
+			hosts := n.C.NumHosts()
+			probeDst := hosts / 2
+			rand := sim.NewRand(seed + 3)
+			for h := 0; h < hosts; h++ {
+				if h == probeSrc || h == probeDst {
+					continue
+				}
+				for c := 0; c < 4; c++ {
+					n.Transfer(h, bgDst(hosts, rand, h, probeDst), -1, core.FlowOpts{})
+				}
 			}
-			for c := 0; c < 4; c++ {
-				n.Transfer(h, bgDst(hosts, rand, h), -1, core.FlowOpts{})
+			var fcts stats.Dist
+			var probe func()
+			probe = func() {
+				start := n.EL().Now()
+				n.Transfer(probeSrc, probeDst, 90_000, core.FlowOpts{OnReceiverDone: func(rcv *core.Receiver) {
+					fcts.Add((rcv.CompletedAt - start).Millis())
+					probe()
+				}})
 			}
-		}
-		var fcts stats.Dist
-		var probe func()
-		probe = func() {
-			start := n.EL().Now()
-			n.Transfer(probeSrc, probeDst, 90_000, core.FlowOpts{OnReceiverDone: func(rcv *core.Receiver) {
-				fcts.Add((rcv.CompletedAt - start).Millis())
-				probe()
-			}})
-		}
-		probe()
-		n.EL().RunUntil(deadline)
-		t.AddRow("NDP", f4(fcts.Median()), f4(fcts.Quantile(0.9)), f4(fcts.Quantile(0.99)), fmt.Sprint(fcts.N()))
+			probe()
+			n.EL().RunUntil(deadline)
+			return fctRow("NDP", &fcts)
+		}),
+		NewJob("fig15/DCTCP", o.Seed, func(seed uint64) Row {
+			tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dctcp.QueueFactory(9000))
+			hosts := tn.C.NumHosts()
+			probeDst := hosts / 2
+			rand := sim.NewRand(seed + 3)
+			for h := 0; h < hosts; h++ {
+				if h == probeSrc || h == probeDst {
+					continue
+				}
+				for c := 0; c < 4; c++ {
+					tn.Flow(h, bgDst(hosts, rand, h, probeDst), -1, dctcp.SenderConfig(9000), nil)
+				}
+			}
+			var fcts stats.Dist
+			var probe func()
+			probe = func() {
+				start := tn.EL().Now()
+				tn.Flow(probeSrc, probeDst, 90_000, dctcp.SenderConfig(9000), func(rcv *tcp.Receiver) {
+					fcts.Add((rcv.CompletedAt - start).Millis())
+					probe()
+				})
+			}
+			probe()
+			tn.EL().RunUntil(deadline)
+			return fctRow("DCTCP", &fcts)
+		}),
+		NewJob("fig15/DCQCN", o.Seed, func(seed uint64) Row {
+			dn := BuildDCQCN(FatTreeBuilder(k), topo.Config{Seed: seed}, 9000)
+			hosts := dn.C.NumHosts()
+			probeDst := hosts / 2
+			rand := sim.NewRand(seed + 3)
+			for h := 0; h < hosts; h++ {
+				if h == probeSrc || h == probeDst {
+					continue
+				}
+				for c := 0; c < 4; c++ {
+					dn.Flow(h, bgDst(hosts, rand, h, probeDst), -1, nil)
+				}
+			}
+			var fcts stats.Dist
+			var probe func()
+			probe = func() {
+				start := dn.EL().Now()
+				dn.Flow(probeSrc, probeDst, 90_000, func(rcv *dcqcn.Receiver) {
+					fcts.Add((rcv.CompletedAt - start).Millis())
+					probe()
+				})
+			}
+			probe()
+			dn.EL().RunUntil(deadline)
+			dn.StopAll()
+			return fctRow("DCQCN", &fcts)
+		}),
+		NewJob("fig15/MPTCP", o.Seed, func(seed uint64) Row {
+			tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dropTail(200*9000))
+			hosts := tn.C.NumHosts()
+			probeDst := hosts / 2
+			rand := sim.NewRand(seed + 3)
+			cfg := mptcp.DefaultConfig()
+			for h := 0; h < hosts; h++ {
+				if h == probeSrc || h == probeDst {
+					continue
+				}
+				for c := 0; c < 4; c++ {
+					tn.MPTCPFlow(h, bgDst(hosts, rand, h, probeDst), -1, cfg, nil)
+				}
+			}
+			var fcts stats.Dist
+			var probe func()
+			probe = func() {
+				start := tn.EL().Now()
+				tn.MPTCPFlow(probeSrc, probeDst, 90_000, cfg, func(f *mptcp.Flow) {
+					fcts.Add((f.CompletedAt - start).Millis())
+					probe()
+				})
+			}
+			probe()
+			tn.EL().RunUntil(deadline)
+			return fctRow("MPTCP", &fcts)
+		}),
 	}
-	{ // DCTCP
-		tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, dctcp.QueueFactory(9000))
-		hosts := tn.C.NumHosts()
-		probeDst = hosts / 2
-		rand := sim.NewRand(o.Seed + 3)
-		for h := 0; h < hosts; h++ {
-			if h == probeSrc || h == probeDst {
-				continue
-			}
-			for c := 0; c < 4; c++ {
-				tn.Flow(h, bgDst(hosts, rand, h), -1, dctcp.SenderConfig(9000), nil)
-			}
-		}
-		var fcts stats.Dist
-		var probe func()
-		probe = func() {
-			start := tn.EL().Now()
-			tn.Flow(probeSrc, probeDst, 90_000, dctcp.SenderConfig(9000), func(rcv *tcp.Receiver) {
-				fcts.Add((rcv.CompletedAt - start).Millis())
-				probe()
-			})
-		}
-		probe()
-		tn.EL().RunUntil(deadline)
-		t.AddRow("DCTCP", f4(fcts.Median()), f4(fcts.Quantile(0.9)), f4(fcts.Quantile(0.99)), fmt.Sprint(fcts.N()))
-	}
-	{ // DCQCN
-		dn := BuildDCQCN(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, 9000)
-		hosts := dn.C.NumHosts()
-		probeDst = hosts / 2
-		rand := sim.NewRand(o.Seed + 3)
-		for h := 0; h < hosts; h++ {
-			if h == probeSrc || h == probeDst {
-				continue
-			}
-			for c := 0; c < 4; c++ {
-				dn.Flow(h, bgDst(hosts, rand, h), -1, nil)
-			}
-		}
-		var fcts stats.Dist
-		var probe func()
-		probe = func() {
-			start := dn.EL().Now()
-			dn.Flow(probeSrc, probeDst, 90_000, func(rcv *dcqcn.Receiver) {
-				fcts.Add((rcv.CompletedAt - start).Millis())
-				probe()
-			})
-		}
-		probe()
-		dn.EL().RunUntil(deadline)
-		dn.StopAll()
-		t.AddRow("DCQCN", f4(fcts.Median()), f4(fcts.Quantile(0.9)), f4(fcts.Quantile(0.99)), fmt.Sprint(fcts.N()))
-	}
-	{ // MPTCP
-		tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, dropTail(200*9000))
-		hosts := tn.C.NumHosts()
-		probeDst = hosts / 2
-		rand := sim.NewRand(o.Seed + 3)
-		cfg := mptcp.DefaultConfig()
-		for h := 0; h < hosts; h++ {
-			if h == probeSrc || h == probeDst {
-				continue
-			}
-			for c := 0; c < 4; c++ {
-				tn.MPTCPFlow(h, bgDst(hosts, rand, h), -1, cfg, nil)
-			}
-		}
-		var fcts stats.Dist
-		var probe func()
-		probe = func() {
-			start := tn.EL().Now()
-			tn.MPTCPFlow(probeSrc, probeDst, 90_000, cfg, func(f *mptcp.Flow) {
-				fcts.Add((f.CompletedAt - start).Millis())
-				probe()
-			})
-		}
-		probe()
-		tn.EL().RunUntil(deadline)
-		t.AddRow("MPTCP", f4(fcts.Median()), f4(fcts.Quantile(0.9)), f4(fcts.Quantile(0.99)), fmt.Sprint(fcts.N()))
+
+	t := &stats.Table{Header: []string{"protocol", "p50_ms", "p90_ms", "p99_ms", "n"}}
+	for _, row := range RunJobs(o, jobs) {
+		t.AddRow(row...)
 	}
 	r.AddTable("90KB probe FCTs under background load", t)
 	r.Notef("paper shape: NDP ~3x better than DCTCP at the median, ~4x at p99; DCQCN slightly worse than DCTCP; MPTCP ~10x worse")
 }
 
 // fig16 sweeps incast fan-in with 450KB responses across the transports,
-// reporting first- and last-flow completion times.
+// reporting first- and last-flow completion times. One job per (fan-in,
+// transport) pair; the four transports of a fan-in share that fan-in's
+// derived seed.
 func fig16(o Options, r *Result) {
 	k := o.pick(4, 8, 12)
 	hosts := k * k * k / 4
@@ -247,59 +276,70 @@ func fig16(o Options, r *Result) {
 		fanins = fanins[:3]
 	}
 	const size = 450_000
-	t := &stats.Table{Header: []string{"senders", "optimal_ms", "protocol", "first_ms", "last_ms"}}
 
-	for _, nsend := range fanins {
+	var jobs []Job[Row]
+	seeds := SweepSeeds(o.Seed, len(fanins))
+	for fi, nsend := range fanins {
+		nsend := nsend
 		optimal := sim.FromSeconds(float64(nsend) * size * 8 / 10e9)
 		senders := workload.IncastSenders(0, nsend, hosts)
 		deadline := optimal*20 + 500*sim.Millisecond
+		pre := []string{fmt.Sprint(nsend), f4(optimal.Millis())}
 
-		{ // NDP
-			n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, core.DefaultSwitchConfig(9000), core.DefaultConfig())
-			var fcts stats.Dist
-			n.Incast(0, senders, size, &fcts)
-			n.EL().RunUntil(deadline)
-			t.AddRow(fmt.Sprint(nsend), f4(optimal.Millis()), "NDP", f4(fcts.Min()/1000), f4(fcts.Max()/1000))
-		}
-		{ // DCTCP
-			tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, dctcp.QueueFactory(9000))
-			var fcts stats.Dist
-			for _, s := range senders {
-				start := tn.EL().Now()
-				tn.Flow(s, 0, size, dctcp.SenderConfig(9000), func(rcv *tcp.Receiver) {
-					fcts.Add((rcv.CompletedAt - start).Millis())
-				})
-			}
-			tn.EL().RunUntil(deadline)
-			t.AddRow(fmt.Sprint(nsend), f4(optimal.Millis()), "DCTCP", f4(fcts.Min()), f4(fcts.Max()))
-		}
-		{ // MPTCP (fine-grained RTO per Vasudevan et al.)
-			tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, dropTail(200*9000))
-			cfg := mptcp.DefaultConfig()
-			cfg.TCP.MinRTO = 2 * sim.Millisecond
-			var fcts stats.Dist
-			for _, s := range senders {
-				start := tn.EL().Now()
-				tn.MPTCPFlow(s, 0, size, cfg, func(f *mptcp.Flow) {
-					fcts.Add((f.CompletedAt - start).Millis())
-				})
-			}
-			tn.EL().RunUntil(deadline)
-			t.AddRow(fmt.Sprint(nsend), f4(optimal.Millis()), "MPTCP", f4(fcts.Min()), f4(fcts.Max()))
-		}
-		{ // DCQCN
-			dn := BuildDCQCN(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, 9000)
-			var fcts stats.Dist
-			for _, s := range senders {
-				start := dn.EL().Now()
-				dn.Flow(s, 0, size, func(rcv *dcqcn.Receiver) {
-					fcts.Add((rcv.CompletedAt - start).Millis())
-				})
-			}
-			dn.EL().RunUntil(deadline)
-			dn.StopAll()
-			t.AddRow(fmt.Sprint(nsend), f4(optimal.Millis()), "DCQCN", f4(fcts.Min()), f4(fcts.Max()))
-		}
+		jobs = append(jobs,
+			NewJob(fmt.Sprintf("fig16/%d/NDP", nsend), seeds[fi], func(seed uint64) Row {
+				n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: seed}, core.DefaultSwitchConfig(9000), core.DefaultConfig())
+				var fcts stats.Dist
+				n.Incast(0, senders, size, &fcts)
+				n.EL().RunUntil(deadline)
+				return append(append(Row{}, pre...), "NDP", f4(fcts.Min()/1000), f4(fcts.Max()/1000))
+			}),
+			NewJob(fmt.Sprintf("fig16/%d/DCTCP", nsend), seeds[fi], func(seed uint64) Row {
+				tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dctcp.QueueFactory(9000))
+				var fcts stats.Dist
+				for _, s := range senders {
+					start := tn.EL().Now()
+					tn.Flow(s, 0, size, dctcp.SenderConfig(9000), func(rcv *tcp.Receiver) {
+						fcts.Add((rcv.CompletedAt - start).Millis())
+					})
+				}
+				tn.EL().RunUntil(deadline)
+				return append(append(Row{}, pre...), "DCTCP", f4(fcts.Min()), f4(fcts.Max()))
+			}),
+			NewJob(fmt.Sprintf("fig16/%d/MPTCP", nsend), seeds[fi], func(seed uint64) Row {
+				// Fine-grained RTO per Vasudevan et al.
+				tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dropTail(200*9000))
+				cfg := mptcp.DefaultConfig()
+				cfg.TCP.MinRTO = 2 * sim.Millisecond
+				var fcts stats.Dist
+				for _, s := range senders {
+					start := tn.EL().Now()
+					tn.MPTCPFlow(s, 0, size, cfg, func(f *mptcp.Flow) {
+						fcts.Add((f.CompletedAt - start).Millis())
+					})
+				}
+				tn.EL().RunUntil(deadline)
+				return append(append(Row{}, pre...), "MPTCP", f4(fcts.Min()), f4(fcts.Max()))
+			}),
+			NewJob(fmt.Sprintf("fig16/%d/DCQCN", nsend), seeds[fi], func(seed uint64) Row {
+				dn := BuildDCQCN(FatTreeBuilder(k), topo.Config{Seed: seed}, 9000)
+				var fcts stats.Dist
+				for _, s := range senders {
+					start := dn.EL().Now()
+					dn.Flow(s, 0, size, func(rcv *dcqcn.Receiver) {
+						fcts.Add((rcv.CompletedAt - start).Millis())
+					})
+				}
+				dn.EL().RunUntil(deadline)
+				dn.StopAll()
+				return append(append(Row{}, pre...), "DCQCN", f4(fcts.Min()), f4(fcts.Max()))
+			}),
+		)
+	}
+
+	t := &stats.Table{Header: []string{"senders", "optimal_ms", "protocol", "first_ms", "last_ms"}}
+	for _, row := range RunJobs(o, jobs) {
+		t.AddRow(row...)
 	}
 	r.AddTable("450KB incast completion", t)
 	r.Notef("paper shape: NDP/DCQCN ~1%% over optimal and tight (last <= 1.2x first); DCTCP ~5%% with up to 7x spread; MPTCP erratic")
@@ -308,7 +348,8 @@ func fig16(o Options, r *Result) {
 func f4(v float64) string { return fmt.Sprintf("%.4g", v) }
 
 // fig17 sweeps initial window against switch buffer configurations on the
-// permutation matrix.
+// permutation matrix. One job per (IW, buffer) cell; every cell shares the
+// experiment seed so all cells race on the same permutation.
 func fig17(o Options, r *Result) {
 	k := o.pick(4, 8, 8)
 	warm := 3 * sim.Millisecond
@@ -328,24 +369,31 @@ func fig17(o Options, r *Result) {
 		{"10pkt_9K", 9000, 10},
 		{"8pkt_1.5K", 1500, 8},
 	}
-	t := &stats.Table{Header: []string{"IW", "6pkt_9K%", "8pkt_9K%", "10pkt_9K%", "8pkt_1.5K%"}}
+
+	var jobs []Job[float64]
 	for _, iw := range iws {
-		row := []string{fmt.Sprint(iw)}
 		for _, b := range bufs {
-			scfg := core.SwitchConfig{DataCapPackets: b.packets, HeaderCapBytes: b.packets * b.mtu, HeaderWRR: 10}
-			hcfg := core.DefaultConfig()
-			hcfg.MTU = b.mtu
-			hcfg.IW = iw
-			n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, scfg, hcfg)
-			dst := workload.Permutation(n.C.NumHosts(), sim.NewRand(o.Seed))
-			senders := n.Permutation(dst)
-			meters := make([]*meter, len(senders))
-			for i, s := range senders {
-				s := s
-				meters[i] = newMeter(func() int64 { return s.AckedBytes() })
-			}
-			g := runWarmMeasure(n.EL(), warm, window, meters)
-			row = append(row, f4(100*utilization(g, 10e9)))
+			iw, b := iw, b
+			jobs = append(jobs, NewJob(fmt.Sprintf("fig17/iw%d/%s", iw, b.name), o.Seed,
+				func(seed uint64) float64 {
+					scfg := core.SwitchConfig{DataCapPackets: b.packets, HeaderCapBytes: b.packets * b.mtu, HeaderWRR: 10}
+					hcfg := core.DefaultConfig()
+					hcfg.MTU = b.mtu
+					hcfg.IW = iw
+					n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: seed}, scfg, hcfg)
+					dst := workload.Permutation(n.C.NumHosts(), sim.NewRand(seed))
+					g := runWarmMeasure(n.EL(), warm, window, senderMeters(n.Permutation(dst)))
+					return 100 * utilization(g, 10e9)
+				}))
+		}
+	}
+	utils := RunJobs(o, jobs)
+
+	t := &stats.Table{Header: []string{"IW", "6pkt_9K%", "8pkt_9K%", "10pkt_9K%", "8pkt_1.5K%"}}
+	for i, iw := range iws {
+		row := Row{fmt.Sprint(iw)}
+		for j := range bufs {
+			row = append(row, f4(utils[i*len(bufs)+j]))
 		}
 		t.AddRow(row...)
 	}
@@ -354,7 +402,7 @@ func fig17(o Options, r *Result) {
 }
 
 // fig19 runs a long flow to one host while a 64:1 incast hits its ToR
-// neighbour, and reports goodput over time for both.
+// neighbour, and reports goodput over time for both. One job per transport.
 func fig19(o Options, r *Result) {
 	const (
 		bin        = sim.Millisecond
@@ -364,59 +412,63 @@ func fig19(o Options, r *Result) {
 	)
 	nIncast := o.pick(16, 32, 64)
 
-	type result struct{ long, in *stats.TimeSeries }
-	runProto := func(proto string) result {
-		res := result{long: stats.NewTimeSeries(bin), in: stats.NewTimeSeries(bin)}
-		switch proto {
-		case "NDP":
-			n := BuildNDP(FatTreeBuilder(4), topo.Config{Seed: o.Seed},
-				core.DefaultSwitchConfig(9000), core.DefaultConfig())
-			n.Transfer(12, 0, -1, core.FlowOpts{
-				OnReceiverData: func(b int64) { res.long.Record(n.EL().Now(), b) },
-			})
-			n.EL().At(incastAt, func() {
-				hosts := n.C.NumHosts()
-				for i := 0; i < nIncast; i++ {
-					src := 2 + (i % (hosts - 2))
-					n.Transfer(src, 1, incastSize, core.FlowOpts{
-						OnReceiverData: func(b int64) { res.in.Record(n.EL().Now(), b) },
-					})
-				}
-			})
-			n.EL().RunUntil(endAt)
-		case "DCTCP":
-			tn := BuildTCPFamily(FatTreeBuilder(4), topo.Config{Seed: o.Seed}, dctcp.QueueFactory(9000))
-			_, lr := tn.Flow(12, 0, -1, dctcp.SenderConfig(9000), nil)
-			lr.OnData = func(b int64) { res.long.Record(tn.EL().Now(), b) }
-			tn.EL().At(incastAt, func() {
-				hosts := tn.C.NumHosts()
-				for i := 0; i < nIncast; i++ {
-					src := 2 + (i % (hosts - 2))
-					_, ir := tn.Flow(src, 1, incastSize, dctcp.SenderConfig(9000), nil)
-					ir.OnData = func(b int64) { res.in.Record(tn.EL().Now(), b) }
-				}
-			})
-			tn.EL().RunUntil(endAt)
-		case "DCQCN":
-			dn := BuildDCQCN(FatTreeBuilder(4), topo.Config{Seed: o.Seed}, 9000)
-			_, lr := dn.Flow(12, 0, -1, nil)
-			lr.OnData = func(b int64) { res.long.Record(dn.EL().Now(), b) }
-			dn.EL().At(incastAt, func() {
-				hosts := dn.C.NumHosts()
-				for i := 0; i < nIncast; i++ {
-					src := 2 + (i % (hosts - 2))
-					_, ir := dn.Flow(src, 1, incastSize, nil)
-					ir.OnData = func(b int64) { res.in.Record(dn.EL().Now(), b) }
-				}
-			})
-			dn.EL().RunUntil(endAt)
-			dn.StopAll()
-		}
-		return res
+	type series struct{ long, in *stats.TimeSeries }
+	protos := []string{"DCTCP", "DCQCN", "NDP"}
+	jobs := make([]Job[series], len(protos))
+	for i, proto := range protos {
+		proto := proto
+		jobs[i] = NewJob("fig19/"+proto, o.Seed, func(seed uint64) series {
+			res := series{long: stats.NewTimeSeries(bin), in: stats.NewTimeSeries(bin)}
+			switch proto {
+			case "NDP":
+				n := BuildNDP(FatTreeBuilder(4), topo.Config{Seed: seed},
+					core.DefaultSwitchConfig(9000), core.DefaultConfig())
+				n.Transfer(12, 0, -1, core.FlowOpts{
+					OnReceiverData: func(b int64) { res.long.Record(n.EL().Now(), b) },
+				})
+				n.EL().At(incastAt, func() {
+					hosts := n.C.NumHosts()
+					for i := 0; i < nIncast; i++ {
+						src := 2 + (i % (hosts - 2))
+						n.Transfer(src, 1, incastSize, core.FlowOpts{
+							OnReceiverData: func(b int64) { res.in.Record(n.EL().Now(), b) },
+						})
+					}
+				})
+				n.EL().RunUntil(endAt)
+			case "DCTCP":
+				tn := BuildTCPFamily(FatTreeBuilder(4), topo.Config{Seed: seed}, dctcp.QueueFactory(9000))
+				_, lr := tn.Flow(12, 0, -1, dctcp.SenderConfig(9000), nil)
+				lr.OnData = func(b int64) { res.long.Record(tn.EL().Now(), b) }
+				tn.EL().At(incastAt, func() {
+					hosts := tn.C.NumHosts()
+					for i := 0; i < nIncast; i++ {
+						src := 2 + (i % (hosts - 2))
+						_, ir := tn.Flow(src, 1, incastSize, dctcp.SenderConfig(9000), nil)
+						ir.OnData = func(b int64) { res.in.Record(tn.EL().Now(), b) }
+					}
+				})
+				tn.EL().RunUntil(endAt)
+			case "DCQCN":
+				dn := BuildDCQCN(FatTreeBuilder(4), topo.Config{Seed: seed}, 9000)
+				_, lr := dn.Flow(12, 0, -1, nil)
+				lr.OnData = func(b int64) { res.long.Record(dn.EL().Now(), b) }
+				dn.EL().At(incastAt, func() {
+					hosts := dn.C.NumHosts()
+					for i := 0; i < nIncast; i++ {
+						src := 2 + (i % (hosts - 2))
+						_, ir := dn.Flow(src, 1, incastSize, nil)
+						ir.OnData = func(b int64) { res.in.Record(dn.EL().Now(), b) }
+					}
+				})
+				dn.EL().RunUntil(endAt)
+				dn.StopAll()
+			}
+			return res
+		})
 	}
 
-	for _, proto := range []string{"DCTCP", "DCQCN", "NDP"} {
-		res := runProto(proto)
+	for i, res := range RunJobs(o, jobs) {
 		t := &stats.Table{Header: []string{"t_ms", "long_gbps", "incast_gbps"}}
 		long := res.long.RateGbps()
 		in := res.in.RateGbps()
@@ -430,16 +482,17 @@ func fig19(o Options, r *Result) {
 			}
 			return 0
 		}
-		for i := 0; i < nbins; i++ {
-			t.AddFloats(fmt.Sprint(i), at(long, i), at(in, i))
+		for bi := 0; bi < nbins; bi++ {
+			t.AddFloats(fmt.Sprint(bi), at(long, bi), at(in, bi))
 		}
-		r.AddTable(proto+fmt.Sprintf(" (incast of %d x 900KB at t=%dms)", nIncast, incastAt/sim.Millisecond), t)
+		r.AddTable(protos[i]+fmt.Sprintf(" (incast of %d x 900KB at t=%dms)", nIncast, incastAt/sim.Millisecond), t)
 	}
 	r.Notef("paper shape: DCTCP: both dip and recover slowly; DCQCN: incast finishes fast but PFC pauses batter the long flow; NDP: <1ms dip then full recovery")
 }
 
 // fig20 measures huge-incast overhead versus the best possible completion
-// time, and the retransmission mechanisms (NACK vs return-to-sender).
+// time, and the retransmission mechanisms (NACK vs return-to-sender). One
+// job per (fan-in, IW) point; the three IWs of a fan-in share its seed.
 func fig20(o Options, r *Result) {
 	k := o.pick(8, 16, 16)
 	if o.Full {
@@ -458,43 +511,67 @@ func fig20(o Options, r *Result) {
 	const size = 270_000 // 30 packets
 	iws := []int{23, 10, 1}
 
+	type point struct {
+		overPct      float64
+		incomplete   bool
+		nackPerPkt   float64
+		bouncePerPkt float64
+	}
+	var jobs []Job[point]
+	seeds := SweepSeeds(o.Seed, len(fanins))
+	for fi, nsend := range fanins {
+		for _, iw := range iws {
+			nsend, iw := nsend, iw
+			jobs = append(jobs, NewJob(fmt.Sprintf("fig20/%d/iw%d", nsend, iw), seeds[fi],
+				func(seed uint64) point {
+					hcfg := core.DefaultConfig()
+					hcfg.IW = iw
+					n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: seed}, core.DefaultSwitchConfig(9000), hcfg)
+					senders := workload.IncastSenders(0, nsend, hosts)
+					var snds []*core.Sender
+					var last sim.Time
+					done := 0
+					for _, s := range senders {
+						snd := n.Transfer(s, 0, size, core.FlowOpts{OnReceiverDone: func(rcv *core.Receiver) {
+							done++
+							if rcv.CompletedAt > last {
+								last = rcv.CompletedAt
+							}
+						}})
+						snds = append(snds, snd)
+					}
+					optimal := sim.FromSeconds(float64(nsend) * size * 8 / 10e9)
+					n.EL().RunUntil(optimal*3 + sim.Second)
+					var nacks, bounces, packets int64
+					for _, s := range snds {
+						nacks += s.RtxFromNack
+						bounces += s.RtxFromBounce
+						packets += s.TotalPackets()
+					}
+					return point{
+						overPct:      pct(float64(last-optimal), float64(optimal)),
+						incomplete:   done != len(senders),
+						nackPerPkt:   float64(nacks) / float64(packets),
+						bouncePerPkt: float64(bounces) / float64(packets),
+					}
+				}))
+		}
+	}
+	points := RunJobs(o, jobs)
+
 	over := &stats.Table{Header: []string{"senders", "iw23_over%", "iw10_over%", "iw1_over%"}}
 	rtx := &stats.Table{Header: []string{"senders", "iw23_nack", "iw23_bounce", "iw10_nack", "iw10_bounce", "iw1_nack", "iw1_bounce"}}
-	for _, nsend := range fanins {
-		overRow := []string{fmt.Sprint(nsend)}
-		rtxRow := []string{fmt.Sprint(nsend)}
-		for _, iw := range iws {
-			hcfg := core.DefaultConfig()
-			hcfg.IW = iw
-			n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, core.DefaultSwitchConfig(9000), hcfg)
-			senders := workload.IncastSenders(0, nsend, hosts)
-			var snds []*core.Sender
-			var last sim.Time
-			done := 0
-			for _, s := range senders {
-				snd := n.Transfer(s, 0, size, core.FlowOpts{OnReceiverDone: func(rcv *core.Receiver) {
-					done++
-					if rcv.CompletedAt > last {
-						last = rcv.CompletedAt
-					}
-				}})
-				snds = append(snds, snd)
+	for fi, nsend := range fanins {
+		overRow := Row{fmt.Sprint(nsend)}
+		rtxRow := Row{fmt.Sprint(nsend)}
+		for ii := range iws {
+			p := points[fi*len(iws)+ii]
+			cell := f4(p.overPct)
+			if p.incomplete {
+				cell += "(!)"
 			}
-			optimal := sim.FromSeconds(float64(nsend) * size * 8 / 10e9)
-			n.EL().RunUntil(optimal*3 + sim.Second)
-			var nacks, bounces, packets int64
-			for _, s := range snds {
-				nacks += s.RtxFromNack
-				bounces += s.RtxFromBounce
-				packets += s.TotalPackets()
-			}
-			overRow = append(overRow, f4(pct(float64(last-optimal), float64(optimal))))
-			if done != len(senders) {
-				overRow[len(overRow)-1] += "(!)"
-			}
-			rtxRow = append(rtxRow,
-				f4(float64(nacks)/float64(packets)),
-				f4(float64(bounces)/float64(packets)))
+			overRow = append(overRow, cell)
+			rtxRow = append(rtxRow, f4(p.nackPerPkt), f4(p.bouncePerPkt))
 		}
 		over.AddRow(overRow...)
 		rtx.AddRow(rtxRow...)
@@ -508,12 +585,17 @@ func fig20(o Options, r *Result) {
 }
 
 // fig21 checks receiver pull-queue fair queuing with a sender-limited
-// source: A sends to B,C,D,E while F also sends to E.
+// source: A sends to B,C,D,E while F also sends to E. Two jobs: the paper
+// behaviour and the FIFO ablation.
 func fig21(o Options, r *Result) {
-	runOne := func(fifo bool) (flows []float64, fromA, toE float64) {
+	type result struct {
+		flows      []float64
+		fromA, toE float64
+	}
+	runOne := func(seed uint64, fifo bool) result {
 		hcfg := core.DefaultConfig()
 		hcfg.PullFIFO = fifo
-		n := BuildNDP(TwoTierBuilder(1, 6, 0), topo.Config{Seed: o.Seed},
+		n := BuildNDP(TwoTierBuilder(1, 6, 0), topo.Config{Seed: seed},
 			core.DefaultSwitchConfig(9000), hcfg)
 		// A=0 -> B,C,D(1,2,3) and E(4); F=5 -> E(4).
 		var senders []*core.Sender
@@ -521,56 +603,42 @@ func fig21(o Options, r *Result) {
 			senders = append(senders, n.Transfer(0, dst, -1, core.FlowOpts{}))
 		}
 		senders = append(senders, n.Transfer(5, 4, -1, core.FlowOpts{}))
-		meters := make([]*meter, len(senders))
-		for i, s := range senders {
-			s := s
-			meters[i] = newMeter(func() int64 { return s.AckedBytes() })
-		}
-		g := runWarmMeasure(n.EL(), 3*sim.Millisecond, sim.Time(o.pick(5, 10, 20))*sim.Millisecond, meters)
-		return g, g[0] + g[1] + g[2] + g[3], g[3] + g[4]
+		g := runWarmMeasure(n.EL(), 3*sim.Millisecond, sim.Time(o.pick(5, 10, 20))*sim.Millisecond,
+			senderMeters(senders))
+		return result{flows: g, fromA: g[0] + g[1] + g[2] + g[3], toE: g[3] + g[4]}
 	}
-	g, fromA, toE := runOne(false)
-	t := &stats.Table{Header: []string{"flow", "gbps"}}
-	names := []string{"A->B", "A->C", "A->D", "A->E", "F->E"}
-	for i, name := range names {
-		t.AddFloats(name, g[i])
-	}
-	t.AddFloats("total from A", fromA)
-	t.AddFloats("total to E", toE)
-	r.AddTable("fair pull queue (paper behaviour)", t)
+	res := RunJobs(o, []Job[result]{
+		NewJob("fig21/fair", o.Seed, func(seed uint64) result { return runOne(seed, false) }),
+		NewJob("fig21/fifo", o.Seed, func(seed uint64) result { return runOne(seed, true) }),
+	})
 
-	gf, fromAf, toEf := runOne(true)
-	tf := &stats.Table{Header: []string{"flow", "gbps"}}
-	for i, name := range names {
-		tf.AddFloats(name, gf[i])
+	names := []string{"A->B", "A->C", "A->D", "A->E", "F->E"}
+	labels := []string{"fair pull queue (paper behaviour)", "ablation: FIFO pull queue"}
+	for i, g := range res {
+		t := &stats.Table{Header: []string{"flow", "gbps"}}
+		for fi, name := range names {
+			t.AddFloats(name, g.flows[fi])
+		}
+		t.AddFloats("total from A", g.fromA)
+		t.AddFloats("total to E", g.toE)
+		r.AddTable(labels[i], t)
 	}
-	tf.AddFloats("total from A", fromAf)
-	tf.AddFloats("total to E", toEf)
-	r.AddTable("ablation: FIFO pull queue", tf)
 	r.Notef("paper shape: A's four flows split A's link ~2.5G each; F fills the rest of E's link (~7.5G); both bottleneck links ~saturated")
 }
 
 // fig22 degrades one core<->agg link to 1Gb/s and compares per-flow
 // throughput for NDP (with and without the path penalty), MPTCP and DCTCP.
+// One job per variant.
 func fig22(o Options, r *Result) {
 	k := o.pick(4, 8, 8)
 	warm := 3 * sim.Millisecond
 	window := sim.Time(o.pick(6, 10, 20)) * sim.Millisecond
-	t := &stats.Table{Header: []string{"variant", "util%", "min_gbps", "p5_gbps", "p10_gbps", "p50_gbps"}}
 
-	addRow := func(name string, g []float64) {
-		var d stats.Dist
-		for _, v := range g {
-			d.Add(v)
-		}
-		t.AddFloats(name, 100*utilization(g, 10e9), d.Min(), d.Quantile(0.05), d.Quantile(0.1), d.Median())
-	}
-
-	ndpRun := func(noPenalty bool) []float64 {
+	ndpRun := func(seed uint64, noPenalty bool) []float64 {
 		hcfg := core.DefaultConfig()
 		hcfg.DisablePathPenalty = noPenalty
-		base := topo.Config{Seed: o.Seed}
-		base.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(9000), sim.NewRand(o.Seed+41))
+		base := topo.Config{Seed: seed}
+		base.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(9000), sim.NewRand(seed+41))
 		ft := topo.NewFatTree(k, base)
 		core.WireBounce(ft.Switches)
 		ft.DegradeLink(0, 0, 1e9)
@@ -578,61 +646,68 @@ func fig22(o Options, r *Result) {
 		for i, h := range ft.Hosts {
 			h := h
 			cfg := hcfg
-			cfg.Seed = o.Seed + uint64(i)*7919
+			cfg.Seed = seed + uint64(i)*7919
 			st := core.NewStack(h, func(dst int32) [][]int16 { return ft.Paths(h.ID, dst) }, cfg)
 			st.Listen(nil)
 			n.Stacks = append(n.Stacks, st)
 		}
-		dst := workload.Permutation(ft.NumHosts(), sim.NewRand(o.Seed))
-		senders := n.Permutation(dst)
-		meters := make([]*meter, len(senders))
-		for i, s := range senders {
-			s := s
-			meters[i] = newMeter(func() int64 { return s.AckedBytes() })
-		}
-		return runWarmMeasure(n.EL(), warm, window, meters)
+		dst := workload.Permutation(ft.NumHosts(), sim.NewRand(seed))
+		return runWarmMeasure(n.EL(), warm, window, senderMeters(n.Permutation(dst)))
 	}
-	addRow("NDP", ndpRun(false))
-	addRow("NDP no path penalty", ndpRun(true))
 
-	{ // MPTCP
-		base := topo.Config{Seed: o.Seed}
-		base.SwitchQueue = dropTail(200 * 9000)
-		ft := topo.NewFatTree(k, base)
-		ft.DegradeLink(0, 0, 1e9)
-		tn := &TCPNet{C: ft, Rand: sim.NewRand(o.Seed*48271 + 5), nextFlow: 1}
-		for _, h := range ft.Hosts {
-			d := fabric.NewDemux()
-			h.Stack = d
-			tn.Demux = append(tn.Demux, d)
-		}
-		dst := workload.Permutation(ft.NumHosts(), sim.NewRand(o.Seed))
-		cfg := mptcp.DefaultConfig()
-		meters := make([]*meter, 0, len(dst))
-		for src, d := range dst {
-			f := tn.MPTCPFlow(src, d, -1, cfg, nil)
-			meters = append(meters, newMeter(f.AckedBytes))
-		}
-		addRow("MPTCP", runWarmMeasure(tn.EL(), warm, window, meters))
+	jobs := []Job[[]float64]{
+		NewJob("fig22/NDP", o.Seed, func(seed uint64) []float64 { return ndpRun(seed, false) }),
+		NewJob("fig22/NDP-no-penalty", o.Seed, func(seed uint64) []float64 { return ndpRun(seed, true) }),
+		NewJob("fig22/MPTCP", o.Seed, func(seed uint64) []float64 {
+			base := topo.Config{Seed: seed}
+			base.SwitchQueue = dropTail(200 * 9000)
+			ft := topo.NewFatTree(k, base)
+			ft.DegradeLink(0, 0, 1e9)
+			tn := &TCPNet{C: ft, Rand: sim.NewRand(seed*48271 + 5), nextFlow: 1}
+			for _, h := range ft.Hosts {
+				d := fabric.NewDemux()
+				h.Stack = d
+				tn.Demux = append(tn.Demux, d)
+			}
+			dst := workload.Permutation(ft.NumHosts(), sim.NewRand(seed))
+			cfg := mptcp.DefaultConfig()
+			meters := make([]*meter, 0, len(dst))
+			for src, d := range dst {
+				f := tn.MPTCPFlow(src, d, -1, cfg, nil)
+				meters = append(meters, newMeter(f.AckedBytes))
+			}
+			return runWarmMeasure(tn.EL(), warm, window, meters)
+		}),
+		NewJob("fig22/DCTCP", o.Seed, func(seed uint64) []float64 {
+			base := topo.Config{Seed: seed}
+			base.SwitchQueue = dctcp.QueueFactory(9000)
+			ft := topo.NewFatTree(k, base)
+			ft.DegradeLink(0, 0, 1e9)
+			tn := &TCPNet{C: ft, Rand: sim.NewRand(seed*48271 + 5), nextFlow: 1}
+			for _, h := range ft.Hosts {
+				d := fabric.NewDemux()
+				h.Stack = d
+				tn.Demux = append(tn.Demux, d)
+			}
+			dst := workload.Permutation(ft.NumHosts(), sim.NewRand(seed))
+			meters := make([]*meter, 0, len(dst))
+			for src, d := range dst {
+				snd, _ := tn.Flow(src, d, -1, dctcp.SenderConfig(9000), nil)
+				meters = append(meters, newMeter(func() int64 { return snd.AckedBytes }))
+			}
+			return runWarmMeasure(tn.EL(), warm, window, meters)
+		}),
 	}
-	{ // DCTCP
-		base := topo.Config{Seed: o.Seed}
-		base.SwitchQueue = dctcp.QueueFactory(9000)
-		ft := topo.NewFatTree(k, base)
-		ft.DegradeLink(0, 0, 1e9)
-		tn := &TCPNet{C: ft, Rand: sim.NewRand(o.Seed*48271 + 5), nextFlow: 1}
-		for _, h := range ft.Hosts {
-			d := fabric.NewDemux()
-			h.Stack = d
-			tn.Demux = append(tn.Demux, d)
+	res := RunJobs(o, jobs)
+
+	t := &stats.Table{Header: []string{"variant", "util%", "min_gbps", "p5_gbps", "p10_gbps", "p50_gbps"}}
+	names := []string{"NDP", "NDP no path penalty", "MPTCP", "DCTCP"}
+	for i, g := range res {
+		var d stats.Dist
+		for _, v := range g {
+			d.Add(v)
 		}
-		dst := workload.Permutation(ft.NumHosts(), sim.NewRand(o.Seed))
-		meters := make([]*meter, 0, len(dst))
-		for src, d := range dst {
-			snd, _ := tn.Flow(src, d, -1, dctcp.SenderConfig(9000), nil)
-			meters = append(meters, newMeter(func() int64 { return snd.AckedBytes }))
-		}
-		addRow("DCTCP", runWarmMeasure(tn.EL(), warm, window, meters))
+		t.AddFloats(names[i], 100*utilization(g, 10e9), d.Min(), d.Quantile(0.05), d.Quantile(0.1), d.Median())
 	}
 	r.AddTable("permutation with one agg->core link at 1Gb/s", t)
 	r.Notef("paper shape: NDP and MPTCP route around the failure; NDP without the path penalty leaves ~15 flows near 3G; DCTCP's worst flow ~0.4G")

@@ -20,7 +20,7 @@ func init() {
 // length paths that are costly under load, while MPTCP's per-path
 // congestion control shifts traffic onto the good paths. We run the same
 // permutation on a Jellyfish and on a fully-provisioned FatTree and report
-// utilization side by side.
+// utilization side by side. One job per (topology, protocol) scenario.
 func tLimits(o Options, r *Result) {
 	nSwitches := o.pick(12, 16, 24)
 	hostsPer := 2 // modest oversubscription: path choice, not raw bisection,
@@ -31,57 +31,49 @@ func tLimits(o Options, r *Result) {
 	jfBuilder := func(c topo.Config) topo.Cluster {
 		return topo.NewJellyfish(nSwitches, hostsPer, degree, 8, c)
 	}
+	ftK := 4
+	if nSwitches*hostsPer > 16 {
+		ftK = 8
+	}
+
+	type scen struct {
+		topoName, proto string
+		g               []float64
+	}
+	jobs := []Job[scen]{
+		// NDP on Jellyfish: sprays across the asymmetric path set.
+		NewJob("t-limits/jellyfish/NDP", o.Seed, func(seed uint64) scen {
+			n := BuildNDP(jfBuilder, topo.Config{Seed: seed},
+				core.DefaultSwitchConfig(9000), core.DefaultConfig())
+			dst := workload.Permutation(n.C.NumHosts(), sim.NewRand(seed))
+			g := runWarmMeasure(n.EL(), warm, window, senderMeters(n.Permutation(dst)))
+			return scen{"jellyfish", "NDP", g}
+		}),
+		// MPTCP on the same Jellyfish: per-path congestion control.
+		NewJob("t-limits/jellyfish/MPTCP", o.Seed, func(seed uint64) scen {
+			tn := BuildTCPFamily(jfBuilder, topo.Config{Seed: seed}, dropTail(200*9000))
+			dst := workload.Permutation(tn.C.NumHosts(), sim.NewRand(seed))
+			cfg := mptcp.DefaultConfig()
+			meters := make([]*meter, 0, len(dst))
+			for src, d := range dst {
+				f := tn.MPTCPFlow(src, d, -1, cfg, nil)
+				meters = append(meters, newMeter(f.AckedBytes))
+			}
+			return scen{"jellyfish", "MPTCP", runWarmMeasure(tn.EL(), warm, window, meters)}
+		}),
+		// Reference: NDP on a FatTree of comparable size (symmetric paths).
+		NewJob("t-limits/fattree/NDP", o.Seed, func(seed uint64) scen {
+			return scen{"fattree", "NDP", permGoodputNDP(ftK, seed, warm, window)}
+		}),
+	}
 
 	t := &stats.Table{Header: []string{"topology", "protocol", "util%", "min_gbps", "p50_gbps"}}
-	rowFix := func(topoName, proto string, g []float64) {
+	for _, s := range RunJobs(o, jobs) {
 		var d stats.Dist
-		for _, v := range g {
+		for _, v := range s.g {
 			d.Add(v)
 		}
-		t.AddRow(topoName, proto, f4(100*utilization(g, 10e9)), f4(d.Min()), f4(d.Median()))
-	}
-
-	// NDP on Jellyfish: sprays across the asymmetric path set.
-	{
-		n := BuildNDP(jfBuilder, topo.Config{Seed: o.Seed},
-			core.DefaultSwitchConfig(9000), core.DefaultConfig())
-		dst := workload.Permutation(n.C.NumHosts(), sim.NewRand(o.Seed))
-		senders := n.Permutation(dst)
-		meters := make([]*meter, len(senders))
-		for i, s := range senders {
-			s := s
-			meters[i] = newMeter(func() int64 { return s.AckedBytes() })
-		}
-		rowFix("jellyfish", "NDP", runWarmMeasure(n.EL(), warm, window, meters))
-	}
-	// MPTCP on the same Jellyfish: per-path congestion control.
-	{
-		tn := BuildTCPFamily(jfBuilder, topo.Config{Seed: o.Seed}, dropTail(200*9000))
-		dst := workload.Permutation(tn.C.NumHosts(), sim.NewRand(o.Seed))
-		cfg := mptcp.DefaultConfig()
-		meters := make([]*meter, 0, len(dst))
-		for src, d := range dst {
-			f := tn.MPTCPFlow(src, d, -1, cfg, nil)
-			meters = append(meters, newMeter(f.AckedBytes))
-		}
-		rowFix("jellyfish", "MPTCP", runWarmMeasure(tn.EL(), warm, window, meters))
-	}
-	// Reference: NDP on a FatTree of comparable size (symmetric paths).
-	{
-		k := 4
-		if nSwitches*hostsPer > 16 {
-			k = 8
-		}
-		n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: o.Seed},
-			core.DefaultSwitchConfig(9000), core.DefaultConfig())
-		dst := workload.Permutation(n.C.NumHosts(), sim.NewRand(o.Seed))
-		senders := n.Permutation(dst)
-		meters := make([]*meter, len(senders))
-		for i, s := range senders {
-			s := s
-			meters[i] = newMeter(func() int64 { return s.AckedBytes() })
-		}
-		rowFix("fattree", "NDP", runWarmMeasure(n.EL(), warm, window, meters))
+		t.AddRow(s.topoName, s.proto, f4(100*utilization(s.g, 10e9)), f4(d.Min()), f4(d.Median()))
 	}
 
 	jf := topo.NewJellyfish(nSwitches, hostsPer, degree, 8, topo.Config{Seed: o.Seed})

@@ -27,7 +27,8 @@ func init() {
 
 // fig2 drives N unresponsive line-rate flows into one 10Gb/s egress through
 // a single switch running either the NDP service model or vanilla CP, and
-// reports percent of ideal fair goodput (mean and worst-10%).
+// reports percent of ideal fair goodput (mean and worst-10%). One job per
+// (switch mode, flow count) cell.
 func fig2(o Options, r *Result) {
 	const mtu = 9000
 	flowCounts := []int{1, 2, 5, 10, 20, 50, 100, 150, 200}
@@ -37,105 +38,128 @@ func fig2(o Options, r *Result) {
 	warm := 2 * sim.Millisecond
 	window := sim.Time(o.pick(4, 8, 16)) * sim.Millisecond
 
-	type row struct{ mean, worst [2]float64 }
-	rows := make([]row, len(flowCounts))
-
+	type cell struct{ mean, worst float64 }
+	var jobs []Job[cell]
+	seeds := SweepSeeds(o.Seed, len(flowCounts))
 	for mode := 0; mode < 2; mode++ { // 0 = NDP switch, 1 = CP switch
+		modeName := "ndp"
+		if mode == 1 {
+			modeName = "cp"
+		}
 		for fi, n := range flowCounts {
-			base := topo.Config{Seed: o.Seed + uint64(fi)}
-			if mode == 0 {
-				base.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(mtu), sim.NewRand(o.Seed+99))
-			} else {
-				base.SwitchQueue = cp.QueueFactory(8*mtu, 8*mtu+64*fabric.HeaderSize)
-			}
-			tt := topo.NewTwoTier(1, n+1, 0, base)
-			core.WireBounce(tt.Switches)
+			mode, n := mode, n
+			jobs = append(jobs, NewJob(fmt.Sprintf("fig2/%s/%d", modeName, n), seeds[fi],
+				func(seed uint64) cell {
+					base := topo.Config{Seed: seed}
+					if mode == 0 {
+						base.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(mtu), sim.NewRand(seed+99))
+					} else {
+						base.SwitchQueue = cp.QueueFactory(8*mtu, 8*mtu+64*fabric.HeaderSize)
+					}
+					tt := topo.NewTwoTier(1, n+1, 0, base)
+					core.WireBounce(tt.Switches)
 
-			// Count per-flow goodput at the receiver.
-			perFlow := make(map[uint64]int64)
-			tt.Hosts[0].Stack = fabric.SinkFunc(func(p *fabric.Packet) {
-				if p.Type == fabric.Data && !p.Trimmed() {
-					perFlow[p.Flow] += int64(p.DataSize)
-				}
-				fabric.Free(p)
-			})
-			offs := sim.NewRand(o.Seed + uint64(n)*31)
-			gap := sim.TransmissionTime(mtu, tt.LinkRate())
-			for i := 1; i <= n; i++ {
-				StartBlast(tt, i, 0, uint64(i), mtu, offs.Duration(gap))
-			}
-			tt.EL.RunUntil(warm)
-			snapshot := make(map[uint64]int64, len(perFlow))
-			for f, b := range perFlow {
-				snapshot[f] = b
-			}
-			tt.EL.RunUntil(warm + window)
+					// Count per-flow goodput at the receiver.
+					perFlow := make(map[uint64]int64)
+					tt.Hosts[0].Stack = fabric.SinkFunc(func(p *fabric.Packet) {
+						if p.Type == fabric.Data && !p.Trimmed() {
+							perFlow[p.Flow] += int64(p.DataSize)
+						}
+						fabric.Free(p)
+					})
+					offs := sim.NewRand(seed + uint64(n)*31)
+					gap := sim.TransmissionTime(mtu, tt.LinkRate())
+					for i := 1; i <= n; i++ {
+						StartBlast(tt, i, 0, uint64(i), mtu, offs.Duration(gap))
+					}
+					tt.EL.RunUntil(warm)
+					snapshot := make(map[uint64]int64, len(perFlow))
+					for f, b := range perFlow {
+						snapshot[f] = b
+					}
+					tt.EL.RunUntil(warm + window)
 
-			fair := float64(tt.LinkRate()) / float64(n) / 1e9
-			var d stats.Dist
-			for i := 1; i <= n; i++ {
-				g := stats.Gbps(perFlow[uint64(i)]-snapshot[uint64(i)], window)
-				d.Add(pct(g, fair))
-			}
-			rows[fi].mean[mode] = d.Mean()
-			rows[fi].worst[mode] = d.MeanOfBottom(0.10)
+					fair := float64(tt.LinkRate()) / float64(n) / 1e9
+					var d stats.Dist
+					for i := 1; i <= n; i++ {
+						g := stats.Gbps(perFlow[uint64(i)]-snapshot[uint64(i)], window)
+						d.Add(pct(g, fair))
+					}
+					return cell{mean: d.Mean(), worst: d.MeanOfBottom(0.10)}
+				}))
 		}
 	}
+	cells := RunJobs(o, jobs)
+
 	t := &stats.Table{Header: []string{"flows", "ndp_mean%", "ndp_worst10%", "cp_mean%", "cp_worst10%"}}
 	for fi, n := range flowCounts {
-		t.AddFloats(fmt.Sprint(n), rows[fi].mean[0], rows[fi].worst[0], rows[fi].mean[1], rows[fi].worst[1])
+		ndp, cpCell := cells[fi], cells[len(flowCounts)+fi]
+		t.AddFloats(fmt.Sprint(n), ndp.mean, ndp.worst, cpCell.mean, cpCell.worst)
 	}
 	r.AddTable("percent of ideal fair goodput", t)
 	r.Notef("paper shape: CP mean decays with flow count and its worst-10%% collapses (phase effects); NDP stays high and fair")
 }
 
 // fig4 reproduces the delivery-latency CDF (first send to ACK at sender)
-// for permutation, random, and 100:1 incasts of 135KB and 1350KB.
+// for permutation, random, and 100:1 incasts of 135KB and 1350KB. One job
+// per traffic scenario.
 func fig4(o Options, r *Result) {
 	k := o.pick(4, 8, 12)
 	runDur := sim.Time(o.pick(5, 10, 20)) * sim.Millisecond
-	t := &stats.Table{Header: []string{"scenario", "p10_us", "p50_us", "p90_us", "p99_us", "max_us"}}
-
-	collect := func(label string, fn func(n *NDPNet, lat *stats.Dist) sim.Time) {
-		n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: o.Seed},
-			core.DefaultSwitchConfig(9000), core.DefaultConfig())
-		var lat stats.Dist
-		deadline := fn(n, &lat)
-		n.EL().RunUntil(deadline)
-		t.AddFloats(label, lat.Quantile(0.1), lat.Median(), lat.Quantile(0.9), lat.Quantile(0.99), lat.Max())
-	}
 
 	hook := func(lat *stats.Dist) func(sim.Time) {
 		return func(d sim.Time) { lat.AddTime(d) }
 	}
-	collect("permutation", func(n *NDPNet, lat *stats.Dist) sim.Time {
-		dst := workload.Permutation(n.C.NumHosts(), sim.NewRand(o.Seed))
-		for _, s := range n.Permutation(dst) {
-			s.OnPacketLatency = hook(lat)
-		}
-		return runDur
-	})
-	collect("random", func(n *NDPNet, lat *stats.Dist) sim.Time {
-		dst := workload.RandomMatrix(n.C.NumHosts(), sim.NewRand(o.Seed))
-		for _, s := range n.Permutation(dst) {
-			s.OnPacketLatency = hook(lat)
-		}
-		return runDur
-	})
+	// Each scenario builds its own network, installs per-sender latency
+	// hooks, and returns the deadline to run until.
+	scenario := func(label string, fn func(n *NDPNet, lat *stats.Dist, seed uint64) sim.Time) Job[Row] {
+		return NewJob("fig4/"+label, o.Seed, func(seed uint64) Row {
+			n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: seed},
+				core.DefaultSwitchConfig(9000), core.DefaultConfig())
+			var lat stats.Dist
+			deadline := fn(n, &lat, seed)
+			n.EL().RunUntil(deadline)
+			return Row{label, f4(lat.Quantile(0.1)), f4(lat.Median()), f4(lat.Quantile(0.9)),
+				f4(lat.Quantile(0.99)), f4(lat.Max())}
+		})
+	}
+
+	jobs := []Job[Row]{
+		scenario("permutation", func(n *NDPNet, lat *stats.Dist, seed uint64) sim.Time {
+			dst := workload.Permutation(n.C.NumHosts(), sim.NewRand(seed))
+			for _, s := range n.Permutation(dst) {
+				s.OnPacketLatency = hook(lat)
+			}
+			return runDur
+		}),
+		scenario("random", func(n *NDPNet, lat *stats.Dist, seed uint64) sim.Time {
+			dst := workload.RandomMatrix(n.C.NumHosts(), sim.NewRand(seed))
+			for _, s := range n.Permutation(dst) {
+				s.OnPacketLatency = hook(lat)
+			}
+			return runDur
+		}),
+	}
 	for _, size := range []int64{135_000, 1_350_000} {
 		size := size
-		collect(fmt.Sprintf("incast %dKB", size/1000), func(n *NDPNet, lat *stats.Dist) sim.Time {
-			nsend := 100
-			if nsend > n.C.NumHosts()-1 {
-				nsend = n.C.NumHosts() - 1
-			}
-			senders := workload.IncastSenders(0, nsend, n.C.NumHosts())
-			for _, s := range senders {
-				snd := n.Transfer(s, 0, size, core.FlowOpts{})
-				snd.OnPacketLatency = hook(lat)
-			}
-			return sim.FromSeconds(float64(nsend) * float64(size) * 8 / 10e9 * 3)
-		})
+		jobs = append(jobs, scenario(fmt.Sprintf("incast %dKB", size/1000),
+			func(n *NDPNet, lat *stats.Dist, seed uint64) sim.Time {
+				nsend := 100
+				if nsend > n.C.NumHosts()-1 {
+					nsend = n.C.NumHosts() - 1
+				}
+				senders := workload.IncastSenders(0, nsend, n.C.NumHosts())
+				for _, s := range senders {
+					snd := n.Transfer(s, 0, size, core.FlowOpts{})
+					snd.OnPacketLatency = hook(lat)
+				}
+				return sim.FromSeconds(float64(nsend) * float64(size) * 8 / 10e9 * 3)
+			}))
+	}
+
+	t := &stats.Table{Header: []string{"scenario", "p10_us", "p50_us", "p90_us", "p99_us", "max_us"}}
+	for _, row := range RunJobs(o, jobs) {
+		t.AddRow(row...)
 	}
 	r.AddTable("per-packet delivery latency (first send -> ACK)", t)
 	r.Notef("paper shape: permutation/random medians ~100us at full load; incast tails bounded (no RTO cliffs)")
@@ -144,7 +168,7 @@ func fig4(o Options, r *Result) {
 // fig8 measures the 1KB RPC latency of NDP against TCP Fast Open and TCP,
 // with and without deep CPU sleep states. The wire part is simulated; the
 // host costs come from internal/hostmodel (the paper's measured numbers),
-// as documented in DESIGN.md.
+// as documented in DESIGN.md. A single back-to-back simulation — no sweep.
 func fig8(o Options, r *Result) {
 	// Simulate the raw network request/response time over back-to-back
 	// hosts using the NDP stack with no host delays.
@@ -183,46 +207,64 @@ func fig8(o Options, r *Result) {
 
 // fig9 runs the 7:1 incast of the NetFPGA testbed (4 ToRs x 2 hosts, 2
 // spines) for NDP and TCP across response sizes, reporting median and p90
-// last-flow completion over repeated runs.
+// last-flow completion over repeated runs. One job per (size, repetition,
+// protocol); both protocols of a repetition share its seed.
 func fig9(o Options, r *Result) {
 	sizes := []int64{10_000, 100_000, 250_000, 500_000, 1_000_000}
 	if o.Scale < 0.4 {
 		sizes = []int64{10_000, 250_000, 1_000_000}
 	}
 	reps := o.pick(3, 5, 9)
-	t := &stats.Table{Header: []string{"size_KB", "optimal_ms", "ndp_med_ms", "ndp_p90_ms", "tcp_med_ms", "tcp_p90_ms"}}
+
+	type fct struct {
+		ms float64
+		ok bool
+	}
+	var jobs []Job[fct]
 	for _, size := range sizes {
+		for rep := 0; rep < reps; rep++ {
+			size := size
+			seed := o.Seed + uint64(rep)*101
+			jobs = append(jobs,
+				NewJob(fmt.Sprintf("fig9/%dKB/rep%d/NDP", size/1000, rep), seed, func(seed uint64) fct {
+					n := BuildNDP(TwoTierBuilder(4, 2, 2), topo.Config{Seed: seed},
+						core.DefaultSwitchConfig(9000), core.DefaultConfig())
+					var fcts stats.Dist
+					last := n.Incast(0, workload.IncastSenders(0, 7, 8), size, &fcts)
+					n.EL().RunUntil(5 * sim.Second)
+					return fct{ms: last.Millis(), ok: true}
+				}),
+				// TCP run (Linux-like MinRTO 200ms, handshake per request).
+				NewJob(fmt.Sprintf("fig9/%dKB/rep%d/TCP", size/1000, rep), seed, func(seed uint64) fct {
+					tn := BuildTCPFamily(TwoTierBuilder(4, 2, 2), topo.Config{Seed: seed},
+						func(string) fabric.Queue { return fabric.NewFIFOQueue(8 * 9000) })
+					cfg := tcp.DefaultConfig()
+					var last sim.Time
+					done := 0
+					for _, s := range workload.IncastSenders(0, 7, 8) {
+						tn.Flow(s, 0, size, cfg, func(rcv *tcp.Receiver) {
+							done++
+							if rcv.CompletedAt > last {
+								last = rcv.CompletedAt
+							}
+						})
+					}
+					tn.EL().RunUntil(5 * sim.Second)
+					return fct{ms: last.Millis(), ok: done == 7}
+				}))
+		}
+	}
+	res := RunJobs(o, jobs)
+
+	t := &stats.Table{Header: []string{"size_KB", "optimal_ms", "ndp_med_ms", "ndp_p90_ms", "tcp_med_ms", "tcp_p90_ms"}}
+	for si, size := range sizes {
 		var ndpD, tcpD stats.Dist
 		for rep := 0; rep < reps; rep++ {
-			seed := o.Seed + uint64(rep)*101
-			// NDP run.
-			{
-				n := BuildNDP(TwoTierBuilder(4, 2, 2), topo.Config{Seed: seed},
-					core.DefaultSwitchConfig(9000), core.DefaultConfig())
-				var fcts stats.Dist
-				last := n.Incast(0, workload.IncastSenders(0, 7, 8), size, &fcts)
-				n.EL().RunUntil(5 * sim.Second)
-				ndpD.Add(last.Millis())
-			}
-			// TCP run (Linux-like MinRTO 200ms, handshake per request).
-			{
-				tn := BuildTCPFamily(TwoTierBuilder(4, 2, 2), topo.Config{Seed: seed},
-					func(string) fabric.Queue { return fabric.NewFIFOQueue(8 * 9000) })
-				cfg := tcp.DefaultConfig()
-				var last sim.Time
-				done := 0
-				for _, s := range workload.IncastSenders(0, 7, 8) {
-					tn.Flow(s, 0, size, cfg, func(rcv *tcp.Receiver) {
-						done++
-						if rcv.CompletedAt > last {
-							last = rcv.CompletedAt
-						}
-					})
-				}
-				tn.EL().RunUntil(5 * sim.Second)
-				if done == 7 {
-					tcpD.Add(last.Millis())
-				}
+			ndp := res[(si*reps+rep)*2]
+			tcp := res[(si*reps+rep)*2+1]
+			ndpD.Add(ndp.ms)
+			if tcp.ok {
+				tcpD.Add(tcp.ms)
 			}
 		}
 		optimal := sim.FromSeconds(7 * float64(size) * 8 / 10e9).Millis()
@@ -234,11 +276,12 @@ func fig9(o Options, r *Result) {
 }
 
 // fig10 measures the FCT of a 200KB flow to a host also receiving six long
-// flows: idle vs receiver-prioritized vs unprioritized.
+// flows: idle vs receiver-prioritized vs unprioritized. One job per
+// scenario.
 func fig10(o Options, r *Result) {
 	const short = 200_000
-	runOne := func(background, prio bool) sim.Time {
-		n := BuildNDP(FatTreeBuilder(4), topo.Config{Seed: o.Seed},
+	runOne := func(seed uint64, background, prio bool) sim.Time {
+		n := BuildNDP(FatTreeBuilder(4), topo.Config{Seed: seed},
 			core.DefaultSwitchConfig(9000), core.DefaultConfig())
 		if background {
 			for i := 1; i <= 6; i++ {
@@ -254,9 +297,12 @@ func fig10(o Options, r *Result) {
 		n.EL().RunUntil(100 * sim.Millisecond)
 		return fct
 	}
-	idle := runOne(false, false)
-	with := runOne(true, true)
-	without := runOne(true, false)
+	res := RunJobs(o, []Job[sim.Time]{
+		NewJob("fig10/idle", o.Seed, func(seed uint64) sim.Time { return runOne(seed, false, false) }),
+		NewJob("fig10/prio", o.Seed, func(seed uint64) sim.Time { return runOne(seed, true, true) }),
+		NewJob("fig10/noprio", o.Seed, func(seed uint64) sim.Time { return runOne(seed, true, false) }),
+	})
+	idle, with, without := res[0], res[1], res[2]
 	t := &stats.Table{Header: []string{"scenario", "fct_us", "delta_vs_idle_us"}}
 	t.AddFloats("idle", idle.Micros(), 0)
 	t.AddFloats("with prioritization", with.Micros(), (with - idle).Micros())
@@ -267,14 +313,14 @@ func fig10(o Options, r *Result) {
 
 // fig11 sweeps the initial window on back-to-back hosts and reports
 // throughput for the perfect host model vs the experimentally-measured one
-// (extra processing delay and pull jitter).
+// (extra processing delay and pull jitter). One job per (IW, host model).
 func fig11(o Options, r *Result) {
 	iws := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 	if o.Scale < 0.4 {
 		iws = []int{1, 4, 16, 64}
 	}
 	const size = 9_000_000
-	runOne := func(iw int, rxDelay sim.Time, jitter bool) float64 {
+	runOne := func(seed uint64, iw int, rxDelay sim.Time, jitter bool) float64 {
 		hcfg := core.DefaultConfig()
 		hcfg.IW = iw
 		hcfg.RxDelay = rxDelay
@@ -283,7 +329,7 @@ func fig11(o Options, r *Result) {
 		}
 		// 25us link delay emulates the testbed's effective path+stack
 		// latency so the saturation knee lands near the paper's IW~15.
-		n := BuildNDP(BackToBackBuilder(), topo.Config{Seed: o.Seed, LinkDelay: 25 * sim.Microsecond},
+		n := BuildNDP(BackToBackBuilder(), topo.Config{Seed: seed, LinkDelay: 25 * sim.Microsecond},
 			core.DefaultSwitchConfig(9000), hcfg)
 		var fct sim.Time
 		start := n.EL().Now()
@@ -296,66 +342,101 @@ func fig11(o Options, r *Result) {
 		}
 		return stats.Gbps(size, fct)
 	}
-	t := &stats.Table{Header: []string{"IW_pkts", "perfect_gbps", "experimental_gbps"}}
+
+	var jobs []Job[float64]
 	for _, iw := range iws {
-		t.AddFloats(fmt.Sprint(iw),
-			runOne(iw, 20*sim.Microsecond, false),
-			runOne(iw, 56*sim.Microsecond, true))
+		iw := iw
+		jobs = append(jobs,
+			NewJob(fmt.Sprintf("fig11/iw%d/perfect", iw), o.Seed, func(seed uint64) float64 {
+				return runOne(seed, iw, 20*sim.Microsecond, false)
+			}),
+			NewJob(fmt.Sprintf("fig11/iw%d/experimental", iw), o.Seed, func(seed uint64) float64 {
+				return runOne(seed, iw, 56*sim.Microsecond, true)
+			}))
+	}
+	res := RunJobs(o, jobs)
+
+	t := &stats.Table{Header: []string{"IW_pkts", "perfect_gbps", "experimental_gbps"}}
+	for i, iw := range iws {
+		t.AddFloats(fmt.Sprint(iw), res[2*i], res[2*i+1])
 	}
 	r.AddTable("throughput vs initial window", t)
 	r.Notef("paper shape: simulation saturates near IW=15; the prototype's host delays push the knee to ~25")
 }
 
 // fig12 measures actual PULL spacing under the empirical jitter model for
-// 1500B and 9000B packets.
+// 1500B and 9000B packets. One job per MTU.
 func fig12(o Options, r *Result) {
+	mtus := []int{1500, 9000}
+	jobs := make([]Job[Row], len(mtus))
+	for i, mtu := range mtus {
+		mtu := mtu
+		jobs[i] = NewJob(fmt.Sprintf("fig12/mtu%d", mtu), o.Seed, func(seed uint64) Row {
+			hcfg := core.DefaultConfig()
+			hcfg.MTU = mtu
+			hcfg.IW = 30
+			hcfg.PullJitter = hostmodel.PullJitter(mtu)
+			n := BuildNDP(BackToBackBuilder(), topo.Config{Seed: seed},
+				core.DefaultSwitchConfig(mtu), hcfg)
+			var gaps stats.Dist
+			n.Stacks[1].OnPullGap(func(g sim.Time) { gaps.AddTime(g) })
+			n.Transfer(0, 1, int64(mtu)*2000, core.FlowOpts{})
+			n.EL().RunUntil(sim.Second)
+			target := sim.TransmissionTime(mtu+fabric.HeaderSize, 10e9)
+			return Row{fmt.Sprint(mtu), f4(target.Micros()),
+				f4(gaps.Quantile(0.1)), f4(gaps.Median()), f4(gaps.Quantile(0.9)), f4(gaps.Quantile(0.99))}
+		})
+	}
+
 	t := &stats.Table{Header: []string{"mtu", "target_us", "p10_us", "p50_us", "p90_us", "p99_us"}}
-	for _, mtu := range []int{1500, 9000} {
-		hcfg := core.DefaultConfig()
-		hcfg.MTU = mtu
-		hcfg.IW = 30
-		hcfg.PullJitter = hostmodel.PullJitter(mtu)
-		n := BuildNDP(BackToBackBuilder(), topo.Config{Seed: o.Seed},
-			core.DefaultSwitchConfig(mtu), hcfg)
-		var gaps stats.Dist
-		n.Stacks[1].OnPullGap(func(g sim.Time) { gaps.AddTime(g) })
-		n.Transfer(0, 1, int64(mtu)*2000, core.FlowOpts{})
-		n.EL().RunUntil(sim.Second)
-		target := sim.TransmissionTime(mtu+fabric.HeaderSize, 10e9)
-		t.AddFloats(fmt.Sprint(mtu), target.Micros(),
-			gaps.Quantile(0.1), gaps.Median(), gaps.Quantile(0.9), gaps.Quantile(0.99))
+	for _, row := range RunJobs(o, jobs) {
+		t.AddRow(row...)
 	}
 	r.AddTable("measured PULL spacing", t)
 	r.Notef("paper shape: medians at the 1.2us/7.2us targets, visibly more variance at 1500B")
 }
 
 // fig13 compares incast FCTs with perfect versus experimentally-jittered
-// pull spacing: the difference should be negligible.
+// pull spacing: the difference should be negligible. One job per (size,
+// jitter mode) cell.
 func fig13(o Options, r *Result) {
 	k := o.pick(4, 8, 12)
 	sizes := []int64{9_000, 27_000, 45_000, 90_000, 117_000}
 	if o.Scale < 0.4 {
 		sizes = []int64{9_000, 45_000, 117_000}
 	}
-	t := &stats.Table{Header: []string{"flow_KB", "perfect_ms", "jittered_ms"}}
+
+	var jobs []Job[float64]
 	for _, size := range sizes {
-		var res [2]float64
 		for mode := 0; mode < 2; mode++ {
-			hcfg := core.DefaultConfig()
+			size, mode := size, mode
+			name := "perfect"
 			if mode == 1 {
-				hcfg.PullJitter = hostmodel.PullJitter(9000)
+				name = "jittered"
 			}
-			n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: o.Seed},
-				core.DefaultSwitchConfig(9000), hcfg)
-			nsend := 200
-			if nsend > n.C.NumHosts()-1 {
-				nsend = n.C.NumHosts() - 1
-			}
-			last := n.Incast(0, workload.IncastSenders(0, nsend, n.C.NumHosts()), size, nil)
-			n.EL().RunUntil(2 * sim.Second)
-			res[mode] = last.Millis()
+			jobs = append(jobs, NewJob(fmt.Sprintf("fig13/%dKB/%s", size/1000, name), o.Seed,
+				func(seed uint64) float64 {
+					hcfg := core.DefaultConfig()
+					if mode == 1 {
+						hcfg.PullJitter = hostmodel.PullJitter(9000)
+					}
+					n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: seed},
+						core.DefaultSwitchConfig(9000), hcfg)
+					nsend := 200
+					if nsend > n.C.NumHosts()-1 {
+						nsend = n.C.NumHosts() - 1
+					}
+					last := n.Incast(0, workload.IncastSenders(0, nsend, n.C.NumHosts()), size, nil)
+					n.EL().RunUntil(2 * sim.Second)
+					return last.Millis()
+				}))
 		}
-		t.AddFloats(fmt.Sprint(size/1000), res[0], res[1])
+	}
+	res := RunJobs(o, jobs)
+
+	t := &stats.Table{Header: []string{"flow_KB", "perfect_ms", "jittered_ms"}}
+	for i, size := range sizes {
+		t.AddFloats(fmt.Sprint(size/1000), res[2*i], res[2*i+1])
 	}
 	r.AddTable("200:1 incast, last-flow completion", t)
 	r.Notef("paper shape: no discernible difference between perfect and measured pull spacing")

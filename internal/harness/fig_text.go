@@ -21,7 +21,8 @@ func init() {
 }
 
 // fig23 runs the closed-loop Facebook web workload on an oversubscribed
-// FatTree for NDP and DCTCP at moderate and high load.
+// FatTree for NDP and DCTCP at moderate and high load. One job per (load,
+// protocol) cell; both protocols of a load level share its seed.
 func fig23(o Options, r *Result) {
 	k := o.pick(4, 4, 8)
 	oversub := 4
@@ -29,57 +30,76 @@ func fig23(o Options, r *Result) {
 	deadline := sim.Time(o.pick(20, 40, 60)) * sim.Millisecond
 	loads := []int{5, 10} // simultaneous connections per host
 
-	t := &stats.Table{Header: []string{"conns/host", "protocol", "p50_ms", "p90_ms", "p99_ms", "flows"}}
+	type cell struct {
+		row   Row
+		notes []string
+	}
+	var jobs []Job[cell]
 	for _, conns := range loads {
-		{ // NDP
-			scfg := core.DefaultSwitchConfig(mtu)
-			hcfg := core.DefaultConfig()
-			hcfg.MTU = mtu
-			n := BuildNDP(OversubFatTreeBuilder(k, oversub), topo.Config{Seed: o.Seed}, scfg, hcfg)
-			var fcts stats.Dist
-			cl := &workload.ClosedLoop{
-				EL:    n.EL(),
-				Rand:  sim.NewRand(o.Seed + 7),
-				Hosts: n.C.NumHosts(),
-				Conns: conns,
-				Gap:   sim.Millisecond,
-				Sizes: workload.FacebookWeb(),
-				Start: func(src, dst int, size int64, done func()) {
-					start := n.EL().Now()
-					n.Transfer(src, dst, size, core.FlowOpts{OnReceiverDone: func(rcv *core.Receiver) {
-						fcts.Add((rcv.CompletedAt - start).Millis())
-						done()
-					}})
-				},
-			}
-			cl.Run()
-			n.EL().RunUntil(deadline)
-			st := n.C.CollectStats()
-			t.AddRow(fmt.Sprint(conns), "NDP", f4(fcts.Median()), f4(fcts.Quantile(0.9)), f4(fcts.Quantile(0.99)), fmt.Sprint(fcts.N()))
-			r.Notef("NDP conns=%d: %d trims, %d bounces, %d drops", conns, st.Trims, st.Bounces, st.Drops)
-		}
-		{ // DCTCP
-			tn := BuildTCPFamily(OversubFatTreeBuilder(k, oversub), topo.Config{Seed: o.Seed}, dctcp.QueueFactory(mtu))
-			var fcts stats.Dist
-			cfg := dctcp.SenderConfig(mtu)
-			cl := &workload.ClosedLoop{
-				EL:    tn.EL(),
-				Rand:  sim.NewRand(o.Seed + 7),
-				Hosts: tn.C.NumHosts(),
-				Conns: conns,
-				Gap:   sim.Millisecond,
-				Sizes: workload.FacebookWeb(),
-				Start: func(src, dst int, size int64, done func()) {
-					start := tn.EL().Now()
-					tn.Flow(src, dst, size, cfg, func(rcv *tcp.Receiver) {
-						fcts.Add((rcv.CompletedAt - start).Millis())
-						done()
-					})
-				},
-			}
-			cl.Run()
-			tn.EL().RunUntil(deadline)
-			t.AddRow(fmt.Sprint(conns), "DCTCP", f4(fcts.Median()), f4(fcts.Quantile(0.9)), f4(fcts.Quantile(0.99)), fmt.Sprint(fcts.N()))
+		conns := conns
+		jobs = append(jobs,
+			NewJob(fmt.Sprintf("fig23/conns%d/NDP", conns), o.Seed, func(seed uint64) cell {
+				scfg := core.DefaultSwitchConfig(mtu)
+				hcfg := core.DefaultConfig()
+				hcfg.MTU = mtu
+				n := BuildNDP(OversubFatTreeBuilder(k, oversub), topo.Config{Seed: seed}, scfg, hcfg)
+				var fcts stats.Dist
+				cl := &workload.ClosedLoop{
+					EL:    n.EL(),
+					Rand:  sim.NewRand(seed + 7),
+					Hosts: n.C.NumHosts(),
+					Conns: conns,
+					Gap:   sim.Millisecond,
+					Sizes: workload.FacebookWeb(),
+					Start: func(src, dst int, size int64, done func()) {
+						start := n.EL().Now()
+						n.Transfer(src, dst, size, core.FlowOpts{OnReceiverDone: func(rcv *core.Receiver) {
+							fcts.Add((rcv.CompletedAt - start).Millis())
+							done()
+						}})
+					},
+				}
+				cl.Run()
+				n.EL().RunUntil(deadline)
+				st := n.C.CollectStats()
+				return cell{
+					row: Row{fmt.Sprint(conns), "NDP", f4(fcts.Median()), f4(fcts.Quantile(0.9)),
+						f4(fcts.Quantile(0.99)), fmt.Sprint(fcts.N())},
+					notes: []string{fmt.Sprintf("NDP conns=%d: %d trims, %d bounces, %d drops",
+						conns, st.Trims, st.Bounces, st.Drops)},
+				}
+			}),
+			NewJob(fmt.Sprintf("fig23/conns%d/DCTCP", conns), o.Seed, func(seed uint64) cell {
+				tn := BuildTCPFamily(OversubFatTreeBuilder(k, oversub), topo.Config{Seed: seed}, dctcp.QueueFactory(mtu))
+				var fcts stats.Dist
+				cfg := dctcp.SenderConfig(mtu)
+				cl := &workload.ClosedLoop{
+					EL:    tn.EL(),
+					Rand:  sim.NewRand(seed + 7),
+					Hosts: tn.C.NumHosts(),
+					Conns: conns,
+					Gap:   sim.Millisecond,
+					Sizes: workload.FacebookWeb(),
+					Start: func(src, dst int, size int64, done func()) {
+						start := tn.EL().Now()
+						tn.Flow(src, dst, size, cfg, func(rcv *tcp.Receiver) {
+							fcts.Add((rcv.CompletedAt - start).Millis())
+							done()
+						})
+					},
+				}
+				cl.Run()
+				tn.EL().RunUntil(deadline)
+				return cell{row: Row{fmt.Sprint(conns), "DCTCP", f4(fcts.Median()),
+					f4(fcts.Quantile(0.9)), f4(fcts.Quantile(0.99)), fmt.Sprint(fcts.N())}}
+			}))
+	}
+
+	t := &stats.Table{Header: []string{"conns/host", "protocol", "p50_ms", "p90_ms", "p99_ms", "flows"}}
+	for _, c := range RunJobs(o, jobs) {
+		t.AddRow(c.row...)
+		for _, n := range c.notes {
+			r.Notef("%s", n)
 		}
 	}
 	r.AddTable("closed-loop web-workload FCTs (4:1 oversubscribed core)", t)
@@ -88,68 +108,64 @@ func fig23(o Options, r *Result) {
 
 // tPhost reproduces the section 6.2 comparison: pHost (no trimming,
 // per-packet ECMP, drop-tail) against NDP on the big incast and the
-// permutation matrix.
+// permutation matrix. Four jobs: (incast, permutation) x (pHost, NDP).
 func tPhost(o Options, r *Result) {
 	k := o.pick(4, 8, 8)
 	hosts := k * k * k / 4
 	nsend := hosts - 1
 	const size = 450_000
-	t := &stats.Table{Header: []string{"metric", "pHost", "NDP"}}
-
-	// Incast: last-flow completion.
-	var phostLast, ndpLast sim.Time
-	{
-		pn := BuildPHost(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, phost.DefaultConfig())
-		for _, s := range workload.IncastSenders(0, nsend, hosts) {
-			pn.Hosts[s].Connect(0, core.NextFlowID(), size, func(snd *phost.Sender) {
-				if snd.CompletedAt > phostLast {
-					phostLast = snd.CompletedAt
-				}
-			})
-		}
-		pn.EL().RunUntil(10 * sim.Second)
-	}
-	{
-		n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, core.DefaultSwitchConfig(9000), core.DefaultConfig())
-		last := n.Incast(0, workload.IncastSenders(0, nsend, hosts), size, nil)
-		n.EL().RunUntil(10 * sim.Second)
-		ndpLast = *last
-	}
-	t.AddRow(fmt.Sprintf("%d:1 incast last FCT (ms)", nsend), f4(phostLast.Millis()), f4(ndpLast.Millis()))
-
-	// Permutation: utilization.
-	var phostUtil, ndpUtil float64
 	warm := 3 * sim.Millisecond
 	window := sim.Time(o.pick(5, 10, 15)) * sim.Millisecond
-	{
-		pn := BuildPHost(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, phost.DefaultConfig())
-		dst := workload.Permutation(hosts, sim.NewRand(o.Seed))
-		meters := make([]*meter, 0, hosts)
-		for src, d := range dst {
-			s := pn.Hosts[src].Connect(int32(d), core.NextFlowID(), 1<<40, nil)
-			meters = append(meters, newMeter(s.AckedBytes))
-		}
-		g := runWarmMeasure(pn.EL(), warm, window, meters)
-		phostUtil = utilization(g, 10e9)
+
+	jobs := []Job[float64]{
+		// Incast: last-flow completion in ms.
+		NewJob("t-phost/incast/pHost", o.Seed, func(seed uint64) float64 {
+			pn := BuildPHost(FatTreeBuilder(k), topo.Config{Seed: seed}, phost.DefaultConfig())
+			var last sim.Time
+			for _, s := range workload.IncastSenders(0, nsend, hosts) {
+				pn.Hosts[s].Connect(0, core.NextFlowID(), size, func(snd *phost.Sender) {
+					if snd.CompletedAt > last {
+						last = snd.CompletedAt
+					}
+				})
+			}
+			pn.EL().RunUntil(10 * sim.Second)
+			return last.Millis()
+		}),
+		NewJob("t-phost/incast/NDP", o.Seed, func(seed uint64) float64 {
+			n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: seed}, core.DefaultSwitchConfig(9000), core.DefaultConfig())
+			last := n.Incast(0, workload.IncastSenders(0, nsend, hosts), size, nil)
+			n.EL().RunUntil(10 * sim.Second)
+			return last.Millis()
+		}),
+		// Permutation: utilization fraction.
+		NewJob("t-phost/perm/pHost", o.Seed, func(seed uint64) float64 {
+			pn := BuildPHost(FatTreeBuilder(k), topo.Config{Seed: seed}, phost.DefaultConfig())
+			dst := workload.Permutation(hosts, sim.NewRand(seed))
+			meters := make([]*meter, 0, hosts)
+			for src, d := range dst {
+				s := pn.Hosts[src].Connect(int32(d), core.NextFlowID(), 1<<40, nil)
+				meters = append(meters, newMeter(s.AckedBytes))
+			}
+			g := runWarmMeasure(pn.EL(), warm, window, meters)
+			return utilization(g, 10e9)
+		}),
+		NewJob("t-phost/perm/NDP", o.Seed, func(seed uint64) float64 {
+			g := permGoodputNDP(k, seed, warm, window)
+			return utilization(g, 10e9)
+		}),
 	}
-	{
-		n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: o.Seed}, core.DefaultSwitchConfig(9000), core.DefaultConfig())
-		dst := workload.Permutation(hosts, sim.NewRand(o.Seed))
-		senders := n.Permutation(dst)
-		meters := make([]*meter, len(senders))
-		for i, s := range senders {
-			s := s
-			meters[i] = newMeter(func() int64 { return s.AckedBytes() })
-		}
-		g := runWarmMeasure(n.EL(), warm, window, meters)
-		ndpUtil = utilization(g, 10e9)
-	}
-	t.AddRow("permutation utilization (%)", f4(100*phostUtil), f4(100*ndpUtil))
+	res := RunJobs(o, jobs)
+
+	t := &stats.Table{Header: []string{"metric", "pHost", "NDP"}}
+	t.AddRow(fmt.Sprintf("%d:1 incast last FCT (ms)", nsend), f4(res[0]), f4(res[1]))
+	t.AddRow("permutation utilization (%)", f4(100*res[2]), f4(100*res[3]))
 	r.AddTable("pHost vs NDP", t)
 	r.Notef("paper shape: pHost's incast ~10x slower than NDP; permutation ~70%% vs NDP ~95%%")
 }
 
-// tScale measures permutation utilization as the FatTree grows.
+// tScale measures permutation utilization as the FatTree grows. One job
+// per topology size.
 func tScale(o Options, r *Result) {
 	ks := []int{4, 8}
 	if o.Scale >= 0.4 {
@@ -163,66 +179,79 @@ func tScale(o Options, r *Result) {
 	}
 	warm := 3 * sim.Millisecond
 	window := sim.Time(o.pick(5, 8, 10)) * sim.Millisecond
+
+	jobs := make([]Job[float64], len(ks))
+	for i, k := range ks {
+		k := k
+		jobs[i] = NewJob(fmt.Sprintf("t-scale/k%d", k), o.Seed, func(seed uint64) float64 {
+			g := permGoodputNDP(k, seed, warm, window)
+			return 100 * utilization(g, 10e9)
+		})
+	}
+	res := RunJobs(o, jobs)
+
 	t := &stats.Table{Header: []string{"hosts", "utilization%"}}
-	for _, k := range ks {
-		n := BuildNDP(FatTreeBuilder(k), topo.Config{Seed: o.Seed},
-			core.DefaultSwitchConfig(9000), core.DefaultConfig())
-		dst := workload.Permutation(n.C.NumHosts(), sim.NewRand(o.Seed))
-		senders := n.Permutation(dst)
-		meters := make([]*meter, len(senders))
-		for i, s := range senders {
-			s := s
-			meters[i] = newMeter(func() int64 { return s.AckedBytes() })
-		}
-		g := runWarmMeasure(n.EL(), warm, window, meters)
-		t.AddFloats(fmt.Sprint(n.C.NumHosts()), 100*utilization(g, 10e9))
+	for i, k := range ks {
+		t.AddFloats(fmt.Sprint(k*k*k/4), res[i])
 	}
 	r.AddTable("permutation utilization vs size (8pkt buffers, IW 30)", t)
 	r.Notef("paper shape: gentle decline from ~98%% (128 hosts) to ~90%% (8192 hosts); pass -full for k=32")
 }
 
 // tTrim compares where packets get trimmed when the sender chooses paths
-// (permuted lists) versus per-packet random ECMP at switches.
+// (permuted lists) versus per-packet random ECMP at switches. One job per
+// load-balancing mode.
 func tTrim(o Options, r *Result) {
 	k := o.pick(4, 8, 8)
-	t := &stats.Table{Header: []string{"load balancing", "uplink_trim%", "total_trim%", "util%"}}
-	for _, switchLB := range []bool{false, true} {
-		hcfg := core.DefaultConfig()
-		hcfg.SwitchLB = switchLB
-		base := topo.Config{Seed: o.Seed}
-		base.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(9000), sim.NewRand(o.Seed+41))
-		ft := topo.NewFatTree(k, base)
-		core.WireBounce(ft.Switches)
-		n := &NDPNet{C: ft}
-		for i, h := range ft.Hosts {
-			h := h
-			cfg := hcfg
-			cfg.Seed = o.Seed + uint64(i)*7919
-			st := core.NewStack(h, func(dst int32) [][]int16 { return ft.Paths(h.ID, dst) }, cfg)
-			st.Listen(nil)
-			n.Stacks = append(n.Stacks, st)
-		}
-		dst := workload.Permutation(ft.NumHosts(), sim.NewRand(o.Seed))
-		senders := n.Permutation(dst)
-		meters := make([]*meter, len(senders))
-		for i, s := range senders {
-			s := s
-			meters[i] = newMeter(func() int64 { return s.AckedBytes() })
-		}
-		g := runWarmMeasure(n.EL(), 3*sim.Millisecond, sim.Time(o.pick(5, 10, 15))*sim.Millisecond, meters)
+	warm := 3 * sim.Millisecond
+	window := sim.Time(o.pick(5, 10, 15)) * sim.Millisecond
 
-		var packets int64
-		for _, s := range senders {
-			packets += s.PacketsSent
-		}
-		name := "sender-permuted paths"
+	type trims struct{ uplinkPct, totalPct, util float64 }
+	modes := []bool{false, true}
+	jobs := make([]Job[trims], len(modes))
+	for i, switchLB := range modes {
+		switchLB := switchLB
+		name := "senderLB"
 		if switchLB {
-			name = "switch per-packet ECMP"
+			name = "switchLB"
 		}
-		t.AddFloats(name,
-			pct(float64(ft.UplinkTrims()), float64(packets)),
-			pct(float64(ft.TotalTrims()), float64(packets)),
-			100*utilization(g, 10e9))
+		jobs[i] = NewJob("t-trim/"+name, o.Seed, func(seed uint64) trims {
+			hcfg := core.DefaultConfig()
+			hcfg.SwitchLB = switchLB
+			base := topo.Config{Seed: seed}
+			base.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(9000), sim.NewRand(seed+41))
+			ft := topo.NewFatTree(k, base)
+			core.WireBounce(ft.Switches)
+			n := &NDPNet{C: ft}
+			for i, h := range ft.Hosts {
+				h := h
+				cfg := hcfg
+				cfg.Seed = seed + uint64(i)*7919
+				st := core.NewStack(h, func(dst int32) [][]int16 { return ft.Paths(h.ID, dst) }, cfg)
+				st.Listen(nil)
+				n.Stacks = append(n.Stacks, st)
+			}
+			dst := workload.Permutation(ft.NumHosts(), sim.NewRand(seed))
+			senders := n.Permutation(dst)
+			g := runWarmMeasure(n.EL(), warm, window, senderMeters(senders))
+
+			var packets int64
+			for _, s := range senders {
+				packets += s.PacketsSent
+			}
+			return trims{
+				uplinkPct: pct(float64(ft.UplinkTrims()), float64(packets)),
+				totalPct:  pct(float64(ft.TotalTrims()), float64(packets)),
+				util:      100 * utilization(g, 10e9),
+			}
+		})
+	}
+	res := RunJobs(o, jobs)
+
+	t := &stats.Table{Header: []string{"load balancing", "uplink_trim%", "total_trim%", "util%"}}
+	rowNames := []string{"sender-permuted paths", "switch per-packet ECMP"}
+	for i, tr := range res {
+		t.AddFloats(rowNames[i], tr.uplinkPct, tr.totalPct, tr.util)
 	}
 	r.AddTable("trim locality under permutation", t)
 	r.Notef("paper shape: uplink trims ~0.01%% with source LB vs ~2.4%% with switch LB; source LB also buys a few %% utilization")

@@ -7,6 +7,11 @@
 // Experiments accept a Scale knob: 1.0 reproduces the paper's dimensions
 // (432-host FatTrees and so on); smaller values shrink topology sizes and
 // durations proportionally so the same code paths run in CI-friendly time.
+//
+// Every experiment decomposes into declarative sweep jobs (jobs.go): each
+// sweep point is a self-contained simulation derived from a per-job seed,
+// executed on a Workers-sized pool with deterministic result ordering, so
+// `ndpsim -exp all` scales across cores without perturbing results.
 package harness
 
 import (
@@ -25,6 +30,11 @@ type Options struct {
 	Seed uint64
 	// Full unlocks extreme sizes (the 8192-host FatTree of Figure 20).
 	Full bool
+	// Workers sizes the sweep-job pool: each experiment decomposes into
+	// independent seed-derived simulation jobs (see jobs.go) executed on
+	// this many goroutines. 0 means runtime.GOMAXPROCS; 1 runs serially.
+	// Results are bit-identical for every value with the same Seed.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {

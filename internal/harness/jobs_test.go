@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestRunJobsOrdering checks that results come back in job order for any
+// worker count, including pools larger than the job list.
+func TestRunJobsOrdering(t *testing.T) {
+	const n = 37
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = NewJob(fmt.Sprintf("job%d", i), uint64(i), func(seed uint64) int {
+			return int(seed) * 10
+		})
+	}
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		res := RunJobs(Options{Workers: workers}, jobs)
+		if len(res) != n {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(res), n)
+		}
+		for i, v := range res {
+			if v != i*10 {
+				t.Errorf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*10)
+			}
+		}
+	}
+}
+
+// TestRunJobsEmpty must not deadlock or panic on an empty sweep.
+func TestRunJobsEmpty(t *testing.T) {
+	if res := RunJobs(Options{Workers: 4}, []Job[int]{}); len(res) != 0 {
+		t.Fatalf("empty sweep returned %d results", len(res))
+	}
+}
+
+// TestRunJobsPanicAttribution checks that a panicking job surfaces on the
+// calling goroutine with its label attached, for both serial and parallel
+// pools.
+func TestRunJobsPanicAttribution(t *testing.T) {
+	jobs := []Job[int]{
+		NewJob("ok", 1, func(seed uint64) int { return 0 }),
+		NewJob("exploding-point", 2, func(seed uint64) int { panic("boom") }),
+		NewJob("ok2", 3, func(seed uint64) int { return 0 }),
+	}
+	for _, workers := range []int{1, 3} {
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Errorf("workers=%d: expected panic", workers)
+					return
+				}
+				msg := fmt.Sprint(p)
+				if !strings.Contains(msg, "exploding-point") || !strings.Contains(msg, "boom") {
+					t.Errorf("workers=%d: panic lacks attribution: %q", workers, msg)
+				}
+			}()
+			RunJobs(Options{Workers: workers}, jobs)
+		}()
+	}
+}
+
+// TestSweepSeeds checks seeds are reproducible, position-stable and
+// pairwise distinct.
+func TestSweepSeeds(t *testing.T) {
+	a := SweepSeeds(42, 8)
+	b := SweepSeeds(42, 8)
+	longer := SweepSeeds(42, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d not reproducible: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] != longer[i] {
+			t.Fatalf("seed %d depends on sweep length: %d vs %d", i, a[i], longer[i])
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, s := range longer {
+		if seen[s] {
+			t.Fatalf("duplicate derived seed %d", s)
+		}
+		seen[s] = true
+	}
+	if SweepSeeds(43, 1)[0] == a[0] {
+		t.Error("different bases produced the same first seed")
+	}
+}
+
+// TestJobWorkersDeterminism runs a real (tiny) experiment serially and on
+// a large pool and requires bit-identical rendered results — the core
+// guarantee of the parallel sweep engine.
+func TestJobWorkersDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations; skipped in -short mode")
+	}
+	e := Get("fig2")
+	if e == nil {
+		t.Fatal("fig2 not registered")
+	}
+	serial := e.Run(Options{Scale: 0.1, Seed: 11, Workers: 1}).String()
+	parallel := e.Run(Options{Scale: 0.1, Seed: 11, Workers: 8}).String()
+	if serial != parallel {
+		t.Errorf("fig2 differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}

@@ -102,6 +102,14 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 	}
 }
 
+// SplitSeed draws a fresh well-mixed seed from the generator's stream.
+// Successive calls yield independent seeds, so a parent Rand can hand each
+// of N children its own deterministic seed: the i-th child's seed depends
+// only on the parent's seed and i, never on who consumes the child first.
+// This is how the experiment harness derives per-job RNGs for parallel
+// sweeps without sharing generator state across goroutines.
+func (r *Rand) SplitSeed() uint64 { return r.Uint64() }
+
 // ExpFloat64 returns an exponentially distributed value with mean 1.
 func (r *Rand) ExpFloat64() float64 {
 	// Inverse transform sampling; guard against log(0).

@@ -28,7 +28,8 @@ import (
 
 // Options mirrors harness.Options: Scale in (0,1] shrinks topologies and
 // durations (1.0 = paper scale), Seed fixes all randomness, Full unlocks
-// the extreme sizes (8192-host FatTree).
+// the extreme sizes (8192-host FatTree), and Workers sizes the sweep-job
+// pool (0 = all cores, 1 = serial; results are bit-identical either way).
 type Options = harness.Options
 
 // Result is a rendered experiment outcome; its String method prints the

@@ -68,3 +68,26 @@ func TestDeterminism(t *testing.T) {
 		t.Error("same seed produced different results; simulation is not deterministic")
 	}
 }
+
+// TestParallelDeterminism is the headline guarantee of the sweep engine:
+// the same seed must produce identical result tables whether the sweep
+// jobs run serially or fanned out across 8 workers.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, id := range []string{"fig14", "fig17"} {
+		serial, err := Run(id, Options{Scale: 0.1, Seed: 5, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := Run(id, Options{Scale: 0.1, Seed: 5, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.String() != parallel.String() {
+			t.Errorf("%s differs between Workers=1 and Workers=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial, parallel)
+		}
+	}
+}

@@ -1,5 +1,6 @@
 // Command ndpsim regenerates the tables and figures of the NDP paper
-// (Handley et al., SIGCOMM 2017) from the simulator in this repository.
+// (Handley et al., SIGCOMM 2017) from the simulator in this repository,
+// and runs custom scenarios composed from the public scenario API.
 //
 // Usage:
 //
@@ -9,18 +10,25 @@
 //	ndpsim -exp fig20 -full      # unlock the 8192-host FatTree
 //	ndpsim -exp all -parallel 1  # force the old serial execution
 //
-// Experiments decompose into independent seed-derived simulation jobs that
-// run on a worker pool sized by -parallel (default: all cores). Results are
-// bit-identical for any worker count with the same -seed.
+//	ndpsim -scenario incast -transport dcqcn -hosts 128 -degree 100 -flowsize 135000
+//	ndpsim -scenario permutation -transport mptcp -json
+//
+// Experiments and scenario repeats decompose into independent seed-derived
+// simulation jobs that run on a worker pool sized by -parallel (default:
+// all cores). Results are bit-identical for any worker count with the same
+// -seed. Invalid flag values are rejected with exit code 2 before anything
+// runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"ndp"
+	"ndp/scenario"
 )
 
 func main() {
@@ -29,19 +37,37 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "scale knob in (0,1]: 1.0 = paper dimensions")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		full     = flag.Bool("full", false, "unlock extreme sizes (8192-host FatTree)")
-		list     = flag.Bool("list", false, "list experiments and exit")
+		list     = flag.Bool("list", false, "list experiments and scenarios, then exit")
 		parallel = flag.Int("parallel", 0, "sweep-job workers: 0 = all cores, 1 = serial")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of tables")
+
+		scen      = flag.String("scenario", "", "named scenario to run (see -list)")
+		transport = flag.String("transport", "ndp", "scenario transport: ndp|tcp|dctcp|mptcp|dcqcn|phost")
+		hosts     = flag.Int("hosts", 0, "scenario topology size (hosts; 0 = scenario default)")
+		degree    = flag.Int("degree", 0, "scenario incast fan-in / rpc conns per host (0 = default)")
+		flowsize  = flag.Int64("flowsize", 0, "scenario flow size in bytes (0 = default)")
+		repeats   = flag.Int("repeats", 1, "scenario repetitions aggregated into one result")
 	)
 	flag.Parse()
 
-	if *list || *exp == "" {
-		fmt.Println("experiments:")
-		for _, id := range ndp.Experiments() {
-			fmt.Printf("  %-8s  %s\n", id, ndp.Describe(id))
-		}
-		if *exp == "" && !*list {
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if *hosts < 0 || *degree < 0 || *flowsize < 0 {
+		fatalUsage("-hosts/-degree/-flowsize must be >= 0 (0 = scenario default), got %d/%d/%d",
+			*hosts, *degree, *flowsize)
+	}
+	validateFlags(*exp, *scen, *transport, *scale, *parallel, *repeats, explicit)
+
+	if *list || (*exp == "" && *scen == "") {
+		printCatalog()
+		if *exp == "" && *scen == "" && !*list {
 			os.Exit(2)
 		}
+		return
+	}
+
+	if *scen != "" {
+		runScenario(*scen, *transport, *hosts, *degree, *flowsize, *seed, *parallel, *repeats, *jsonOut)
 		return
 	}
 
@@ -50,6 +76,8 @@ func main() {
 		ids = ndp.Experiments()
 	}
 	opts := ndp.Options{Scale: *scale, Seed: *seed, Full: *full, Workers: *parallel}
+	total := time.Now()
+	var results []*ndp.Result
 	for _, id := range ids {
 		start := time.Now()
 		res, err := ndp.Run(id, opts)
@@ -57,7 +85,132 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			results = append(results, res)
+			continue
+		}
 		fmt.Print(res)
 		fmt.Printf("(%s wall time: %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	switch {
+	case *jsonOut && len(results) == 1:
+		emitJSON(results[0])
+	case *jsonOut:
+		// One valid JSON document regardless of how many experiments ran.
+		emitJSON(results)
+	case *exp == "all":
+		fmt.Printf("== %d experiments, total wall time: %v ==\n",
+			len(ids), time.Since(total).Round(time.Millisecond))
+	}
+}
+
+// validateFlags rejects invalid or inapplicable flag values loudly
+// (exit 2) before any simulation runs, instead of silently clamping or
+// ignoring them. explicit holds the flags the user actually set.
+func validateFlags(exp, scen, transport string, scale float64, parallel, repeats int, explicit map[string]bool) {
+	if scale <= 0 || scale > 1 {
+		fatalUsage("-scale must be in (0,1], got %g", scale)
+	}
+	if parallel < 0 {
+		fatalUsage("-parallel must be >= 0, got %d", parallel)
+	}
+	if repeats < 1 {
+		fatalUsage("-repeats must be >= 1, got %d", repeats)
+	}
+	ok := false
+	for _, t := range scenario.Transports() {
+		if string(t) == transport {
+			ok = true
+		}
+	}
+	if !ok {
+		fatalUsage("unknown transport %q (known: %v)", transport, scenario.Transports())
+	}
+	if exp != "" && scen != "" {
+		fatalUsage("-exp and -scenario are mutually exclusive")
+	}
+	if exp != "" {
+		if exp != "all" && ndp.Describe(exp) == "" {
+			fatalUsage("unknown experiment %q (see -list)", exp)
+		}
+		for _, f := range []string{"transport", "hosts", "degree", "flowsize", "repeats"} {
+			if explicit[f] {
+				fatalUsage("-%s only applies to -scenario mode", f)
+			}
+		}
+	}
+	if scen != "" {
+		n, ok := scenario.Lookup(scen)
+		if !ok {
+			fatalUsage("unknown scenario %q (see -list)", scen)
+		}
+		for _, f := range []string{"scale", "full"} {
+			if explicit[f] {
+				fatalUsage("-%s does not apply to -scenario mode", f)
+			}
+		}
+		for _, f := range []string{"hosts", "degree", "flowsize"} {
+			if explicit[f] && !n.UsesParam(f) {
+				fatalUsage("scenario %q does not use -%s (accepted: %v)", scen, f, n.Uses)
+			}
+		}
+	}
+}
+
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ndpsim: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func printCatalog() {
+	fmt.Println("experiments:")
+	for _, id := range ndp.Experiments() {
+		fmt.Printf("  %-8s  %s\n", id, ndp.Describe(id))
+	}
+	fmt.Println("scenarios (compose with -transport/-hosts/-degree/-flowsize):")
+	for _, n := range scenario.Catalog() {
+		fmt.Printf("  %-12s  %s\n", n.Name, n.Description)
+	}
+}
+
+func runScenario(name, transport string, hosts, degree int, flowsize int64,
+	seed uint64, workers, repeats int, jsonOut bool) {
+	spec, err := scenario.Build(name,
+		scenario.Params{Hosts: hosts, Degree: degree, FlowSize: flowsize},
+		scenario.WithTransport(scenario.Transport(transport)),
+		scenario.WithSeed(seed),
+		scenario.WithWorkers(workers),
+		scenario.WithRepeats(repeats),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Spec-level validation failures (e.g. an incast degree larger than
+	// the topology) are usage errors too: reject before running anything.
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	start := time.Now()
+	m, err := scenario.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		emitJSON(m)
+		return
+	}
+	fmt.Print(m)
+	fmt.Printf("(wall time: %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -1,80 +1,58 @@
 // Failure: a core link silently negotiates down to 1Gb/s. NDP's per-packet
 // spraying would normally keep hitting it; the path scoreboard (§3.2.3)
 // notices the asymmetric NACK ratio and routes around it. Run with and
-// without the penalty to see the difference (Figure 22).
+// without the penalty to see the difference (Figure 22) — composed from
+// the public scenario API's link-failure injection.
 //
 //	go run ./examples/failure
 package main
 
 import (
+	"flag"
 	"fmt"
-	"sort"
+	"time"
 
-	"ndp/internal/core"
-	"ndp/internal/sim"
-	"ndp/internal/topo"
-	"ndp/internal/workload"
+	"ndp/scenario"
 )
 
 func main() {
+	tiny := flag.Bool("tiny", false, "shrink to CI-smoke size")
+	flag.Parse()
+
+	// The scoreboard needs enough per-path NACK samples to spot the
+	// asymmetry, so even the CI-smoke run keeps the 128-host FatTree and
+	// shrinks the measurement window instead.
+	window := 10 * time.Millisecond
+	if *tiny {
+		window = 4 * time.Millisecond
+	}
+	spec := scenario.New(
+		scenario.WithTopology(scenario.FatTreeForHosts(128)),
+		scenario.WithWorkload(scenario.Permutation()),
+		scenario.WithLinkFailure(0, 0, 1e9), // agg0's first core uplink: 10G -> 1G
+		scenario.WithSeed(21),
+		scenario.WithWindow(window),
+	)
+
 	for _, penalty := range []bool{true, false} {
-		gbps, excluded := run(penalty)
-		sort.Float64s(gbps)
-		var sum float64
-		for _, g := range gbps {
-			sum += g
+		m, err := scenario.Run(spec.With(scenario.WithPathPenalty(penalty)))
+		if err != nil {
+			panic(err)
 		}
 		name := "with path penalty"
 		if !penalty {
 			name = "without path penalty"
 		}
 		slow := 0
-		for _, g := range gbps {
+		for _, g := range m.GoodputGbps {
 			if g < 5 {
 				slow++
 			}
 		}
 		fmt.Printf("%-22s utilization %.1f%%  worst flow %.2f Gb/s  flows under 5G: %d  paths excluded: %d\n",
-			name, 100*sum/(float64(len(gbps))*10), gbps[0], slow, excluded)
+			name, m.UtilizationPct, m.Goodput.Min, slow, m.PathsExcluded)
 	}
-	fmt.Println("\npaper shape: without the penalty a cluster of flows is stuck near 3 Gb/s;")
-	fmt.Println("with it, senders exclude the degraded paths and throughput recovers.")
-}
-
-func run(penalty bool) ([]float64, int) {
-	const k = 8
-	base := topo.Config{Seed: 21}
-	base.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(9000), sim.NewRand(33))
-	net := topo.NewFatTree(k, base)
-	core.WireBounce(net.Switches)
-	net.DegradeLink(0, 0, 1e9) // agg0's first core uplink: 10G -> 1G
-
-	stacks := make([]*core.Stack, net.NumHosts())
-	for i, h := range net.Hosts {
-		h := h
-		c := core.DefaultConfig()
-		c.Seed = uint64(i + 1)
-		c.DisablePathPenalty = !penalty
-		stacks[i] = core.NewStack(h, func(dst int32) [][]int16 { return net.Paths(h.ID, dst) }, c)
-		stacks[i].Listen(nil)
-	}
-	dst := workload.Permutation(net.NumHosts(), sim.NewRand(21))
-	senders := make([]*core.Sender, len(dst))
-	for src, d := range dst {
-		senders[src] = stacks[src].Connect(stacks[d], -1, core.FlowOpts{})
-	}
-	const warm, window = 3 * sim.Millisecond, 10 * sim.Millisecond
-	net.EL.RunUntil(warm)
-	base0 := make([]int64, len(senders))
-	for i, s := range senders {
-		base0[i] = s.AckedBytes()
-	}
-	net.EL.RunUntil(warm + window)
-	out := make([]float64, len(senders))
-	excluded := 0
-	for i, s := range senders {
-		out[i] = float64(s.AckedBytes()-base0[i]) * 8 / window.Seconds() / 1e9
-		excluded += s.ExcludedPaths()
-	}
-	return out, excluded
+	fmt.Println("\npaper shape (Figure 22): with the penalty the scoreboard excludes the degraded")
+	fmt.Println("paths (nonzero count above) and lifts the worst flows; without it every sender")
+	fmt.Println("keeps spraying onto the 1Gb/s link it should be routing around.")
 }

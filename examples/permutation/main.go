@@ -1,123 +1,44 @@
-// Permutation: the paper's worst-case full-load traffic matrix — every host
-// sends to one host and receives from one host — compared between NDP with
-// 8-packet switch buffers and DCTCP with 200-packet ECN buffers (the
-// Figure 14 headline).
+// Permutation: the paper's worst-case full-load traffic matrix — every
+// host sends to one host and receives from one host — compared between NDP
+// with 8-packet switch buffers and DCTCP with 200-packet ECN buffers (the
+// Figure 14 headline), via the public scenario API.
 //
 //	go run ./examples/permutation
 package main
 
 import (
+	"flag"
 	"fmt"
-	"sort"
+	"time"
 
-	"ndp/internal/core"
-	"ndp/internal/dctcp"
-	"ndp/internal/fabric"
-	"ndp/internal/sim"
-	"ndp/internal/stats"
-	"ndp/internal/tcp"
-	"ndp/internal/topo"
-	"ndp/internal/workload"
-)
-
-const (
-	k      = 8 // 128 hosts
-	warm   = 3 * sim.Millisecond
-	window = 10 * sim.Millisecond
+	"ndp/scenario"
 )
 
 func main() {
-	ndpFlows := runNDP()
-	dctcpFlows := runDCTCP()
+	tiny := flag.Bool("tiny", false, "shrink to CI-smoke size")
+	flag.Parse()
 
-	report := func(name string, gbps []float64) {
-		sort.Float64s(gbps)
-		var sum float64
-		for _, g := range gbps {
-			sum += g
-		}
-		util := sum / (float64(len(gbps)) * 10)
-		fmt.Printf("%-6s utilization %.1f%%  worst flow %.2f Gb/s  median %.2f Gb/s  Jain %.3f\n",
-			name, 100*util, gbps[0], gbps[len(gbps)/2], stats.JainIndex(gbps))
+	hosts, window := 128, 10*time.Millisecond
+	if *tiny {
+		hosts, window = 16, 3*time.Millisecond
 	}
+	spec := scenario.New(
+		scenario.WithTopology(scenario.FatTreeForHosts(hosts)),
+		scenario.WithWorkload(scenario.Permutation()),
+		scenario.WithSeed(5),
+		scenario.WithWindow(window),
+	)
+
 	fmt.Printf("permutation matrix on a %d-host FatTree, %v measurement window\n",
-		k*k*k/4, window)
-	report("NDP", ndpFlows)
-	report("DCTCP", dctcpFlows)
+		spec.Topology.Hosts(), window)
+	for _, tr := range []scenario.Transport{scenario.NDP, scenario.DCTCP} {
+		m, err := scenario.Run(spec.With(scenario.WithTransport(tr)))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-6s utilization %.1f%%  worst flow %.2f Gb/s  median %.2f Gb/s  Jain %.3f\n",
+			tr, m.UtilizationPct, m.Goodput.Min, m.Goodput.P50, m.JainIndex)
+	}
 	fmt.Println("\npaper shape: NDP >=92% with every flow near 9 Gb/s;")
 	fmt.Println("DCTCP ~40% because per-flow ECMP collides flows onto shared core links.")
-}
-
-func runNDP() []float64 {
-	cfg := topo.Config{Seed: 5}
-	cfg.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(9000), sim.NewRand(9))
-	net := topo.NewFatTree(k, cfg)
-	core.WireBounce(net.Switches)
-	stacks := make([]*core.Stack, net.NumHosts())
-	for i, h := range net.Hosts {
-		h := h
-		c := core.DefaultConfig()
-		c.Seed = uint64(i + 1)
-		stacks[i] = core.NewStack(h, func(dst int32) [][]int16 { return net.Paths(h.ID, dst) }, c)
-		stacks[i].Listen(nil)
-	}
-	dst := workload.Permutation(net.NumHosts(), sim.NewRand(5))
-	senders := make([]*core.Sender, len(dst))
-	for src, d := range dst {
-		senders[src] = stacks[src].Connect(stacks[d], -1, core.FlowOpts{})
-	}
-	net.EL.RunUntil(warm)
-	base := make([]int64, len(senders))
-	for i, s := range senders {
-		base[i] = s.AckedBytes()
-	}
-	net.EL.RunUntil(warm + window)
-	out := make([]float64, len(senders))
-	for i, s := range senders {
-		out[i] = float64(s.AckedBytes()-base[i]) * 8 / window.Seconds() / 1e9
-	}
-	return out
-}
-
-// unboundedSource feeds a TCP sender forever (long-running flow).
-type unboundedSource struct{ mss int }
-
-func (u unboundedSource) Claim() int      { return u.mss }
-func (u unboundedSource) Exhausted() bool { return false }
-
-func runDCTCP() []float64 {
-	cfg := topo.Config{Seed: 5}
-	cfg.SwitchQueue = dctcp.QueueFactory(9000)
-	net := topo.NewFatTree(k, cfg)
-	demux := make([]*fabric.Demux, net.NumHosts())
-	for i, h := range net.Hosts {
-		demux[i] = fabric.NewDemux()
-		h.Stack = demux[i]
-	}
-	rand := sim.NewRand(77)
-	dst := workload.Permutation(net.NumHosts(), sim.NewRand(5))
-	senders := make([]*tcp.Sender, 0, len(dst))
-	for src, d := range dst {
-		paths := net.Paths(int32(src), int32(d))
-		rev := net.Paths(int32(d), int32(src))
-		flow := uint64(src + 1)
-		snd := tcp.NewSender(net.Hosts[src], int32(d), flow,
-			paths[rand.Intn(len(paths))], unboundedSource{mss: 9000}, dctcp.SenderConfig(9000))
-		rcv := dctcp.NewReceiver(net.Hosts[d], int32(src), flow, rev[rand.Intn(len(rev))])
-		demux[src].Register(flow, snd)
-		demux[d].Register(flow, rcv)
-		snd.Start()
-		senders = append(senders, snd)
-	}
-	net.EL.RunUntil(warm)
-	base := make([]int64, len(senders))
-	for i, s := range senders {
-		base[i] = s.AckedBytes
-	}
-	net.EL.RunUntil(warm + window)
-	out := make([]float64, len(senders))
-	for i, s := range senders {
-		out[i] = float64(s.AckedBytes-base[i]) * 8 / window.Seconds() / 1e9
-	}
-	return out
 }

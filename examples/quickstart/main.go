@@ -1,55 +1,37 @@
-// Quickstart: build a small FatTree with NDP switches, transfer 1MB between
-// two hosts in different pods, and print what happened on the wire.
+// Quickstart: build a small FatTree with NDP switches, transfer 1MB
+// between two hosts, and print what happened on the wire — all through the
+// public scenario API.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"flag"
 	"fmt"
 
-	"ndp/internal/core"
-	"ndp/internal/sim"
-	"ndp/internal/topo"
+	"ndp/scenario"
 )
 
 func main() {
-	// A k=4 FatTree: 16 hosts, 20 switches, 4 paths between pods.
-	// Every switch egress runs the NDP service model: an 8-packet data
-	// queue plus a priority header queue with 10:1 WRR and trimming.
-	cfg := topo.Config{Seed: 42}
-	cfg.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(9000), sim.NewRand(7))
-	net := topo.NewFatTree(4, cfg)
-	core.WireBounce(net.Switches) // return-to-sender re-enters routing
+	flag.Bool("tiny", false, "no-op; the quickstart is already tiny (CI smoke flag)")
+	flag.Parse()
 
-	// One NDP stack per host; all listening.
-	stacks := make([]*core.Stack, net.NumHosts())
-	for i, h := range net.Hosts {
-		h := h
-		c := core.DefaultConfig()
-		c.Seed = uint64(i + 1)
-		stacks[i] = core.NewStack(h, func(dst int32) [][]int16 { return net.Paths(h.ID, dst) }, c)
-		stacks[i].Listen(nil)
+	// A k=4 FatTree: 16 hosts, 20 switches, 4 paths between pods. Every
+	// switch egress runs the NDP service model (8-packet data queue,
+	// priority header queue, trimming); a single 1MB flow is pulled into
+	// host 0 at line rate from the first RTT.
+	spec := scenario.New(
+		scenario.WithTopology(scenario.FatTree(4)),
+		scenario.WithTransport(scenario.NDP),
+		scenario.WithWorkload(scenario.Incast(1, 1_000_000)),
+		scenario.WithSeed(42),
+	)
+	m, err := scenario.Run(spec)
+	if err != nil {
+		panic(err)
 	}
-
-	// Zero-RTT transfer: the first window leaves at line rate immediately,
-	// SYN on every packet, sprayed across all four inter-pod paths.
-	const size = 1_000_000
-	src, dst := 0, 15
-	fmt.Printf("sending %d bytes from host %d to host %d...\n", size, src, dst)
-
-	var fct sim.Time
-	snd := stacks[src].Connect(stacks[dst], size, core.FlowOpts{
-		OnReceiverDone: func(r *core.Receiver) {
-			fct = r.CompletedAt
-			fmt.Printf("receiver got %d bytes at t=%v (first packet at %v)\n",
-				r.Bytes(), r.CompletedAt, r.FirstArrival)
-		},
-	})
-	net.EL.RunUntil(50 * sim.Millisecond)
-
-	fmt.Printf("flow completed in %v (%.2f Gb/s)\n", fct, float64(size)*8/fct.Seconds()/1e9)
-	fmt.Printf("sender: %d packets sent, %d retransmissions (%d NACK-driven, %d bounced, %d timeouts)\n",
-		snd.PacketsSent, snd.Retransmissions(), snd.RtxFromNack, snd.RtxFromBounce, snd.RtxFromTimeout)
-	st := net.CollectStats()
-	fmt.Printf("network: %d trims, %d bounces, %d drops\n", st.Trims, st.Bounces, st.Drops)
+	fmt.Print(m)
+	fmt.Printf("\nflow completed in %.4g us (%.2f Gb/s goodput)\n",
+		m.FCT.Max, 1_000_000*8/(m.LastCompletionMs/1e3)/1e9)
+	fmt.Println("next: examples/incast overloads the receiver so the switches trim instead of drop")
 }

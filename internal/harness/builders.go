@@ -45,21 +45,10 @@ type NDPNet struct {
 }
 
 // BuildNDP constructs a topology with NDP switch queues and a listening NDP
-// stack on every host.
+// stack on every host. It is a thin wrapper over NDPTransport, the single
+// construction path (transport.go).
 func BuildNDP(build BuildFunc, base topo.Config, scfg core.SwitchConfig, hcfg core.Config) *NDPNet {
-	base.SwitchQueue = core.QueueFactory(scfg, sim.NewRand(base.Seed*2654435761+17))
-	c := build(base)
-	core.WireBounce(c.SwitchList())
-	n := &NDPNet{C: c}
-	for i, h := range c.HostList() {
-		h := h
-		cfg := hcfg
-		cfg.Seed = base.Seed + uint64(i)*7919
-		st := core.NewStack(h, func(dst int32) [][]int16 { return c.Paths(h.ID, dst) }, cfg)
-		st.Listen(nil)
-		n.Stacks = append(n.Stacks, st)
-	}
-	return n
+	return NDPTransport{Switch: scfg, Host: hcfg}.Build(build, base).(*NDPNet)
 }
 
 // EL returns the cluster's scheduler.
@@ -103,27 +92,25 @@ func (n *NDPNet) Permutation(dst []int) []*core.Sender {
 // ------------------------------------------------------------ TCP-family ----
 
 // TCPNet bundles a cluster with per-host demuxes for the TCP/DCTCP/MPTCP
-// baselines.
+// baselines. Cfg is the flow configuration StartFlow applies; the Flow and
+// MPTCPFlow methods take explicit configs instead.
 type TCPNet struct {
 	C     topo.Cluster
 	Demux []*fabric.Demux
 	Rand  *sim.Rand
+	Cfg   tcp.Config
 
 	nextFlow uint64
 }
 
 // BuildTCPFamily constructs a topology with the given switch queues and a
-// demux on every host.
-func BuildTCPFamily(build BuildFunc, base topo.Config, queue topo.QueueFactory) *TCPNet {
-	base.SwitchQueue = queue
-	c := build(base)
-	t := &TCPNet{C: c, Rand: sim.NewRand(base.Seed*48271 + 5), nextFlow: 1}
-	for _, h := range c.HostList() {
-		d := fabric.NewDemux()
-		h.Stack = d
-		t.Demux = append(t.Demux, d)
-	}
-	return t
+// demux on every host; cfg is the flow configuration the uniform StartFlow
+// surface applies (it must match the queue discipline — e.g. DCTCP flows
+// over ECN queues). It is a thin wrapper over TCPTransport, the single
+// construction path (transport.go). The Flow/MPTCPFlow methods take
+// explicit per-flow configs instead.
+func BuildTCPFamily(build BuildFunc, base topo.Config, queue topo.QueueFactory, cfg tcp.Config) *TCPNet {
+	return TCPTransport{Cfg: cfg, Queue: queue}.Build(build, base).(*TCPNet)
 }
 
 // EL returns the cluster's scheduler.
@@ -189,30 +176,11 @@ type DCQCNNet struct {
 	senders  []*dcqcn.Sender
 }
 
-// BuildDCQCN constructs a PFC-enabled topology with DCQCN ECN queues.
+// BuildDCQCN constructs a PFC-enabled topology with DCQCN ECN queues. It is
+// a thin wrapper over DCQCNTransport, the single construction path
+// (transport.go).
 func BuildDCQCN(build BuildFunc, base topo.Config, mtu int) *DCQCNNet {
-	base.Lossless = true
-	base.SwitchQueue = dcqcn.QueueFactory(mtu)
-	if base.LosslessLimit == 0 {
-		base.LosslessLimit = 200 * mtu
-	}
-	if base.PFCXoff == 0 {
-		base.PFCXoff = 2 * mtu
-	}
-	if base.PFCXon == 0 {
-		base.PFCXon = mtu
-	}
-	c := build(base)
-	cfg := dcqcn.DefaultConfig()
-	cfg.MTU = mtu
-	cfg.LineRate = c.LinkRate()
-	d := &DCQCNNet{C: c, Cfg: cfg, nextFlow: 1}
-	for _, h := range c.HostList() {
-		dm := fabric.NewDemux()
-		h.Stack = dm
-		d.Demux = append(d.Demux, dm)
-	}
-	return d
+	return DCQCNTransport{MTU: mtu}.Build(build, base).(*DCQCNNet)
 }
 
 // EL returns the cluster's scheduler.
@@ -249,24 +217,15 @@ func (d *DCQCNNet) StopAll() {
 type PHostNet struct {
 	C     topo.Cluster
 	Hosts []*phost.Host
+
+	nextFlow uint64
 }
 
 // BuildPHost constructs the §6.2 comparison network: 8-packet drop-tail
-// queues, per-packet ECMP spraying, pHost endpoints.
+// queues, per-packet ECMP spraying, pHost endpoints. It is a thin wrapper
+// over PHostTransport, the single construction path (transport.go).
 func BuildPHost(build BuildFunc, base topo.Config, cfg phost.Config) *PHostNet {
-	mtu := cfg.MTU
-	if mtu == 0 {
-		mtu = 9000
-	}
-	base.SwitchQueue = func(string) fabric.Queue { return fabric.NewFIFOQueue(8 * mtu) }
-	c := build(base)
-	p := &PHostNet{C: c}
-	for _, h := range c.HostList() {
-		ph := phost.NewHost(h, cfg)
-		ph.Listen(nil)
-		p.Hosts = append(p.Hosts, ph)
-	}
-	return p
+	return PHostTransport{Cfg: cfg}.Build(build, base).(*PHostNet)
 }
 
 // EL returns the cluster's scheduler.

@@ -26,10 +26,6 @@ func init() {
 	run("fig22", "Permutation with a degraded 1Gb/s core link", fig22)
 }
 
-func dropTail(maxBytes int) topo.QueueFactory {
-	return func(string) fabric.Queue { return fabric.NewFIFOQueue(maxBytes) }
-}
-
 // The four permGoodput helpers each run the permutation matrix under one
 // transport on a k-ary FatTree and return per-flow goodput in Gb/s. Each is
 // a complete simulation derived from seed alone, so fig14/fig17/t-limits
@@ -45,7 +41,7 @@ func permGoodputNDP(k int, seed uint64, warm, window sim.Time) []float64 {
 
 // permGoodputMPTCP: 200-packet drop-tail, 8 subflows on distinct paths.
 func permGoodputMPTCP(k int, seed uint64, warm, window sim.Time) []float64 {
-	tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dropTail(200*9000))
+	tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dropTail(200*9000), mptcp.DefaultConfig().TCP)
 	dst := workload.Permutation(tn.C.NumHosts(), sim.NewRand(seed))
 	cfg := mptcp.DefaultConfig()
 	meters := make([]*meter, 0, len(dst))
@@ -58,7 +54,7 @@ func permGoodputMPTCP(k int, seed uint64, warm, window sim.Time) []float64 {
 
 // permGoodputDCTCP: ECN queues, one fixed path per flow (ECMP stand-in).
 func permGoodputDCTCP(k int, seed uint64, warm, window sim.Time) []float64 {
-	tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dctcp.QueueFactory(9000))
+	tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dctcp.QueueFactory(9000), dctcp.SenderConfig(9000))
 	dst := workload.Permutation(tn.C.NumHosts(), sim.NewRand(seed))
 	meters := make([]*meter, 0, len(dst))
 	for src, d := range dst {
@@ -170,7 +166,7 @@ func fig15(o Options, r *Result) {
 			return fctRow("NDP", &fcts)
 		}),
 		NewJob("fig15/DCTCP", o.Seed, func(seed uint64) Row {
-			tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dctcp.QueueFactory(9000))
+			tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dctcp.QueueFactory(9000), dctcp.SenderConfig(9000))
 			hosts := tn.C.NumHosts()
 			probeDst := hosts / 2
 			rand := sim.NewRand(seed + 3)
@@ -223,7 +219,7 @@ func fig15(o Options, r *Result) {
 			return fctRow("DCQCN", &fcts)
 		}),
 		NewJob("fig15/MPTCP", o.Seed, func(seed uint64) Row {
-			tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dropTail(200*9000))
+			tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dropTail(200*9000), mptcp.DefaultConfig().TCP)
 			hosts := tn.C.NumHosts()
 			probeDst := hosts / 2
 			rand := sim.NewRand(seed + 3)
@@ -295,7 +291,7 @@ func fig16(o Options, r *Result) {
 				return append(append(Row{}, pre...), "NDP", f4(fcts.Min()/1000), f4(fcts.Max()/1000))
 			}),
 			NewJob(fmt.Sprintf("fig16/%d/DCTCP", nsend), seeds[fi], func(seed uint64) Row {
-				tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dctcp.QueueFactory(9000))
+				tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dctcp.QueueFactory(9000), dctcp.SenderConfig(9000))
 				var fcts stats.Dist
 				for _, s := range senders {
 					start := tn.EL().Now()
@@ -308,7 +304,7 @@ func fig16(o Options, r *Result) {
 			}),
 			NewJob(fmt.Sprintf("fig16/%d/MPTCP", nsend), seeds[fi], func(seed uint64) Row {
 				// Fine-grained RTO per Vasudevan et al.
-				tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dropTail(200*9000))
+				tn := BuildTCPFamily(FatTreeBuilder(k), topo.Config{Seed: seed}, dropTail(200*9000), mptcp.DefaultConfig().TCP)
 				cfg := mptcp.DefaultConfig()
 				cfg.TCP.MinRTO = 2 * sim.Millisecond
 				var fcts stats.Dist
@@ -437,7 +433,7 @@ func fig19(o Options, r *Result) {
 				})
 				n.EL().RunUntil(endAt)
 			case "DCTCP":
-				tn := BuildTCPFamily(FatTreeBuilder(4), topo.Config{Seed: seed}, dctcp.QueueFactory(9000))
+				tn := BuildTCPFamily(FatTreeBuilder(4), topo.Config{Seed: seed}, dctcp.QueueFactory(9000), dctcp.SenderConfig(9000))
 				_, lr := tn.Flow(12, 0, -1, dctcp.SenderConfig(9000), nil)
 				lr.OnData = func(b int64) { res.long.Record(tn.EL().Now(), b) }
 				tn.EL().At(incastAt, func() {

@@ -51,7 +51,7 @@ func tLimits(o Options, r *Result) {
 		}),
 		// MPTCP on the same Jellyfish: per-path congestion control.
 		NewJob("t-limits/jellyfish/MPTCP", o.Seed, func(seed uint64) scen {
-			tn := BuildTCPFamily(jfBuilder, topo.Config{Seed: seed}, dropTail(200*9000))
+			tn := BuildTCPFamily(jfBuilder, topo.Config{Seed: seed}, dropTail(200*9000), mptcp.DefaultConfig().TCP)
 			dst := workload.Permutation(tn.C.NumHosts(), sim.NewRand(seed))
 			cfg := mptcp.DefaultConfig()
 			meters := make([]*meter, 0, len(dst))

@@ -236,9 +236,9 @@ func fig9(o Options, r *Result) {
 				}),
 				// TCP run (Linux-like MinRTO 200ms, handshake per request).
 				NewJob(fmt.Sprintf("fig9/%dKB/rep%d/TCP", size/1000, rep), seed, func(seed uint64) fct {
-					tn := BuildTCPFamily(TwoTierBuilder(4, 2, 2), topo.Config{Seed: seed},
-						func(string) fabric.Queue { return fabric.NewFIFOQueue(8 * 9000) })
 					cfg := tcp.DefaultConfig()
+					tn := BuildTCPFamily(TwoTierBuilder(4, 2, 2), topo.Config{Seed: seed},
+						func(string) fabric.Queue { return fabric.NewFIFOQueue(8 * 9000) }, cfg)
 					var last sim.Time
 					done := 0
 					for _, s := range workload.IncastSenders(0, 7, 8) {

@@ -70,7 +70,7 @@ func fig23(o Options, r *Result) {
 				}
 			}),
 			NewJob(fmt.Sprintf("fig23/conns%d/DCTCP", conns), o.Seed, func(seed uint64) cell {
-				tn := BuildTCPFamily(OversubFatTreeBuilder(k, oversub), topo.Config{Seed: seed}, dctcp.QueueFactory(mtu))
+				tn := BuildTCPFamily(OversubFatTreeBuilder(k, oversub), topo.Config{Seed: seed}, dctcp.QueueFactory(mtu), dctcp.SenderConfig(mtu))
 				var fcts stats.Dist
 				cfg := dctcp.SenderConfig(mtu)
 				cl := &workload.ClosedLoop{

@@ -60,13 +60,14 @@ func (o Options) pick(small, medium, full int) int {
 }
 
 // Result is an experiment's output: one or more labelled tables plus notes
-// comparing the measured shape against the paper's claims.
+// comparing the measured shape against the paper's claims. It marshals to
+// JSON for machine-readable output (ndpsim -json).
 type Result struct {
-	ID     string
-	Title  string
-	Tables []*stats.Table
-	Labels []string // one per table
-	Notes  []string
+	ID     string         `json:"id"`
+	Title  string         `json:"title"`
+	Tables []*stats.Table `json:"tables"`
+	Labels []string       `json:"labels"` // one per table
+	Notes  []string       `json:"notes,omitempty"`
 }
 
 // AddTable appends a labelled table.

@@ -1,6 +1,9 @@
 package harness
 
 import (
+	"encoding/json"
+	"ndp/internal/stats"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -75,5 +78,29 @@ func TestResultRendering(t *testing.T) {
 	out := r.String()
 	if !strings.Contains(out, "demo") || !strings.Contains(out, strconv.Itoa(42)) {
 		t.Errorf("render: %s", out)
+	}
+}
+
+// TestResultJSONRoundTrip checks experiment results survive
+// marshal/unmarshal intact — the machine-readable contract of ndpsim -json.
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := &Result{ID: "figX", Title: "round-trip fixture"}
+	tb := &stats.Table{Header: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	r.AddTable("label", tb)
+	r.Notef("note %d", 7)
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*r, back) {
+		t.Errorf("result changed over JSON round-trip:\nbefore %+v\nafter  %+v", *r, back)
+	}
+	if back.String() != r.String() {
+		t.Errorf("rendered result differs after round-trip")
 	}
 }

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"ndp/internal/sim"
@@ -61,8 +62,10 @@ func SweepSeeds(base uint64, n int) []uint64 {
 // RunJobs executes jobs on a pool of o.Workers goroutines — 0 means
 // runtime.GOMAXPROCS(0), 1 preserves strictly serial execution — and
 // returns the results in job order regardless of which worker finished
-// which job when. A panicking job is re-raised on the caller's goroutine
-// with the job's label and seed attached, after the remaining jobs drain.
+// which job when. Panicking jobs are re-raised on the caller's goroutine
+// after the remaining jobs drain, as a single panic that aggregates every
+// failure (label and seed each) in job order — a parallel sweep must not
+// hide the second failure behind the first.
 func RunJobs[T any](o Options, jobs []Job[T]) []T {
 	workers := o.Workers
 	if workers <= 0 {
@@ -95,12 +98,21 @@ func RunJobs[T any](o Options, jobs []Job[T]) []T {
 		close(idx)
 		wg.Wait()
 	}
+	var failed []string
 	for _, err := range failures {
 		if err != nil {
-			panic(err)
+			failed = append(failed, err.Error())
 		}
 	}
-	return out
+	switch len(failed) {
+	case 0:
+		return out
+	case 1:
+		panic(failed[0])
+	default:
+		panic(fmt.Sprintf("harness: %d jobs failed:\n  %s",
+			len(failed), strings.Join(failed, "\n  ")))
+	}
 }
 
 // capture runs one job, converting a panic into an error so the pool can

@@ -64,6 +64,42 @@ func TestRunJobsPanicAttribution(t *testing.T) {
 	}
 }
 
+// TestRunJobsAggregatesFailures checks that when several jobs panic in one
+// sweep, the re-raised panic names every failed job (label and seed), not
+// just the first, for both serial and parallel pools.
+func TestRunJobsAggregatesFailures(t *testing.T) {
+	jobs := []Job[int]{
+		NewJob("first-bad", 11, func(seed uint64) int { panic("first boom") }),
+		NewJob("fine", 12, func(seed uint64) int { return 1 }),
+		NewJob("second-bad", 13, func(seed uint64) int { panic("second boom") }),
+	}
+	for _, workers := range []int{1, 3} {
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Errorf("workers=%d: expected panic", workers)
+					return
+				}
+				msg := fmt.Sprint(p)
+				for _, want := range []string{
+					"2 jobs failed",
+					`"first-bad"`, "seed 11", "first boom",
+					`"second-bad"`, "seed 13", "second boom",
+				} {
+					if !strings.Contains(msg, want) {
+						t.Errorf("workers=%d: aggregated panic missing %q:\n%s", workers, want, msg)
+					}
+				}
+				if strings.Contains(msg, "fine") {
+					t.Errorf("workers=%d: panic mentions the successful job:\n%s", workers, msg)
+				}
+			}()
+			RunJobs(Options{Workers: workers}, jobs)
+		}()
+	}
+}
+
 // TestSweepSeeds checks seeds are reproducible, position-stable and
 // pairwise distinct.
 func TestSweepSeeds(t *testing.T) {

@@ -1,0 +1,368 @@
+package harness
+
+import (
+	"ndp/internal/core"
+	"ndp/internal/dcqcn"
+	"ndp/internal/dctcp"
+	"ndp/internal/fabric"
+	"ndp/internal/mptcp"
+	"ndp/internal/phost"
+	"ndp/internal/sim"
+	"ndp/internal/tcp"
+	"ndp/internal/topo"
+)
+
+// This file defines the uniform transport abstraction the harness and the
+// public scenario package build on. Each of the simulator's transports —
+// NDP and its baselines — is a Transport: a named recipe that wires its
+// switch queue discipline and per-host endpoints onto any topology and
+// returns a Net, a uniform handle that can start flows and report their
+// progress. The per-figure runners and the scenario engine both construct
+// networks exclusively through Transports (the Build* functions in
+// builders.go are thin compatibility wrappers), so every transport x
+// topology x workload combination is reachable from one surface.
+
+// Flow is the uniform handle for one transfer started via Net.StartFlow.
+type Flow interface {
+	// AckedBytes reports payload bytes delivered so far (sender-acked or
+	// receiver-counted, whichever the transport measures goodput by).
+	AckedBytes() int64
+}
+
+// StartOpts tunes one StartFlow call. All fields are optional; transports
+// ignore the ones they cannot honour (only NDP implements Priority, and
+// pHost has no per-byte goodput observer).
+type StartOpts struct {
+	// Priority asks the receiver to serve this flow strictly first
+	// (NDP's pull-queue prioritization; ignored elsewhere).
+	Priority bool
+	// OnDone fires once when the flow completes, with the simulation
+	// time of completion. Never fires for unbounded flows.
+	OnDone func(at sim.Time)
+	// OnData observes every newly delivered payload byte count.
+	OnData func(bytes int64)
+}
+
+// Net is the uniform surface of a built network: a topology with one
+// transport's endpoints installed on every host. It is what workloads
+// drive, regardless of protocol.
+type Net interface {
+	// EL returns the simulation scheduler.
+	EL() *sim.EventList
+	// Cluster returns the underlying topology.
+	Cluster() topo.Cluster
+	// StartFlow begins a transfer of size bytes from host src to host
+	// dst; size < 0 runs an unbounded (permutation-style) flow.
+	StartFlow(src, dst int, size int64, opts StartOpts) Flow
+	// Close releases transport timers (needed after unbounded DCQCN
+	// flows; a no-op elsewhere).
+	Close()
+}
+
+// Transport builds a Net from a topology recipe. Implementations carry the
+// per-protocol configuration (switch queues, endpoint parameters) so that
+// the same Transport value can be applied to any topology.
+type Transport interface {
+	// Name is the stable lower-case identifier ("ndp", "dctcp", ...).
+	Name() string
+	// Build constructs the topology with this transport's switch queues
+	// and installs endpoints on every host.
+	Build(build BuildFunc, base topo.Config) Net
+}
+
+// ------------------------------------------------------------------ NDP ----
+
+// NDPTransport builds NDP networks: trimming switch queues, return-to-
+// sender wiring, and a listening NDP stack per host.
+type NDPTransport struct {
+	Switch core.SwitchConfig
+	Host   core.Config
+}
+
+// Name implements Transport.
+func (t NDPTransport) Name() string { return "ndp" }
+
+// Build implements Transport.
+func (t NDPTransport) Build(build BuildFunc, base topo.Config) Net {
+	base.SwitchQueue = core.QueueFactory(t.Switch, sim.NewRand(base.Seed*2654435761+17))
+	c := build(base)
+	core.WireBounce(c.SwitchList())
+	n := &NDPNet{C: c}
+	for i, h := range c.HostList() {
+		h := h
+		cfg := t.Host
+		cfg.Seed = base.Seed + uint64(i)*7919
+		st := core.NewStack(h, func(dst int32) [][]int16 { return c.Paths(h.ID, dst) }, cfg)
+		st.Listen(nil)
+		n.Stacks = append(n.Stacks, st)
+	}
+	return n
+}
+
+// Cluster implements Net.
+func (n *NDPNet) Cluster() topo.Cluster { return n.C }
+
+// Close implements Net (no transport timers to stop).
+func (n *NDPNet) Close() {}
+
+// StartFlow implements Net.
+func (n *NDPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
+	fo := core.FlowOpts{Priority: opts.Priority, OnReceiverData: opts.OnData}
+	if opts.OnDone != nil {
+		done := opts.OnDone
+		fo.OnReceiverDone = func(r *core.Receiver) { done(r.CompletedAt) }
+	}
+	return n.Transfer(src, dst, size, fo)
+}
+
+// ----------------------------------------------------------- TCP / DCTCP ----
+
+// TCPTransport builds single-path TCP-family networks: the given switch
+// queue discipline, a demux per host, and Cfg applied to every flow started
+// through the Net surface. With Cfg.DCTCP set it is the DCTCP baseline.
+type TCPTransport struct {
+	Cfg   tcp.Config
+	Queue topo.QueueFactory
+}
+
+// Name implements Transport.
+func (t TCPTransport) Name() string {
+	if t.Cfg.DCTCP {
+		return "dctcp"
+	}
+	return "tcp"
+}
+
+// Build implements Transport.
+func (t TCPTransport) Build(build BuildFunc, base topo.Config) Net {
+	base.SwitchQueue = t.Queue
+	c := build(base)
+	n := &TCPNet{C: c, Cfg: t.Cfg, Rand: sim.NewRand(base.Seed*48271 + 5), nextFlow: 1}
+	for _, h := range c.HostList() {
+		d := fabric.NewDemux()
+		h.Stack = d
+		n.Demux = append(n.Demux, d)
+	}
+	return n
+}
+
+// DCTCPTransport returns the paper's DCTCP baseline for the given MTU:
+// ECN-marking queues with the recommended 200-packet buffers and the
+// ECN-fraction sender.
+func DCTCPTransport(mtu int) TCPTransport {
+	return TCPTransport{Cfg: dctcp.SenderConfig(mtu), Queue: dctcp.QueueFactory(mtu)}
+}
+
+// PlainTCPTransport returns the Linux-like TCP baseline for the given MTU:
+// small drop-tail buffers and a 200ms MinRTO.
+func PlainTCPTransport(mtu int) TCPTransport {
+	cfg := tcp.DefaultConfig()
+	cfg.MSS = mtu
+	return TCPTransport{Cfg: cfg, Queue: dropTail(8 * mtu)}
+}
+
+// Cluster implements Net.
+func (t *TCPNet) Cluster() topo.Cluster { return t.C }
+
+// Close implements Net.
+func (t *TCPNet) Close() {}
+
+// StartFlow implements Net.
+func (t *TCPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
+	var onDone func(*tcp.Receiver)
+	if opts.OnDone != nil {
+		done := opts.OnDone
+		onDone = func(r *tcp.Receiver) { done(r.CompletedAt) }
+	}
+	snd, rcv := t.Flow(src, dst, size, t.Cfg, onDone)
+	if opts.OnData != nil {
+		rcv.OnData = opts.OnData
+	}
+	return tcpFlow{snd}
+}
+
+// tcpFlow adapts a TCP sender to the Flow interface.
+type tcpFlow struct{ snd *tcp.Sender }
+
+func (f tcpFlow) AckedBytes() int64 { return f.snd.AckedBytes }
+
+// ---------------------------------------------------------------- MPTCP ----
+
+// MPTCPTransport builds multipath-TCP networks: drop-tail queues and
+// Cfg.Subflows subflows per flow, pinned to distinct source routes.
+type MPTCPTransport struct {
+	Cfg   mptcp.Config
+	Queue topo.QueueFactory
+}
+
+// DefaultMPTCPTransport returns the paper's MPTCP setup: 8 subflows over
+// 200-packet drop-tail buffers.
+func DefaultMPTCPTransport(mtu int) MPTCPTransport {
+	cfg := mptcp.DefaultConfig()
+	cfg.TCP.MSS = mtu
+	return MPTCPTransport{Cfg: cfg, Queue: dropTail(200 * mtu)}
+}
+
+// Name implements Transport.
+func (t MPTCPTransport) Name() string { return "mptcp" }
+
+// Build implements Transport.
+func (t MPTCPTransport) Build(build BuildFunc, base topo.Config) Net {
+	tn := TCPTransport{Cfg: t.Cfg.TCP, Queue: t.Queue}.Build(build, base).(*TCPNet)
+	return &MPTCPNet{TCPNet: tn, Cfg: t.Cfg}
+}
+
+// MPTCPNet is a TCP-family network whose uniform flow surface opens MPTCP
+// connections instead of single-path flows.
+type MPTCPNet struct {
+	*TCPNet
+	Cfg mptcp.Config
+}
+
+// StartFlow implements Net.
+func (m *MPTCPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
+	var onDone func(*mptcp.Flow)
+	if opts.OnDone != nil {
+		done := opts.OnDone
+		onDone = func(f *mptcp.Flow) { done(f.CompletedAt) }
+	}
+	f := m.MPTCPFlow(src, dst, size, m.Cfg, onDone)
+	if opts.OnData != nil {
+		for _, r := range f.Receivers {
+			// mptcp wires its own OnData for completion accounting;
+			// chain the observer rather than replacing it.
+			inner, obs := r.OnData, opts.OnData
+			r.OnData = func(n int64) {
+				if inner != nil {
+					inner(n)
+				}
+				obs(n)
+			}
+		}
+	}
+	return f
+}
+
+// ---------------------------------------------------------------- DCQCN ----
+
+// DCQCNTransport builds lossless RoCE networks: PFC ingress gating, ECN
+// marking queues, and the DCQCN rate machine on every host.
+type DCQCNTransport struct {
+	MTU int
+}
+
+// Name implements Transport.
+func (t DCQCNTransport) Name() string { return "dcqcn" }
+
+// Build implements Transport.
+func (t DCQCNTransport) Build(build BuildFunc, base topo.Config) Net {
+	mtu := t.MTU
+	if mtu == 0 {
+		mtu = 9000
+	}
+	base.Lossless = true
+	base.SwitchQueue = dcqcn.QueueFactory(mtu)
+	if base.LosslessLimit == 0 {
+		base.LosslessLimit = 200 * mtu
+	}
+	if base.PFCXoff == 0 {
+		base.PFCXoff = 2 * mtu
+	}
+	if base.PFCXon == 0 {
+		base.PFCXon = mtu
+	}
+	c := build(base)
+	cfg := dcqcn.DefaultConfig()
+	cfg.MTU = mtu
+	cfg.LineRate = c.LinkRate()
+	d := &DCQCNNet{C: c, Cfg: cfg, nextFlow: 1}
+	for _, h := range c.HostList() {
+		dm := fabric.NewDemux()
+		h.Stack = dm
+		d.Demux = append(d.Demux, dm)
+	}
+	return d
+}
+
+// Cluster implements Net.
+func (d *DCQCNNet) Cluster() topo.Cluster { return d.C }
+
+// Close implements Net: it stops every sender's rate timers.
+func (d *DCQCNNet) Close() { d.StopAll() }
+
+// StartFlow implements Net.
+func (d *DCQCNNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
+	var onDone func(*dcqcn.Receiver)
+	if opts.OnDone != nil {
+		done := opts.OnDone
+		onDone = func(r *dcqcn.Receiver) { done(r.CompletedAt) }
+	}
+	_, rcv := d.Flow(src, dst, size, onDone)
+	if opts.OnData != nil {
+		rcv.OnData = opts.OnData
+	}
+	return dcqcnFlow{rcv}
+}
+
+// dcqcnFlow adapts a DCQCN receiver to the Flow interface. The fabric is
+// lossless, so received bytes are the delivered-goodput counter.
+type dcqcnFlow struct{ rcv *dcqcn.Receiver }
+
+func (f dcqcnFlow) AckedBytes() int64 { return f.rcv.Bytes }
+
+// ---------------------------------------------------------------- pHost ----
+
+// PHostTransport builds pHost networks: shallow drop-tail queues, per-
+// packet ECMP spraying, and a token-pacing pHost agent per host.
+type PHostTransport struct {
+	Cfg phost.Config
+}
+
+// Name implements Transport.
+func (t PHostTransport) Name() string { return "phost" }
+
+// Build implements Transport.
+func (t PHostTransport) Build(build BuildFunc, base topo.Config) Net {
+	cfg := t.Cfg
+	mtu := cfg.MTU
+	if mtu == 0 {
+		mtu = 9000
+	}
+	base.SwitchQueue = dropTail(8 * mtu)
+	c := build(base)
+	p := &PHostNet{C: c, nextFlow: 1}
+	for _, h := range c.HostList() {
+		ph := phost.NewHost(h, cfg)
+		ph.Listen(nil)
+		p.Hosts = append(p.Hosts, ph)
+	}
+	return p
+}
+
+// Cluster implements Net.
+func (p *PHostNet) Cluster() topo.Cluster { return p.C }
+
+// Close implements Net.
+func (p *PHostNet) Close() {}
+
+// StartFlow implements Net. pHost has no per-byte goodput observer, so
+// StartOpts.OnData is ignored; AckedBytes meters progress instead.
+func (p *PHostNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
+	flow := p.nextFlow
+	p.nextFlow++
+	if size < 0 {
+		size = 1 << 40 // effectively unbounded
+	}
+	var onDone func(*phost.Sender)
+	if opts.OnDone != nil {
+		done := opts.OnDone
+		onDone = func(s *phost.Sender) { done(s.CompletedAt) }
+	}
+	return p.Hosts[src].Connect(p.C.HostList()[dst].ID, flow, size, onDone)
+}
+
+// dropTail returns a FIFO drop-tail switch queue factory of the given
+// byte capacity (shared with the fig runners).
+func dropTail(maxBytes int) topo.QueueFactory {
+	return func(string) fabric.Queue { return fabric.NewFIFOQueue(maxBytes) }
+}

@@ -194,10 +194,11 @@ func Gbps(bytes int64, interval sim.Time) float64 {
 }
 
 // Table is a minimal fixed-width text table used by every experiment to
-// print the rows/series the paper's figures plot.
+// print the rows/series the paper's figures plot. It marshals to JSON for
+// machine-readable output (ndpsim -json).
 type Table struct {
-	Header []string
-	Rows   [][]string
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends formatted cells.

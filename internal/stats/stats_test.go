@@ -1,7 +1,9 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -156,5 +158,27 @@ func TestDistSummary(t *testing.T) {
 	s := d.Summary("us")
 	if !strings.Contains(s, "n=2") || !strings.Contains(s, "us") {
 		t.Errorf("summary = %q", s)
+	}
+}
+
+// TestTableJSONRoundTrip checks tables survive marshal/unmarshal intact —
+// the machine-readable contract of ndpsim -json.
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := &Table{Header: []string{"flows", "util%"}}
+	tb.AddFloats("64", 99.5)
+	tb.AddRow("128", "88.1")
+	blob, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*tb, back) {
+		t.Errorf("table changed over JSON round-trip:\nbefore %+v\nafter  %+v", *tb, back)
+	}
+	if back.String() != tb.String() {
+		t.Errorf("rendered table differs after round-trip")
 	}
 }

@@ -10,13 +10,18 @@
 //   - internal/core    — the NDP switch service model and transport
 //   - internal/tcp, dctcp, mptcp, dcqcn, cp, phost — baselines
 //   - internal/workload, stats, hostmodel — evaluation substrate
-//   - internal/harness — one runner per paper table/figure
+//   - internal/harness — one runner per paper table/figure, plus the
+//     Transport abstraction and sweep-job pool everything runs on
 //
 // This package re-exports the experiment runner so the whole evaluation can
 // be driven from benchmarks, tests, or the cmd/ndpsim CLI:
 //
 //	res, err := ndp.Run("fig14", ndp.Options{Scale: 1})
 //	fmt.Print(res)
+//
+// To compose custom experiments — any transport x topology x workload
+// cross-product rather than the paper's canned figures — use the public
+// scenario package (ndp/scenario) or `ndpsim -scenario`.
 package ndp
 
 import (
@@ -36,8 +41,13 @@ type Options = harness.Options
 // same rows/series the paper's figure plots.
 type Result = harness.Result
 
-// Run executes the experiment with the given id ("fig2".."fig23",
-// "t-phost", "t-scale", "t-trim").
+// Run executes the experiment with the given id. The registered ids —
+// kept in lockstep with the registry by TestExperimentsMatchDocumented —
+// are:
+//
+//	fig2, fig4, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15,
+//	fig16, fig17, fig19, fig20, fig21, fig22, fig23,
+//	t-ablate, t-limits, t-phost, t-scale, t-trim
 func Run(id string, o Options) (*Result, error) {
 	e := harness.Get(id)
 	if e == nil {

@@ -1,6 +1,8 @@
 package ndp
 
 import (
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -20,6 +22,23 @@ func TestExperimentsList(t *testing.T) {
 		if !found {
 			t.Errorf("experiment %q missing from %v", want, ids)
 		}
+	}
+}
+
+// TestExperimentsMatchDocumented pins the registry to the id set the Run
+// comment in ndp.go documents: adding or renaming an experiment must update
+// the public docs in the same change.
+func TestExperimentsMatchDocumented(t *testing.T) {
+	documented := []string{
+		"fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "fig19", "fig20", "fig21",
+		"fig22", "fig23",
+		"t-ablate", "t-limits", "t-phost", "t-scale", "t-trim",
+	}
+	sort.Strings(documented)
+	got := Experiments()
+	if !reflect.DeepEqual(got, documented) {
+		t.Errorf("registered experiments diverge from the set documented in ndp.go's Run comment:\n got %v\nwant %v", got, documented)
 	}
 }
 

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"ndp/internal/stats"
+)
+
+// Summary is the quantile digest of a sample distribution.
+type Summary struct {
+	N    int     `json:"n"`
+	Min  float64 `json:"min"`
+	P10  float64 `json:"p10"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+func summarize(d *stats.Dist) *Summary {
+	if d.N() == 0 {
+		return nil
+	}
+	return &Summary{
+		N:    d.N(),
+		Min:  d.Min(),
+		P10:  d.Quantile(0.1),
+		P50:  d.Median(),
+		P90:  d.Quantile(0.9),
+		P99:  d.Quantile(0.99),
+		Max:  d.Max(),
+		Mean: d.Mean(),
+	}
+}
+
+// Counters aggregates switch queue events over the whole run.
+type Counters struct {
+	Trims   int64 `json:"trims"`
+	Bounces int64 `json:"bounces"`
+	Drops   int64 `json:"drops"`
+	Marks   int64 `json:"marks"`
+}
+
+// Metrics is the structured result of one scenario run, aggregated over
+// Spec.Repeats repetitions. It marshals to stable JSON.
+type Metrics struct {
+	// Scenario is the registry name when the Spec came from Lookup.
+	Scenario  string `json:"scenario,omitempty"`
+	Transport string `json:"transport"`
+	Topology  string `json:"topology"`
+	Workload  string `json:"workload"`
+	Hosts     int    `json:"hosts"`
+	Seed      uint64 `json:"seed"`
+	Repeats   int    `json:"repeats"`
+
+	FlowsLaunched  int `json:"flows_launched"`
+	FlowsCompleted int `json:"flows_completed"`
+
+	// FCT is the flow-completion-time distribution in microseconds
+	// (flow-completion workloads only).
+	FCT *Summary `json:"fct_us,omitempty"`
+	// FCTsUs holds the raw per-flow completion times in microseconds,
+	// completed flows only — enough to plot CDFs. For incast and sized
+	// matrix workloads entries follow flow-start order within each
+	// repeat (so the prioritized straggler of IncastPrioritized is the
+	// last incast entry when every flow finished); the closed-loop rpc
+	// workload records them in completion order.
+	FCTsUs []float64 `json:"fcts_us,omitempty"`
+	// LastCompletionMs is the time the last flow finished, in
+	// milliseconds (flow-completion workloads only).
+	LastCompletionMs float64 `json:"last_completion_ms,omitempty"`
+
+	// GoodputGbps is per-flow goodput over the measurement window, in
+	// flow order across repeats (goodput workloads only).
+	GoodputGbps []float64 `json:"goodput_gbps,omitempty"`
+	// Goodput summarizes GoodputGbps.
+	Goodput *Summary `json:"goodput_summary,omitempty"`
+	// UtilizationPct is aggregate goodput as a percentage of host link
+	// capacity; JainIndex is fairness across flows (1 = perfectly fair).
+	UtilizationPct float64 `json:"utilization_pct,omitempty"`
+	JainIndex      float64 `json:"jain_index,omitempty"`
+
+	// PathsExcluded counts the source routes NDP's path scoreboard
+	// (§3.2.3) had excluded by the end of the run — the observable that
+	// shows the failure-detection machinery engaging (0 for other
+	// transports or with WithPathPenalty(false)).
+	PathsExcluded int `json:"paths_excluded,omitempty"`
+
+	Switch Counters `json:"switch"`
+}
+
+// String renders the Metrics for terminals.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	name := m.Workload
+	if m.Scenario != "" {
+		name = m.Scenario
+	}
+	fmt.Fprintf(&b, "== scenario %s: transport=%s topology=%s workload=%s hosts=%d seed=%d repeats=%d ==\n",
+		name, m.Transport, m.Topology, m.Workload, m.Hosts, m.Seed, m.Repeats)
+	fmt.Fprintf(&b, "flows: %d launched, %d completed", m.FlowsLaunched, m.FlowsCompleted)
+	if m.LastCompletionMs > 0 {
+		fmt.Fprintf(&b, ", last at %.4g ms", m.LastCompletionMs)
+	}
+	b.WriteByte('\n')
+	if m.FCT != nil {
+		t := &stats.Table{Header: []string{"fct_us", "n", "min", "p10", "p50", "p90", "p99", "max", "mean"}}
+		t.AddFloats("", float64(m.FCT.N), m.FCT.Min, m.FCT.P10, m.FCT.P50, m.FCT.P90, m.FCT.P99, m.FCT.Max, m.FCT.Mean)
+		b.WriteString(t.String())
+	}
+	if m.Goodput != nil {
+		t := &stats.Table{Header: []string{"goodput_gbps", "flows", "min", "p10", "p50", "p90", "max", "mean"}}
+		t.AddFloats("", float64(m.Goodput.N), m.Goodput.Min, m.Goodput.P10, m.Goodput.P50, m.Goodput.P90, m.Goodput.Max, m.Goodput.Mean)
+		b.WriteString(t.String())
+		fmt.Fprintf(&b, "utilization %.1f%%  Jain fairness %.3f\n", m.UtilizationPct, m.JainIndex)
+	}
+	fmt.Fprintf(&b, "switch: %d trims, %d bounces, %d drops, %d marks\n",
+		m.Switch.Trims, m.Switch.Bounces, m.Switch.Drops, m.Switch.Marks)
+	if m.PathsExcluded > 0 {
+		fmt.Fprintf(&b, "paths excluded by the NDP scoreboard: %d\n", m.PathsExcluded)
+	}
+	return b.String()
+}

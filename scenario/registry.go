@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Params are the tunables a named scenario understands; zero values take
+// the scenario's defaults. They map one-to-one onto the ndpsim CLI flags
+// (-hosts, -degree, -flowsize).
+type Params struct {
+	// Hosts sizes the topology: the smallest FatTree with at least this
+	// many hosts is used (default 128).
+	Hosts int `json:"hosts,omitempty"`
+	// Degree is the incast fan-in or RPC connections per host.
+	Degree int `json:"degree,omitempty"`
+	// FlowSize is the per-flow transfer size in bytes.
+	FlowSize int64 `json:"flowsize,omitempty"`
+}
+
+func (p Params) withDefaults(degree int, flowSize int64) Params {
+	if p.Hosts <= 0 {
+		p.Hosts = 128
+	}
+	if p.Degree <= 0 {
+		p.Degree = degree
+	}
+	if p.FlowSize <= 0 {
+		p.FlowSize = flowSize
+	}
+	return p
+}
+
+// Named is a registered scenario template: a name, a one-line description,
+// and a Spec builder parameterized by Params. The returned Spec is a plain
+// value — compose further options with Spec.With.
+type Named struct {
+	Name        string
+	Description string
+	// Uses lists the Params fields the scenario consumes ("hosts",
+	// "degree", "flowsize"); callers (the CLI) reject explicitly-set
+	// params outside this list instead of silently ignoring them.
+	Uses []string
+	Spec func(p Params) Spec
+}
+
+// UsesParam reports whether the scenario consumes the named param.
+func (n Named) UsesParam(name string) bool {
+	for _, u := range n.Uses {
+		if u == name {
+			return true
+		}
+	}
+	return false
+}
+
+var registry = map[string]Named{}
+
+// Register adds a named scenario; it panics on duplicate or empty names
+// (programmer error at init time), mirroring the experiment registry in
+// internal/harness.
+func Register(n Named) {
+	if n.Name == "" || n.Spec == nil {
+		panic("scenario: Register needs a name and a Spec builder")
+	}
+	if _, dup := registry[n.Name]; dup {
+		panic("scenario: duplicate scenario name " + n.Name)
+	}
+	registry[n.Name] = n
+}
+
+// Lookup returns a named scenario by name.
+func Lookup(name string) (Named, bool) {
+	n, ok := registry[name]
+	return n, ok
+}
+
+// Catalog returns every named scenario sorted by name.
+func Catalog() []Named {
+	out := make([]Named, 0, len(registry))
+	for _, n := range registry {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Build instantiates a named scenario with the given params and extra
+// options; it errors on unknown names (listing what exists).
+func Build(name string, p Params, opts ...Option) (Spec, error) {
+	n, ok := Lookup(name)
+	if !ok {
+		known := make([]string, 0, len(registry))
+		for _, c := range Catalog() {
+			known = append(known, c.Name)
+		}
+		return Spec{}, fmt.Errorf("scenario: unknown scenario %q (known: %v)", name, known)
+	}
+	return n.Spec(p).With(opts...), nil
+}
+
+// named tags a Spec with its registry name so Metrics carry it.
+func named(name string, s Spec) Spec {
+	s.name = name
+	return s
+}
+
+func init() {
+	Register(Named{
+		Name:        "incast",
+		Uses:        []string{"hosts", "degree", "flowsize"},
+		Description: "N-to-1 incast of fixed-size responses into host 0 (FCT distribution)",
+		Spec: func(p Params) Spec {
+			p = p.withDefaults(0, 135_000)
+			t := FatTreeForHosts(p.Hosts)
+			if p.Degree <= 0 {
+				// Default to the paper's 100:1, shrunk to fit small
+				// topologies; an explicit oversized degree is rejected
+				// by Validate instead of being silently clamped.
+				p.Degree = 100
+				if p.Degree > t.Hosts()-1 {
+					p.Degree = t.Hosts() - 1
+				}
+			}
+			return named("incast", New(
+				WithTopology(t),
+				WithWorkload(Incast(p.Degree, p.FlowSize)),
+			))
+		},
+	})
+	Register(Named{
+		Name:        "permutation",
+		Uses:        []string{"hosts", "flowsize"},
+		Description: "worst-case full-load permutation matrix, per-flow goodput over a warm window",
+		Spec: func(p Params) Spec {
+			p = p.withDefaults(0, 0)
+			w := Permutation()
+			if p.FlowSize > 0 {
+				w = PermutationSized(p.FlowSize)
+			}
+			return named("permutation", New(
+				WithTopology(FatTreeForHosts(p.Hosts)),
+				WithWorkload(w),
+			))
+		},
+	})
+	Register(Named{
+		Name:        "random",
+		Uses:        []string{"hosts"},
+		Description: "uniform random traffic matrix (shared receivers), per-flow goodput",
+		Spec: func(p Params) Spec {
+			p = p.withDefaults(0, 0)
+			return named("random", New(
+				WithTopology(FatTreeForHosts(p.Hosts)),
+				WithWorkload(Random()),
+			))
+		},
+	})
+	Register(Named{
+		Name:        "rpc",
+		Uses:        []string{"hosts", "degree", "flowsize"},
+		Description: "closed-loop RPC workload (Facebook web sizes) on a 4:1 oversubscribed FatTree",
+		Spec: func(p Params) Spec {
+			p = p.withDefaults(5, 0)
+			ft := FatTreeForHosts((p.Hosts + 3) / 4) // 4:1 oversub quadruples hosts
+			return named("rpc", New(
+				WithTopology(OversubFatTree(ft.K, 4)),
+				WithWorkload(Workload{Kind: "rpc", Degree: p.Degree, FlowSize: p.FlowSize}),
+				WithMTU(1500),
+				WithDeadline(20*time.Millisecond),
+			))
+		},
+	})
+	Register(Named{
+		Name:        "failure",
+		Uses:        []string{"hosts"},
+		Description: "permutation with one agg->core link silently degraded to 1Gb/s",
+		Spec: func(p Params) Spec {
+			p = p.withDefaults(0, 0)
+			return named("failure", New(
+				WithTopology(FatTreeForHosts(p.Hosts)),
+				WithWorkload(Permutation()),
+				WithLinkFailure(0, 0, 1e9),
+			))
+		},
+	})
+}

@@ -1,0 +1,310 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"ndp/internal/core"
+	"ndp/internal/harness"
+	"ndp/internal/phost"
+	"ndp/internal/sim"
+	"ndp/internal/stats"
+	"ndp/internal/topo"
+	"ndp/internal/workload"
+)
+
+// Run executes the Spec and returns aggregated Metrics. The run decomposes
+// into Spec.Repeats independent sweep jobs (one simulation per derived
+// seed) executed on a Workers-sized pool; Metrics are bit-identical for
+// any worker count. Simulation failures surface as errors, never panics.
+func Run(spec Spec) (m *Metrics, err error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	name := spec.name
+	if name == "" {
+		name = spec.Workload.Kind
+	}
+	// The job pool re-raises simulation panics (with job attribution) on
+	// this goroutine; convert them to the error return the public API
+	// promises.
+	defer func() {
+		if p := recover(); p != nil {
+			m, err = nil, fmt.Errorf("scenario: run failed: %v", p)
+		}
+	}()
+	seeds := harness.SweepSeeds(spec.Seed, spec.Repeats)
+	jobs := make([]harness.Job[*runOut], spec.Repeats)
+	for i := range jobs {
+		jobs[i] = harness.NewJob(
+			fmt.Sprintf("scenario/%s/%s/rep%d", name, spec.Transport, i),
+			seeds[i],
+			func(seed uint64) *runOut { return runOnce(spec, seed) })
+	}
+	outs := harness.RunJobs(harness.Options{Workers: spec.Workers}, jobs)
+	return merge(spec, outs), nil
+}
+
+// runOut is one repetition's raw contribution to the Metrics.
+type runOut struct {
+	fcts      []float64 // microseconds, flow order
+	goodput   []float64 // Gb/s, flow order
+	launched  int
+	completed int
+	excluded  int // paths excluded by NDP's scoreboard
+	last      sim.Time
+	counters  topo.SwitchStats
+	linkRate  int64
+}
+
+// runOnce builds the network for one derived seed and drives the workload.
+// Everything inside derives from the seed alone, which is what lets the
+// job pool schedule repetitions on any worker without perturbing results.
+func runOnce(spec Spec, seed uint64) *runOut {
+	net := spec.harnessTransport().Build(spec.Topology.builder(), topo.Config{Seed: seed})
+	defer net.Close()
+	for _, f := range spec.Failures {
+		net.Cluster().(*topo.FatTree).DegradeLink(f.Agg, f.CoreOff, f.RateBps)
+	}
+	out := &runOut{linkRate: net.Cluster().LinkRate()}
+	switch spec.Workload.Kind {
+	case "incast":
+		runIncast(spec, net, out)
+	case "rpc":
+		runRPC(spec, seed, net, out)
+	default: // permutation, random
+		runMatrix(spec, seed, net, out)
+	}
+	out.counters = net.Cluster().CollectStats()
+	return out
+}
+
+// runIncast fans Degree flows into the receiver and records each FCT.
+// Validate already bounded the degree by the host count, so the launched
+// flow count always matches the Spec.
+func runIncast(spec Spec, net harness.Net, out *runOut) {
+	w := spec.Workload
+	hosts := net.Cluster().NumHosts()
+	degree := w.Degree
+	senders := workload.IncastSenders(w.Receiver, degree, hosts)
+	done := make([]sim.Time, len(senders))
+	flows := make([]harness.Flow, len(senders))
+	for i, s := range senders {
+		i := i
+		flows[i] = net.StartFlow(s, w.Receiver, w.FlowSize, harness.StartOpts{
+			Priority: w.PrioritizeLast && i == len(senders)-1,
+			OnDone:   func(at sim.Time) { done[i] = at; out.completed++ },
+		})
+	}
+	out.launched = len(senders)
+	optimal := sim.FromSeconds(float64(degree) * float64(w.FlowSize) * 8 / float64(out.linkRate))
+	net.EL().RunUntil(fctDeadline(spec.Deadline, optimal))
+	collectFCTs(out, done)
+	out.excluded = countExcludedPaths(flows)
+}
+
+// runMatrix drives a permutation or random traffic matrix: unbounded flows
+// are metered for goodput over Warmup/Window; sized flows are measured by
+// completion time.
+func runMatrix(spec Spec, seed uint64, net harness.Net, out *runOut) {
+	w := spec.Workload
+	hosts := net.Cluster().NumHosts()
+	var dst []int
+	if w.Kind == "random" {
+		dst = workload.RandomMatrix(hosts, sim.NewRand(seed))
+	} else {
+		dst = workload.Permutation(hosts, sim.NewRand(seed))
+	}
+	out.launched = len(dst)
+
+	if w.unbounded() {
+		flows := make([]harness.Flow, len(dst))
+		for src, d := range dst {
+			flows[src] = net.StartFlow(src, d, -1, harness.StartOpts{})
+		}
+		warm, window := simDur(spec.Warmup), simDur(spec.Window)
+		net.EL().RunUntil(warm)
+		base := make([]int64, len(flows))
+		for i, f := range flows {
+			base[i] = f.AckedBytes()
+		}
+		net.EL().RunUntil(warm + window)
+		out.goodput = make([]float64, len(flows))
+		for i, f := range flows {
+			out.goodput[i] = stats.Gbps(f.AckedBytes()-base[i], window)
+		}
+		out.excluded = countExcludedPaths(flows)
+		return
+	}
+
+	done := make([]sim.Time, len(dst))
+	flows := make([]harness.Flow, len(dst))
+	for src, d := range dst {
+		src := src
+		flows[src] = net.StartFlow(src, d, w.FlowSize, harness.StartOpts{
+			OnDone: func(at sim.Time) { done[src] = at; out.completed++ },
+		})
+	}
+	optimal := sim.FromSeconds(float64(w.FlowSize) * 8 / float64(out.linkRate))
+	net.EL().RunUntil(fctDeadline(spec.Deadline, optimal*100))
+	collectFCTs(out, done)
+	out.excluded = countExcludedPaths(flows)
+}
+
+// runRPC keeps Degree closed-loop request flows per host in flight until
+// the deadline, recording every completion.
+func runRPC(spec Spec, seed uint64, net harness.Net, out *runOut) {
+	w := spec.Workload
+	sizes := workload.FacebookWeb()
+	if w.FlowSize > 0 {
+		sizes = workload.NewSizeDist(map[int64]float64{w.FlowSize: 1})
+	}
+	gap := w.Gap
+	if gap == 0 {
+		gap = time.Millisecond
+	}
+	cl := &workload.ClosedLoop{
+		EL:    net.EL(),
+		Rand:  sim.NewRand(seed + 7),
+		Hosts: net.Cluster().NumHosts(),
+		Conns: w.Degree,
+		Gap:   simDur(gap),
+		Sizes: sizes,
+		Start: func(src, dst int, size int64, done func()) {
+			start := net.EL().Now()
+			net.StartFlow(src, dst, size, harness.StartOpts{OnDone: func(at sim.Time) {
+				out.fcts = append(out.fcts, (at - start).Micros())
+				out.completed++
+				if at > out.last {
+					out.last = at
+				}
+				done()
+			}})
+		},
+	}
+	cl.Run()
+	deadline := spec.Deadline
+	if deadline == 0 {
+		deadline = 20 * time.Millisecond
+	}
+	net.EL().RunUntil(simDur(deadline))
+	out.launched = int(cl.Launched)
+}
+
+// pathExcluder is the optional sender capability behind
+// Metrics.PathsExcluded: NDP senders report how many paths their
+// scoreboard (§3.2.3) currently excludes; other transports don't have one.
+type pathExcluder interface {
+	ExcludedPaths() int
+}
+
+// countExcludedPaths sums scoreboard exclusions over the flows that
+// support them.
+func countExcludedPaths(flows []harness.Flow) int {
+	total := 0
+	for _, f := range flows {
+		if pe, ok := f.(pathExcluder); ok {
+			total += pe.ExcludedPaths()
+		}
+	}
+	return total
+}
+
+// fctDeadline returns the explicit deadline, or a generous multiple of the
+// workload's ideal completion time.
+func fctDeadline(explicit time.Duration, optimal sim.Time) sim.Time {
+	if explicit > 0 {
+		return simDur(explicit)
+	}
+	return optimal*20 + 500*sim.Millisecond
+}
+
+// collectFCTs folds per-flow completion times (zero = never finished) into
+// the runOut in flow order.
+func collectFCTs(out *runOut, done []sim.Time) {
+	for _, at := range done {
+		if at > 0 {
+			out.fcts = append(out.fcts, at.Micros())
+			if at > out.last {
+				out.last = at
+			}
+		}
+	}
+}
+
+// merge folds the per-repetition outputs, in job order, into one Metrics.
+func merge(spec Spec, outs []*runOut) *Metrics {
+	m := &Metrics{
+		Scenario:  spec.name,
+		Transport: string(spec.Transport),
+		Topology:  spec.Topology.String(),
+		Workload:  spec.Workload.String(),
+		Hosts:     spec.Topology.Hosts(),
+		Seed:      spec.Seed,
+		Repeats:   spec.Repeats,
+	}
+	var fcts, goodput stats.Dist
+	var linkRate int64
+	for _, o := range outs {
+		m.FlowsLaunched += o.launched
+		m.FlowsCompleted += o.completed
+		m.PathsExcluded += o.excluded
+		m.Switch.Trims += o.counters.Trims
+		m.Switch.Bounces += o.counters.Bounces
+		m.Switch.Drops += o.counters.Drops
+		m.Switch.Marks += o.counters.Marks
+		m.FCTsUs = append(m.FCTsUs, o.fcts...)
+		for _, v := range o.fcts {
+			fcts.Add(v)
+		}
+		m.GoodputGbps = append(m.GoodputGbps, o.goodput...)
+		for _, v := range o.goodput {
+			goodput.Add(v)
+		}
+		if o.last.Millis() > m.LastCompletionMs {
+			m.LastCompletionMs = o.last.Millis()
+		}
+		linkRate = o.linkRate
+	}
+	m.FCT = summarize(&fcts)
+	if len(m.GoodputGbps) > 0 {
+		m.Goodput = summarize(&goodput)
+		var sum float64
+		for _, g := range m.GoodputGbps {
+			sum += g
+		}
+		m.UtilizationPct = 100 * sum / (float64(len(m.GoodputGbps)) * float64(linkRate) / 1e9)
+		m.JainIndex = stats.JainIndex(m.GoodputGbps)
+	}
+	return m
+}
+
+// harnessTransport maps the Spec's transport and tuning knobs onto the
+// internal Transport recipe.
+func (s Spec) harnessTransport() harness.Transport {
+	switch s.Transport {
+	case TCP:
+		return harness.PlainTCPTransport(s.MTU)
+	case DCTCP:
+		return harness.DCTCPTransport(s.MTU)
+	case MPTCP:
+		return harness.DefaultMPTCPTransport(s.MTU)
+	case DCQCN:
+		return harness.DCQCNTransport{MTU: s.MTU}
+	case PHost:
+		cfg := phost.DefaultConfig()
+		cfg.MTU = s.MTU
+		return harness.PHostTransport{Cfg: cfg}
+	default: // NDP; Validate rejected anything else
+		hcfg := core.DefaultConfig()
+		hcfg.MTU = s.MTU
+		hcfg.DisablePathPenalty = s.DisablePathPenalty
+		return harness.NDPTransport{Switch: core.DefaultSwitchConfig(s.MTU), Host: hcfg}
+	}
+}
+
+// simDur converts a wall-clock duration to simulated time.
+func simDur(d time.Duration) sim.Time {
+	return sim.Time(d.Nanoseconds()) * sim.Nanosecond
+}

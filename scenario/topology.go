@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"fmt"
+
+	"ndp/internal/harness"
+	"ndp/internal/topo"
+)
+
+// Topology describes the network to build: a kind plus its dimensions.
+// Use the constructors (FatTree, TwoTier, Jellyfish, BackToBack) rather
+// than filling the struct by hand.
+type Topology struct {
+	Kind string `json:"kind"`
+
+	// FatTree dimensions.
+	K       int `json:"k,omitempty"`
+	Oversub int `json:"oversub,omitempty"`
+
+	// TwoTier dimensions.
+	ToRs        int `json:"tors,omitempty"`
+	HostsPerToR int `json:"hosts_per_tor,omitempty"`
+	Spines      int `json:"spines,omitempty"`
+
+	// Jellyfish dimensions.
+	Switches       int `json:"switches,omitempty"`
+	HostsPerSwitch int `json:"hosts_per_switch,omitempty"`
+	Degree         int `json:"degree,omitempty"`
+}
+
+// FatTree is a fully-provisioned k-ary 3-tier Clos (k even): k^3/4 hosts.
+func FatTree(k int) Topology { return Topology{Kind: "fattree", K: k, Oversub: 1} }
+
+// OversubFatTree is a k-ary FatTree whose ToRs serve oversub times more
+// hosts than the fully-provisioned tree (the paper's 4:1 core).
+func OversubFatTree(k, oversub int) Topology {
+	return Topology{Kind: "fattree", K: k, Oversub: oversub}
+}
+
+// TwoTier is a leaf/spine network: tors ToRs of hostsPerTor hosts each,
+// fully meshed to spines spine switches.
+func TwoTier(tors, hostsPerTor, spines int) Topology {
+	return Topology{Kind: "twotier", ToRs: tors, HostsPerToR: hostsPerTor, Spines: spines}
+}
+
+// Jellyfish is a connected random degree-regular switch graph (Singla et
+// al.) with hostsPerSwitch hosts per switch — the asymmetric topology of
+// the paper's Limitations section.
+func Jellyfish(switches, hostsPerSwitch, degree int) Topology {
+	return Topology{Kind: "jellyfish", Switches: switches, HostsPerSwitch: hostsPerSwitch, Degree: degree}
+}
+
+// BackToBack is two directly-wired hosts (protocol microbenchmarks).
+func BackToBack() Topology { return Topology{Kind: "backtoback"} }
+
+// FatTreeForHosts returns the smallest fully-provisioned FatTree with at
+// least n hosts (k=4 carries 16, k=8 128, k=12 432, ...).
+func FatTreeForHosts(n int) Topology {
+	k := 4
+	for k*k*k/4 < n {
+		k += 2
+	}
+	return FatTree(k)
+}
+
+// Hosts returns the number of hosts the topology will have.
+func (t Topology) Hosts() int {
+	switch t.Kind {
+	case "fattree":
+		oversub := t.Oversub
+		if oversub < 1 {
+			oversub = 1
+		}
+		return oversub * t.K * t.K * t.K / 4
+	case "twotier":
+		return t.ToRs * t.HostsPerToR
+	case "jellyfish":
+		return t.Switches * t.HostsPerSwitch
+	case "backtoback":
+		return 2
+	}
+	return 0
+}
+
+// String renders the topology compactly ("fattree(k=8)").
+func (t Topology) String() string {
+	switch t.Kind {
+	case "fattree":
+		if t.Oversub > 1 {
+			return fmt.Sprintf("fattree(k=%d,oversub=%d)", t.K, t.Oversub)
+		}
+		return fmt.Sprintf("fattree(k=%d)", t.K)
+	case "twotier":
+		return fmt.Sprintf("twotier(%dx%d,spines=%d)", t.ToRs, t.HostsPerToR, t.Spines)
+	case "jellyfish":
+		return fmt.Sprintf("jellyfish(%dx%d,deg=%d)", t.Switches, t.HostsPerSwitch, t.Degree)
+	case "backtoback":
+		return "backtoback"
+	}
+	return "invalid"
+}
+
+func (t Topology) validate() error {
+	switch t.Kind {
+	case "fattree":
+		if t.K < 2 || t.K%2 != 0 {
+			return fmt.Errorf("scenario: fattree k must be even and >= 2, got %d", t.K)
+		}
+		if t.Oversub < 1 {
+			return fmt.Errorf("scenario: fattree oversub must be >= 1, got %d", t.Oversub)
+		}
+	case "twotier":
+		if t.ToRs < 1 || t.HostsPerToR < 1 || t.Spines < 0 {
+			return fmt.Errorf("scenario: invalid twotier %dx%d spines=%d", t.ToRs, t.HostsPerToR, t.Spines)
+		}
+	case "jellyfish":
+		if t.Switches < 3 || t.Degree < 2 || t.Switches*t.Degree%2 != 0 ||
+			t.HostsPerSwitch < 1 {
+			return fmt.Errorf("scenario: invalid jellyfish %dx%d deg=%d", t.Switches, t.HostsPerSwitch, t.Degree)
+		}
+	case "backtoback":
+	case "":
+		return fmt.Errorf("scenario: no topology set")
+	default:
+		return fmt.Errorf("scenario: unknown topology kind %q", t.Kind)
+	}
+	return nil
+}
+
+// builder maps the Topology onto the harness construction recipe.
+func (t Topology) builder() harness.BuildFunc {
+	switch t.Kind {
+	case "fattree":
+		if t.Oversub > 1 {
+			return harness.OversubFatTreeBuilder(t.K, t.Oversub)
+		}
+		return harness.FatTreeBuilder(t.K)
+	case "twotier":
+		return harness.TwoTierBuilder(t.ToRs, t.HostsPerToR, t.Spines)
+	case "jellyfish":
+		sw, hps, deg := t.Switches, t.HostsPerSwitch, t.Degree
+		return func(c topo.Config) topo.Cluster { return topo.NewJellyfish(sw, hps, deg, 8, c) }
+	case "backtoback":
+		return harness.BackToBackBuilder()
+	}
+	panic("scenario: builder on invalid topology " + t.Kind)
+}

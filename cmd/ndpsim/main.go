@@ -13,6 +13,9 @@
 //	ndpsim -scenario incast -transport dcqcn -hosts 128 -degree 100 -flowsize 135000
 //	ndpsim -scenario permutation -transport mptcp -json
 //
+//	ndpsim -bench                                # pinned performance suite
+//	ndpsim -bench -tiny -baseline BENCH_3.json   # CI regression gate
+//
 // Experiments and scenario repeats decompose into independent seed-derived
 // simulation jobs that run on a worker pool sized by -parallel (default:
 // all cores). Results are bit-identical for any worker count with the same
@@ -28,6 +31,7 @@ import (
 	"time"
 
 	"ndp"
+	"ndp/internal/harness"
 	"ndp/scenario"
 )
 
@@ -47,6 +51,13 @@ func main() {
 		degree    = flag.Int("degree", 0, "scenario incast fan-in / rpc conns per host (0 = default)")
 		flowsize  = flag.Int64("flowsize", 0, "scenario flow size in bytes (0 = default)")
 		repeats   = flag.Int("repeats", 1, "scenario repetitions aggregated into one result")
+
+		bench      = flag.Bool("bench", false, "run the pinned benchmark suite, then exit")
+		tiny       = flag.Bool("tiny", false, "bench: run only the seconds-fast -tiny cases (the CI subset)")
+		benchOut   = flag.String("benchout", "", "bench: also write the report JSON to this path (e.g. BENCH_3.json)")
+		benchLabel = flag.String("benchlabel", "local", "bench: label recorded in the report")
+		baseline   = flag.String("baseline", "", "bench: compare events/sec against this committed report; exit 1 on regression")
+		maxRegress = flag.Float64("maxregress", 20, "bench: events/sec regression tolerance vs -baseline, in percent")
 	)
 	flag.Parse()
 
@@ -56,7 +67,12 @@ func main() {
 		fatalUsage("-hosts/-degree/-flowsize must be >= 0 (0 = scenario default), got %d/%d/%d",
 			*hosts, *degree, *flowsize)
 	}
-	validateFlags(*exp, *scen, *transport, *scale, *parallel, *repeats, explicit)
+	validateFlags(*exp, *scen, *transport, *scale, *parallel, *repeats, *bench, explicit)
+
+	if *bench {
+		runBench(*tiny, *benchOut, *benchLabel, *baseline, *maxRegress, *jsonOut)
+		return
+	}
 
 	if *list || (*exp == "" && *scen == "") {
 		printCatalog()
@@ -107,7 +123,7 @@ func main() {
 // validateFlags rejects invalid or inapplicable flag values loudly
 // (exit 2) before any simulation runs, instead of silently clamping or
 // ignoring them. explicit holds the flags the user actually set.
-func validateFlags(exp, scen, transport string, scale float64, parallel, repeats int, explicit map[string]bool) {
+func validateFlags(exp, scen, transport string, scale float64, parallel, repeats int, bench bool, explicit map[string]bool) {
 	if scale <= 0 || scale > 1 {
 		fatalUsage("-scale must be in (0,1], got %g", scale)
 	}
@@ -128,6 +144,31 @@ func validateFlags(exp, scen, transport string, scale float64, parallel, repeats
 	}
 	if exp != "" && scen != "" {
 		fatalUsage("-exp and -scenario are mutually exclusive")
+	}
+	if bench {
+		if exp != "" || scen != "" {
+			fatalUsage("-bench is mutually exclusive with -exp and -scenario")
+		}
+		if explicit["list"] {
+			fatalUsage("-list does not apply to -bench mode")
+		}
+		if explicit["maxregress"] && !explicit["baseline"] {
+			fatalUsage("-maxregress only gates against a -baseline report")
+		}
+		// The suite pins sizes, seeds and serial execution so reports stay
+		// comparable; reject knobs that would silently not apply.
+		for _, f := range []string{"scale", "full", "seed", "parallel", "transport",
+			"hosts", "degree", "flowsize", "repeats"} {
+			if explicit[f] {
+				fatalUsage("-%s does not apply to -bench mode (the suite is pinned)", f)
+			}
+		}
+	} else {
+		for _, f := range []string{"tiny", "benchout", "benchlabel", "baseline", "maxregress"} {
+			if explicit[f] {
+				fatalUsage("-%s only applies to -bench mode", f)
+			}
+		}
 	}
 	if exp != "" {
 		if exp != "all" && ndp.Describe(exp) == "" {
@@ -204,6 +245,53 @@ func runScenario(name, transport string, hosts, degree int, flowsize int64,
 	}
 	fmt.Print(m)
 	fmt.Printf("(wall time: %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runBench executes the pinned suite (or its -tiny subset), prints the
+// report, optionally persists it, and optionally gates on a committed
+// baseline: any case whose events/sec drops more than maxRegress percent
+// fails the run with exit code 1.
+func runBench(tiny bool, outPath, label, baselinePath string, maxRegress float64, jsonOut bool) {
+	cases := scenario.BenchSuite()
+	if tiny {
+		kept := cases[:0]
+		for _, c := range cases {
+			if c.Tiny {
+				kept = append(kept, c)
+			}
+		}
+		cases = kept
+	}
+	rep := harness.RunBenchSuite(cases, label, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	if jsonOut {
+		emitJSON(rep)
+	} else {
+		fmt.Print(rep)
+	}
+	if outPath != "" {
+		if err := rep.WriteFile(outPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: report written to %s\n", outPath)
+	}
+	if baselinePath != "" {
+		base, err := harness.LoadBenchReport(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if regressions := harness.CompareBench(base, rep, maxRegress); len(regressions) > 0 {
+			for _, msg := range regressions {
+				fmt.Fprintf(os.Stderr, "bench: REGRESSION: %s\n", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: no events/sec regression beyond %.0f%% vs %s\n",
+			maxRegress, baselinePath)
+	}
 }
 
 func emitJSON(v any) {

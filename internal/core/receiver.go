@@ -238,8 +238,12 @@ func (pp *pullPacer) schedule() {
 		at = pp.lastSent + gap
 	}
 	pp.scheduled = true
-	pp.st.el.At(at, pp.fire)
+	pp.st.el.Schedule(at, pp, 0)
 }
+
+// OnEvent fires the pacer (sim.Handler) — scheduled per transmitted pull,
+// so the typed path keeps the pull clock allocation-free.
+func (pp *pullPacer) OnEvent(uint64) { pp.fire() }
 
 // next pops the next flow owed a pull: strict priority first, round-robin
 // within a band, skipping entries whose pulls were cancelled.

@@ -84,6 +84,10 @@ type Stack struct {
 	demux   *fabric.Demux
 	pacer   *pullPacer
 
+	// rxq holds packets inside the RxDelay processing window, in arrival
+	// order (the delay is constant, so release order is FIFO).
+	rxq []*fabric.Packet
+
 	listening  bool
 	onComplete func(*Receiver)
 	prioFlows  map[uint64]bool
@@ -132,14 +136,29 @@ func NewStack(host *fabric.Host, pathsTo PathsFunc, cfg Config) *Stack {
 	}
 	st.pacer = newPullPacer(st, spacing)
 	if cfg.RxDelay > 0 {
-		host.Stack = fabric.SinkFunc(func(p *fabric.Packet) {
-			st.el.After(cfg.RxDelay, func() { st.demux.Receive(p) })
-		})
+		host.Stack = fabric.SinkFunc(st.delayRx)
 	} else {
 		host.Stack = st.demux
 	}
 	st.demux.Listen = st.listen
 	return st
+}
+
+// delayRx defers an arriving packet by the configured host processing delay
+// (the Figure 11 endpoint model). The delay is constant, so deferred
+// packets release in arrival order: a FIFO of the in-delay packets plus one
+// typed event per arrival replaces a closure per packet.
+func (st *Stack) delayRx(p *fabric.Packet) {
+	st.rxq = append(st.rxq, p)
+	st.el.ScheduleAfter(st.cfg.RxDelay, st, 0)
+}
+
+// OnEvent releases the oldest delayed arrival into the demux (sim.Handler).
+func (st *Stack) OnEvent(uint64) {
+	p := st.rxq[0]
+	st.rxq[0] = nil
+	st.rxq = st.rxq[1:]
+	st.demux.Receive(p)
 }
 
 // Config returns the stack's effective configuration.

@@ -138,15 +138,20 @@ func (s *Sender) sendLoop() {
 		rate = float64(s.cfg.MinRate)
 	}
 	gap := sim.TransmissionTime(int(n), int64(rate))
-	s.el.After(gap, func() {
-		s.sending = false
-		if s.bytesCntr >= s.cfg.IncBytes {
-			s.bytesCntr = 0
-			s.byteSt++
-			s.raiseRate()
-		}
-		s.sendLoop()
-	})
+	s.el.ScheduleAfter(gap, s, 0)
+}
+
+// OnEvent is the inter-packet pacing gap elapsing (sim.Handler): scheduled
+// once per transmitted packet, so the typed path keeps DCQCN's rate pacing
+// allocation-free.
+func (s *Sender) OnEvent(uint64) {
+	s.sending = false
+	if s.bytesCntr >= s.cfg.IncBytes {
+		s.bytesCntr = 0
+		s.byteSt++
+		s.raiseRate()
+	}
+	s.sendLoop()
 }
 
 // Receive handles CNPs from the receiver.

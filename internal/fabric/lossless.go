@@ -126,16 +126,28 @@ func (iq *IngressQueue) popForward() {
 // Backlog returns the bytes currently held at this ingress.
 func (iq *IngressQueue) Backlog() int { return iq.bytes }
 
+// IngressQueue event kinds: a PAUSE/RESUME signal arriving at the upstream
+// transmitter one link propagation delay after the watermark crossing.
+const (
+	pfcPause = iota
+	pfcResume
+)
+
+// OnEvent applies a propagated PFC transition to the upstream port
+// (sim.Handler). Signals apply in emission order: both travel the same
+// fixed link delay, so a later XON can never overtake an earlier XOFF.
+func (iq *IngressQueue) OnEvent(arg uint64) {
+	iq.upstream.SetPaused(arg == pfcPause)
+}
+
 func (iq *IngressQueue) updatePause() {
 	ls := iq.sw.lossless
 	if !iq.pausedUpstream && iq.bytes > ls.xoff {
 		iq.pausedUpstream = true
 		iq.PauseEvents++
-		up := iq.upstream
-		iq.sw.el.After(up.Delay, func() { up.SetPaused(true) })
+		iq.sw.el.ScheduleAfter(iq.upstream.Delay, iq, pfcPause)
 	} else if iq.pausedUpstream && iq.bytes <= ls.xon {
 		iq.pausedUpstream = false
-		up := iq.upstream
-		iq.sw.el.After(up.Delay, func() { up.SetPaused(false) })
+		iq.sw.el.ScheduleAfter(iq.upstream.Delay, iq, pfcResume)
 	}
 }

@@ -31,6 +31,15 @@ type Port struct {
 	busy   bool
 	paused bool
 
+	// serializing is the packet currently on the wire; flight holds packets
+	// in propagation toward the peer, in serialization-end order. Delivery
+	// events pop from flight FIFO: serialization is serial and Delay is
+	// fixed per port, so delivery times are strictly ordered and the queue
+	// discipline is exact. Together they let the port schedule typed,
+	// allocation-free events instead of a closure per packet phase.
+	serializing *Packet
+	flight      ring
+
 	// Telemetry.
 	BytesSent   int64
 	PacketsSent int64
@@ -76,6 +85,12 @@ func (p *Port) Paused() bool { return p.paused }
 // Busy reports whether a packet is currently serializing.
 func (p *Port) Busy() bool { return p.busy }
 
+// Port event kinds (the arg of sim.Handler events).
+const (
+	portSerEnd  = iota // the serializing packet has fully left the NIC
+	portDeliver        // the oldest in-flight packet reached the peer
+)
+
 func (p *Port) kick() {
 	if p.busy || p.paused || p.Q.Empty() {
 		return
@@ -85,9 +100,10 @@ func (p *Port) kick() {
 		return
 	}
 	ser := sim.TransmissionTime(int(pkt.Size), p.RateBps)
-	// Mark busy before invoking OnDequeue: the lossless drain hook can
-	// re-enter Enqueue -> kick on this same port.
+	// Mark busy (and stash the packet) before invoking OnDequeue: the
+	// lossless drain hook can re-enter Enqueue -> kick on this same port.
 	p.busy = true
+	p.serializing = pkt
 	if p.OnDequeue != nil {
 		p.OnDequeue()
 	}
@@ -97,18 +113,27 @@ func (p *Port) kick() {
 		p.DataBytes += int64(pkt.Size)
 	}
 	p.BusyTime += ser
-	p.el.After(ser, func() {
+	p.el.ScheduleAfter(ser, p, portSerEnd)
+}
+
+// OnEvent advances the port's transmit pipeline (sim.Handler).
+func (p *Port) OnEvent(arg uint64) {
+	switch arg {
+	case portSerEnd:
 		p.busy = false
-		dst := p.peer
-		p.el.After(p.Delay, func() {
-			if dst != nil {
-				dst.Receive(pkt)
-			} else {
-				Free(pkt)
-			}
-		})
+		pkt := p.serializing
+		p.serializing = nil
+		p.flight.push(pkt)
+		p.el.ScheduleAfter(p.Delay, p, portDeliver)
 		p.kick()
-	})
+	case portDeliver:
+		pkt := p.flight.pop()
+		if p.peer != nil {
+			p.peer.Receive(pkt)
+		} else {
+			Free(pkt)
+		}
+	}
 }
 
 // Utilization returns the fraction of the interval [0, now] this port spent

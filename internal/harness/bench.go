@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the benchmark harness behind `ndpsim -bench`: it runs a
+// pinned suite of named simulation cases, measures wall time, simulation
+// events, packet-hops and allocations, and reads/writes the BENCH_*.json
+// trajectory files so every PR's performance is comparable with the last.
+// The case definitions live in the scenario package (they are built from
+// public Specs); this package provides the measurement, report and
+// baseline-comparison machinery.
+
+// BenchCounts are the engine-level observables one benchmark run returns.
+type BenchCounts struct {
+	// Events is the number of scheduler events executed.
+	Events int64
+	// PacketHops is the number of packet wire-traversals simulated.
+	PacketHops int64
+}
+
+// BenchCase is one pinned benchmark: a stable name (the unit of comparison
+// across BENCH_*.json files — never rename without a migration note), a
+// Tiny marker for the CI subset, and a Run function executing one full
+// deterministic simulation.
+type BenchCase struct {
+	Name string
+	Tiny bool
+	Run  func() BenchCounts
+}
+
+// BenchResult is one case's measurement.
+type BenchResult struct {
+	Name          string  `json:"name"`
+	WallMs        float64 `json:"wall_ms"`
+	Events        int64   `json:"events"`
+	PacketHops    int64   `json:"packet_hops"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	PacketsPerSec float64 `json:"packets_per_sec"`
+	NsPerEvent    float64 `json:"ns_per_event"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+}
+
+// BenchReport is a full suite run: what was measured, and on what.
+type BenchReport struct {
+	Schema    int           `json:"schema"`
+	Label     string        `json:"label,omitempty"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	CPUs      int           `json:"cpus"`
+	Date      string        `json:"date"`
+	Results   []BenchResult `json:"results"`
+}
+
+// benchSchema versions the report layout for future readers.
+const benchSchema = 1
+
+// benchIters is how many measured runs each case gets; the fastest wall
+// time is reported. Simulations are deterministic, so event and allocation
+// counts are identical across iterations — only wall time carries machine
+// noise, and best-of-N is the standard estimator for it.
+const benchIters = 3
+
+// RunBenchSuite executes the cases in order and returns the report. Each
+// case gets one untimed warmup run (pool and heap growth, code paging) and
+// benchIters measured runs, reporting the fastest. Allocation counts come
+// from runtime.MemStats deltas around a measured run with a GC fence, so
+// they are exact for the single-goroutine runs the suite pins (Workers=1).
+func RunBenchSuite(cases []BenchCase, label string, logf func(format string, args ...any)) *BenchReport {
+	rep := &BenchReport{
+		Schema:    benchSchema,
+		Label:     label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Date:      time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, c := range cases {
+		if logf != nil {
+			logf("bench: %s (warmup)", c.Name)
+		}
+		c.Run()
+		if logf != nil {
+			logf("bench: %s", c.Name)
+		}
+		var counts BenchCounts
+		var wall time.Duration
+		var allocs, bytes int64
+		for iter := 0; iter < benchIters; iter++ {
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			counts = c.Run()
+			w := time.Since(start)
+			runtime.ReadMemStats(&after)
+			if iter == 0 || w < wall {
+				wall = w
+				allocs = int64(after.Mallocs - before.Mallocs)
+				bytes = int64(after.TotalAlloc - before.TotalAlloc)
+			}
+		}
+
+		r := BenchResult{
+			Name:        c.Name,
+			WallMs:      float64(wall.Nanoseconds()) / 1e6,
+			Events:      counts.Events,
+			PacketHops:  counts.PacketHops,
+			AllocsPerOp: allocs,
+			BytesPerOp:  bytes,
+		}
+		if secs := wall.Seconds(); secs > 0 {
+			r.EventsPerSec = float64(counts.Events) / secs
+			r.PacketsPerSec = float64(counts.PacketHops) / secs
+		}
+		if counts.Events > 0 {
+			r.NsPerEvent = float64(wall.Nanoseconds()) / float64(counts.Events)
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *BenchReport) WriteFile(path string) error {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// LoadBenchReport reads a report written by WriteFile.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("harness: parsing bench report %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// String renders the report as an aligned table for terminals.
+func (r *BenchReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== bench %s: go %s %s/%s cpus=%d ==\n",
+		r.Label, r.GoVersion, r.GOOS, r.GOARCH, r.CPUs)
+	fmt.Fprintf(&b, "%-16s %10s %12s %12s %14s %12s %10s\n",
+		"case", "wall_ms", "events", "pkt_hops", "events/sec", "allocs", "ns/event")
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-16s %10.1f %12d %12d %14.0f %12d %10.1f\n",
+			res.Name, res.WallMs, res.Events, res.PacketHops,
+			res.EventsPerSec, res.AllocsPerOp, res.NsPerEvent)
+	}
+	return b.String()
+}
+
+// CompareBench checks current against baseline and returns one message per
+// case whose events/sec regressed by more than maxRegressPct. Cases present
+// in only one report are ignored (the tiny CI subset compares against the
+// full committed trajectory), but comparing zero common cases is reported
+// as a failure — a silently-empty gate is worse than none.
+func CompareBench(baseline, current *BenchReport, maxRegressPct float64) []string {
+	base := make(map[string]BenchResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	var msgs []string
+	compared := 0
+	for _, cur := range current.Results {
+		b, ok := base[cur.Name]
+		if !ok || b.EventsPerSec <= 0 {
+			continue
+		}
+		compared++
+		drop := 100 * (b.EventsPerSec - cur.EventsPerSec) / b.EventsPerSec
+		if drop > maxRegressPct {
+			msgs = append(msgs, fmt.Sprintf(
+				"%s: events/sec regressed %.1f%% (baseline %.0f -> current %.0f, limit %.0f%%)",
+				cur.Name, drop, b.EventsPerSec, cur.EventsPerSec, maxRegressPct))
+		}
+	}
+	if compared == 0 {
+		msgs = append(msgs, fmt.Sprintf(
+			"no common cases between baseline (%d cases) and current (%d cases): the gate compared nothing",
+			len(baseline.Results), len(current.Results)))
+	}
+	sort.Strings(msgs)
+	return msgs
+}

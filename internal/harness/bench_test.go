@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(results ...BenchResult) *BenchReport {
+	return &BenchReport{Schema: benchSchema, Results: results}
+}
+
+func TestCompareBench(t *testing.T) {
+	base := report(
+		BenchResult{Name: "a", EventsPerSec: 1000},
+		BenchResult{Name: "b", EventsPerSec: 2000},
+		BenchResult{Name: "gone", EventsPerSec: 500},
+	)
+	// Within tolerance: 15% drop on a, improvement on b.
+	ok := report(
+		BenchResult{Name: "a", EventsPerSec: 850},
+		BenchResult{Name: "b", EventsPerSec: 2500},
+	)
+	if msgs := CompareBench(base, ok, 20); len(msgs) != 0 {
+		t.Errorf("within-tolerance run flagged: %v", msgs)
+	}
+	// Beyond tolerance on one case.
+	bad := report(
+		BenchResult{Name: "a", EventsPerSec: 700},
+		BenchResult{Name: "b", EventsPerSec: 2000},
+	)
+	msgs := CompareBench(base, bad, 20)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "a:") {
+		t.Errorf("30%% regression on a not flagged correctly: %v", msgs)
+	}
+	// New cases absent from the baseline are not compared.
+	fresh := report(BenchResult{Name: "new-case", EventsPerSec: 1})
+	fresh.Results = append(fresh.Results, BenchResult{Name: "a", EventsPerSec: 1000})
+	if msgs := CompareBench(base, fresh, 20); len(msgs) != 0 {
+		t.Errorf("baseline-absent case compared: %v", msgs)
+	}
+	// Zero common cases must fail loudly, not pass silently.
+	disjoint := report(BenchResult{Name: "other", EventsPerSec: 9})
+	if msgs := CompareBench(base, disjoint, 20); len(msgs) != 1 || !strings.Contains(msgs[0], "compared nothing") {
+		t.Errorf("empty comparison not flagged: %v", msgs)
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	rep := RunBenchSuite([]BenchCase{
+		{Name: "unit", Run: func() BenchCounts { return BenchCounts{Events: 42, PacketHops: 7} }},
+	}, "test", nil)
+	if len(rep.Results) != 1 || rep.Results[0].Events != 42 || rep.Results[0].PacketHops != 7 {
+		t.Fatalf("suite result mangled: %+v", rep.Results)
+	}
+	if rep.Results[0].Name != "unit" || rep.Schema != benchSchema || rep.GoVersion == "" {
+		t.Fatalf("report metadata missing: %+v", rep)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Results[0] != rep.Results[0] || back.Label != "test" {
+		t.Errorf("report changed over file round-trip:\nbefore %+v\nafter  %+v", rep, back)
+	}
+	if _, err := LoadBenchReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing report should error")
+	}
+}

@@ -297,8 +297,12 @@ func (ph *Host) schedule() {
 		at = ph.lastSent + ph.spacing
 	}
 	ph.scheduled = true
-	ph.el.At(at, ph.fire)
+	ph.el.Schedule(at, ph, 0)
 }
+
+// OnEvent fires the token pacer (sim.Handler) — one typed event per
+// transmitted token keeps the per-packet pacing allocation-free.
+func (ph *Host) OnEvent(uint64) { ph.fire() }
 
 func (ph *Host) fire() {
 	ph.scheduled = false

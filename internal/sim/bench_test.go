@@ -12,9 +12,31 @@ func BenchmarkEventListChurn(b *testing.B) {
 	for i := 0; i < 1024; i++ {
 		el.At(Time(r.Intn(1_000_000)), func() {})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		el.After(Time(r.Intn(10_000))*Nanosecond, func() {})
+		el.Step()
+	}
+}
+
+type nopHandler struct{ n uint64 }
+
+func (h *nopHandler) OnEvent(arg uint64) { h.n += arg }
+
+// BenchmarkEventListChurnTyped is the same churn on the typed Handler path
+// the hot call-sites use — no closure per event.
+func BenchmarkEventListChurnTyped(b *testing.B) {
+	el := NewEventList()
+	r := NewRand(1)
+	h := &nopHandler{}
+	for i := 0; i < 1024; i++ {
+		el.Schedule(Time(r.Intn(1_000_000)), h, uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		el.ScheduleAfter(Time(r.Intn(10_000))*Nanosecond, h, uint64(i))
 		el.Step()
 	}
 }
@@ -24,6 +46,7 @@ func BenchmarkEventListChurn(b *testing.B) {
 func BenchmarkTimerReset(b *testing.B) {
 	el := NewEventList()
 	tm := NewTimer(el, func() {})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tm.Reset(Millisecond)

@@ -1,24 +1,82 @@
 package sim
 
-// EventList is the simulation scheduler: a binary min-heap of timestamped
-// callbacks. All components of a simulation share one EventList; Run drains
-// it in timestamp order, advancing the virtual clock as it goes.
+// EventList is the simulation scheduler: a 4-ary indexed min-heap of
+// timestamped event records. All components of a simulation share one
+// EventList; Run drains it in timestamp order, advancing the virtual clock
+// as it goes.
 //
 // Events with equal timestamps fire in the order they were scheduled
 // (FIFO tie-break via a sequence counter), which keeps simulations
-// deterministic regardless of heap internals.
+// deterministic regardless of heap internals. Rescheduling an event counts
+// as scheduling it anew: it moves behind everything already queued at the
+// same instant.
+//
+// The scheduler is allocation-free on its hot paths. Components that
+// schedule per packet implement Handler and pass a uint64 argument, so an
+// event is two interface words plus plain integers — no closure is created.
+// The func()-based At/After remain for cold call-sites where a closure per
+// event is irrelevant.
+//
+// Layout notes, because this is the innermost loop of every simulation:
+// the heap is split into parallel key/value arrays so that sift comparisons
+// touch only 16-byte (time, seq) keys — the four children examined per
+// 4-ary sift-down level share one cache line — and the 4-ary shape halves
+// the levels per pop versus a binary heap. Sifts move a hole instead of
+// swapping, writing each displaced record once. Events removed or
+// rescheduled in place (Cancel, Reschedule) never leave ghost entries.
 type EventList struct {
-	now    Time
-	seq    uint64
-	heap   []event
-	halted bool
+	now      Time
+	seq      uint64
+	keys     []eventKey
+	vals     []eventVal
+	slots    []int32 // EventID -> heap index, -1 when the id is free
+	free     []int32 // recycled EventIDs
+	executed uint64
+	halted   bool
 }
 
-type event struct {
+// Handler is the typed, allocation-free way to receive events: components
+// implement OnEvent once and schedule themselves with Schedule or
+// ScheduleAfter, using arg to distinguish event kinds or carry a payload.
+type Handler interface {
+	OnEvent(arg uint64)
+}
+
+// EventID names a cancellable event in the heap. The sentinel NoEvent means
+// "none"; ids are recycled after the event fires or is cancelled, so holding
+// a stale id is a programming error.
+type EventID int32
+
+// NoEvent is the null EventID.
+const NoEvent EventID = -1
+
+// eventKey is the heap ordering key: fire time, then FIFO sequence.
+type eventKey struct {
 	at  Time
 	seq uint64
-	fn  func()
 }
+
+func (a *eventKey) less(b *eventKey) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventVal is the heap payload: what to call and, for cancellable events,
+// which slot tracks the record's position.
+type eventVal struct {
+	arg uint64
+	h   Handler
+	id  int32 // slot index for cancellable events, -1 otherwise
+}
+
+// funcEvent adapts the closure fallback path onto Handler. A func value is
+// pointer-shaped, so the interface conversion in At does not allocate; the
+// only allocation on that path is the caller's own closure.
+type funcEvent func()
+
+func (f funcEvent) OnEvent(uint64) { f() }
 
 // NewEventList returns an empty scheduler with the clock at zero.
 func NewEventList() *EventList { return &EventList{} }
@@ -27,38 +85,106 @@ func NewEventList() *EventList { return &EventList{} }
 func (el *EventList) Now() Time { return el.now }
 
 // Len returns the number of pending events.
-func (el *EventList) Len() int { return len(el.heap) }
+func (el *EventList) Len() int { return len(el.keys) }
+
+// Executed returns how many events have fired since creation — the
+// event-throughput numerator of the bench harness.
+func (el *EventList) Executed() uint64 { return el.executed }
 
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error; it is clamped to "now" so the event still fires, which
-// is the least surprising recovery during development.
+// is the least surprising recovery during development. This is the closure
+// fallback path: use Schedule from per-packet call-sites.
 func (el *EventList) At(t Time, fn func()) {
-	if t < el.now {
-		t = el.now
-	}
-	el.seq++
-	el.heap = append(el.heap, event{at: t, seq: el.seq, fn: fn})
-	el.up(len(el.heap) - 1)
+	el.push(t, eventVal{h: funcEvent(fn), id: -1})
 }
 
 // After schedules fn to run d after the current time.
 func (el *EventList) After(d Time, fn func()) { el.At(el.now+d, fn) }
 
+// Schedule arranges for h.OnEvent(arg) to run at absolute time t without
+// allocating. Past times clamp to now, as with At.
+func (el *EventList) Schedule(t Time, h Handler, arg uint64) {
+	el.push(t, eventVal{h: h, arg: arg, id: -1})
+}
+
+// ScheduleAfter arranges for h.OnEvent(arg) to run d after the current time.
+func (el *EventList) ScheduleAfter(d Time, h Handler, arg uint64) {
+	el.push(el.now+d, eventVal{h: h, arg: arg, id: -1})
+}
+
+// ScheduleCancelable schedules h.OnEvent(arg) at t and returns an id that
+// Cancel or Reschedule accept. The id is valid until the event fires or is
+// cancelled.
+func (el *EventList) ScheduleCancelable(t Time, h Handler, arg uint64) EventID {
+	id := el.allocSlot()
+	el.push(t, eventVal{h: h, arg: arg, id: int32(id)})
+	return id
+}
+
+// Cancel removes a pending event from the heap. It reports whether the id
+// named a live event; cancelling an already-fired or already-cancelled id
+// returns false. The id is recycled either way.
+func (el *EventList) Cancel(id EventID) bool {
+	if !el.live(id) {
+		return false
+	}
+	el.remove(int(el.slots[id]))
+	el.freeSlot(id)
+	return true
+}
+
+// Reschedule moves a pending event to absolute time t (clamped to now) and
+// gives it a fresh FIFO sequence number, exactly as if it had been cancelled
+// and scheduled anew — but in place, with no heap garbage. It reports
+// whether the id named a live event.
+func (el *EventList) Reschedule(id EventID, t Time) bool {
+	if !el.live(id) {
+		return false
+	}
+	if t < el.now {
+		t = el.now
+	}
+	i := int(el.slots[id])
+	el.seq++
+	el.keys[i] = eventKey{at: t, seq: el.seq}
+	if !el.down(i) {
+		el.up(i)
+	}
+	return true
+}
+
+// Pending reports whether id names a live (scheduled, not yet fired or
+// cancelled) event.
+func (el *EventList) Pending(id EventID) bool { return el.live(id) }
+
+// EventTime returns the scheduled time of a live event, or Infinity.
+func (el *EventList) EventTime(id EventID) Time {
+	if !el.live(id) {
+		return Infinity
+	}
+	return el.keys[el.slots[id]].at
+}
+
+func (el *EventList) live(id EventID) bool {
+	return id >= 0 && int(id) < len(el.slots) && el.slots[id] >= 0
+}
+
 // Step runs the earliest pending event and returns true, or returns false if
 // the list is empty or the simulation was halted.
 func (el *EventList) Step() bool {
-	if el.halted || len(el.heap) == 0 {
+	if el.halted || len(el.keys) == 0 {
 		return false
 	}
-	ev := el.heap[0]
-	last := len(el.heap) - 1
-	el.heap[0] = el.heap[last]
-	el.heap = el.heap[:last]
-	if last > 0 {
-		el.down(0)
+	at := el.keys[0].at
+	v := el.vals[0]
+	el.popMin()
+	if v.id >= 0 {
+		el.freeSlot(EventID(v.id))
 	}
-	el.now = ev.at
-	ev.fn()
+	el.now = at
+	el.executed++
+	v.h.OnEvent(v.arg)
 	return true
 }
 
@@ -71,7 +197,7 @@ func (el *EventList) Run() {
 // RunUntil processes events with timestamps <= deadline, then sets the clock
 // to the deadline. Events scheduled beyond the deadline remain pending.
 func (el *EventList) RunUntil(deadline Time) {
-	for !el.halted && len(el.heap) > 0 && el.heap[0].at <= deadline {
+	for !el.halted && len(el.keys) > 0 && el.keys[0].at <= deadline {
 		el.Step()
 	}
 	if el.now < deadline {
@@ -92,63 +218,209 @@ func (el *EventList) Halted() bool { return el.halted }
 // NextAt returns the timestamp of the earliest pending event, or Infinity if
 // none is pending.
 func (el *EventList) NextAt() Time {
-	if len(el.heap) == 0 {
+	if len(el.keys) == 0 {
 		return Infinity
 	}
-	return el.heap[0].at
+	return el.keys[0].at
 }
 
-func (el *EventList) less(i, j int) bool {
-	if el.heap[i].at != el.heap[j].at {
-		return el.heap[i].at < el.heap[j].at
+// push clamps, stamps the FIFO sequence number, and sifts the record in.
+func (el *EventList) push(at Time, v eventVal) {
+	if at < el.now {
+		at = el.now
 	}
-	return el.heap[i].seq < el.heap[j].seq
+	el.seq++
+	el.keys = append(el.keys, eventKey{at: at, seq: el.seq})
+	el.vals = append(el.vals, v)
+	i := len(el.keys) - 1
+	if v.id >= 0 {
+		el.slots[v.id] = int32(i)
+	}
+	el.up(i)
 }
 
+// popMin deletes the root — the pop half of every simulation step, so it
+// uses the bottom-up deletion of Wegener's heapsort analysis: the root hole
+// sinks to a leaf along minimal children (no comparisons against the
+// relocated tail record), the tail record drops into the hole, and a sift-up
+// fixes the rare case where it did not belong that deep. The relocated
+// record is almost always a recent leaf, so the sift-up typically costs one
+// comparison and zero moves — saving a comparison per level versus the
+// classic move-tail-to-root-and-sink pop.
+func (el *EventList) popMin() {
+	keys, vals := el.keys, el.vals
+	last := len(keys) - 1
+	if last > 0 {
+		// Sink the root hole to a leaf, excluding index `last` (the record
+		// being relocated) from the scans.
+		i := 0
+		for {
+			first := 4*i + 1
+			if first >= last {
+				break
+			}
+			smallest := first
+			sk := keys[first]
+			end := first + 4
+			if end > last {
+				end = last
+			}
+			for c := first + 1; c < end; c++ {
+				if keys[c].at < sk.at || (keys[c].at == sk.at && keys[c].seq < sk.seq) {
+					smallest, sk = c, keys[c]
+				}
+			}
+			el.set(i, sk, vals[smallest])
+			i = smallest
+		}
+		el.set(i, keys[last], vals[last])
+		vals[last] = eventVal{}
+		el.keys = keys[:last]
+		el.vals = vals[:last]
+		el.up(i)
+		return
+	}
+	vals[0] = eventVal{}
+	el.keys = keys[:0]
+	el.vals = vals[:0]
+}
+
+// remove deletes the record at heap index i, keeping slot indices current.
+// The vacated tail value is zeroed so the heap never retains a Handler or
+// closure beyond the event's life.
+func (el *EventList) remove(i int) {
+	last := len(el.keys) - 1
+	if i != last {
+		el.set(i, el.keys[last], el.vals[last])
+	}
+	el.vals[last] = eventVal{}
+	el.keys = el.keys[:last]
+	el.vals = el.vals[:last]
+	if i < last {
+		// At most one direction applies: the replacement either sinks or
+		// (when removing mid-heap) may need to rise past its new parent.
+		if !el.down(i) {
+			el.up(i)
+		}
+	}
+}
+
+// set writes a record into position i and updates its slot if cancellable.
+func (el *EventList) set(i int, k eventKey, v eventVal) {
+	el.keys[i] = k
+	el.vals[i] = v
+	if v.id >= 0 {
+		el.slots[v.id] = int32(i)
+	}
+}
+
+func (el *EventList) allocSlot() EventID {
+	if n := len(el.free); n > 0 {
+		id := el.free[n-1]
+		el.free = el.free[:n-1]
+		return EventID(id)
+	}
+	el.slots = append(el.slots, -1)
+	return EventID(len(el.slots) - 1)
+}
+
+func (el *EventList) freeSlot(id EventID) {
+	el.slots[id] = -1
+	el.free = append(el.free, int32(id))
+}
+
+// up sifts index i toward the root (parent of i is (i-1)/4). It moves a
+// hole rather than swapping: parents shift down one copy each, and the
+// moving record is written exactly once at its final position. The fast
+// path (already in place, the common case for pushes into a deep heap)
+// performs one comparison and zero writes.
 func (el *EventList) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !el.less(i, parent) {
+	keys := el.keys
+	if i == 0 {
+		return
+	}
+	parent := (i - 1) >> 2 // i > 0, so the shift is an exact /4
+	if !keys[i].less(&keys[parent]) {
+		return
+	}
+	k, v := keys[i], el.vals[i]
+	for {
+		el.set(i, keys[parent], el.vals[parent])
+		i = parent
+		if i == 0 {
 			break
 		}
-		el.heap[i], el.heap[parent] = el.heap[parent], el.heap[i]
-		i = parent
+		parent = (i - 1) >> 2
+		if !k.less(&keys[parent]) {
+			break
+		}
 	}
+	el.set(i, k, v)
 }
 
-func (el *EventList) down(i int) {
-	n := len(el.heap)
+// down sifts index i toward the leaves (children of i are 4i+1 .. 4i+4),
+// with the same single-write hole technique as up, and reports whether the
+// record moved. Only 16-byte keys are read while scanning children — the
+// four children of one node share a cache line — and the running minimum is
+// kept in registers.
+func (el *EventList) down(i int) bool {
+	keys := el.keys
+	n := len(keys)
+	k, v := keys[i], el.vals[i]
+	moved := false
 	for {
-		left := 2*i + 1
-		if left >= n {
-			return
+		first := 4*i + 1
+		if first >= n {
+			break
 		}
-		smallest := left
-		if right := left + 1; right < n && el.less(right, left) {
-			smallest = right
+		smallest := first
+		sk := keys[first]
+		end := first + 4
+		if end > n {
+			end = n
 		}
-		if !el.less(smallest, i) {
-			return
+		for c := first + 1; c < end; c++ {
+			if keys[c].at < sk.at || (keys[c].at == sk.at && keys[c].seq < sk.seq) {
+				smallest, sk = c, keys[c]
+			}
 		}
-		el.heap[i], el.heap[smallest] = el.heap[smallest], el.heap[i]
+		if !sk.less(&k) {
+			break
+		}
+		el.set(i, sk, el.vals[smallest])
 		i = smallest
+		moved = true
 	}
+	if moved {
+		el.set(i, k, v)
+	}
+	return moved
 }
 
 // Timer is a restartable one-shot timer bound to an EventList, used for
 // retransmission timeouts. A Timer may be rescheduled or stopped at any
-// time; a stale expiry (from before the most recent Reset/Stop) is ignored.
+// time. Reset and Stop operate on the timer's single in-heap entry —
+// rescheduling moves it, stopping removes it — so a timer contributes at
+// most one pending event no matter how often it is re-armed. (The previous
+// implementation abandoned a dead closure in the heap on every Reset, which
+// made RTO-heavy incasts accumulate thousands of ghost events.)
 type Timer struct {
 	el      *EventList
 	fn      func()
+	id      EventID
 	expires Time
-	version uint64
-	pending bool
 }
 
 // NewTimer returns a stopped timer that will invoke fn on expiry.
 func NewTimer(el *EventList, fn func()) *Timer {
-	return &Timer{el: el, fn: fn, expires: Infinity}
+	return &Timer{el: el, fn: fn, id: NoEvent, expires: Infinity}
+}
+
+// OnEvent is the timer's expiry; it is public only to satisfy Handler.
+func (t *Timer) OnEvent(uint64) {
+	t.id = NoEvent
+	t.expires = Infinity
+	t.fn()
 }
 
 // Reset (re)arms the timer to fire d from now.
@@ -156,29 +428,25 @@ func (t *Timer) Reset(d Time) { t.ResetAt(t.el.Now() + d) }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
-	t.version++
 	t.expires = at
-	t.pending = true
-	v := t.version
-	t.el.At(at, func() {
-		if t.version != v || !t.pending {
-			return // superseded by a later Reset or Stop
-		}
-		t.pending = false
-		t.expires = Infinity
-		t.fn()
-	})
+	if t.id != NoEvent {
+		t.el.Reschedule(t.id, at)
+		return
+	}
+	t.id = t.el.ScheduleCancelable(at, t, 0)
 }
 
 // Stop disarms the timer. It is safe to call on a stopped timer.
 func (t *Timer) Stop() {
-	t.version++
-	t.pending = false
+	if t.id != NoEvent {
+		t.el.Cancel(t.id)
+		t.id = NoEvent
+	}
 	t.expires = Infinity
 }
 
 // Pending reports whether the timer is armed.
-func (t *Timer) Pending() bool { return t.pending }
+func (t *Timer) Pending() bool { return t.id != NoEvent }
 
 // Expires returns the absolute expiry time, or Infinity when stopped.
 func (t *Timer) Expires() Time { return t.expires }

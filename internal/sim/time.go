@@ -1,6 +1,7 @@
 // Package sim provides the discrete-event simulation engine that underpins
-// the NDP reproduction: a picosecond-resolution virtual clock, a binary-heap
-// event list, and a deterministic pseudo-random number generator.
+// the NDP reproduction: a picosecond-resolution virtual clock, an indexed
+// 4-ary-heap event list with allocation-free typed events, and a
+// deterministic pseudo-random number generator.
 //
 // The engine is deliberately single-threaded: datacenter packet simulations
 // are dominated by tiny events (a packet finishing serialization, a timer

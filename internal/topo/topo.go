@@ -78,6 +78,7 @@ type Cluster interface {
 	NumHosts() int
 	LinkRate() int64
 	CollectStats() SwitchStats
+	PacketHops() int64
 }
 
 // Network is the common state every topology exposes: the event list, the
@@ -171,6 +172,23 @@ func (n *Network) CollectStats() SwitchStats {
 		}
 	}
 	return s
+}
+
+// PacketHops sums transmitted packets over every port in the network —
+// host NICs and switch egresses alike. One wire traversal counts once, so
+// the total is the simulation's packet-hop volume, the workload-independent
+// denominator the bench harness reports throughput against.
+func (n *Network) PacketHops() int64 {
+	var hops int64
+	for _, h := range n.Hosts {
+		hops += h.NIC.PacketsSent
+	}
+	for _, sw := range n.Switches {
+		for _, p := range sw.Ports {
+			hops += p.PacketsSent
+		}
+	}
+	return hops
 }
 
 // portName builds a stable debug name for a link endpoint.

@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"ndp/internal/harness"
+)
+
+// BenchSuite is the pinned benchmark trajectory behind `ndpsim -bench`:
+// named scenarios at fixed seeds and sizes, run serially (Workers=1) so
+// wall time measures single-simulation speed and allocation counts are
+// exact. Case names are the unit of comparison across the committed
+// BENCH_*.json files — never rename one without a migration note; add new
+// cases instead.
+//
+// Every registry scenario contributes a "-tiny" case (seconds-fast, the CI
+// regression-gate subset) and the two workloads that dominate the paper's
+// evaluation — large incast and full-load permutation — also run at
+// figure scale for a signal on real experiment cost.
+func BenchSuite() []harness.BenchCase {
+	cases := []struct {
+		name string
+		tiny bool
+		spec Spec
+	}{
+		// 15:1 is the largest fan-in a 16-host FatTree offers; the 1.35MB
+		// responses keep the case in the tens-of-milliseconds range where
+		// events/sec is stable enough to gate on.
+		{"incast-tiny", true, benchSpec("incast", Params{Hosts: 16, Degree: 15, FlowSize: 1_350_000},
+			WithDeadline(200*time.Millisecond))},
+		{"permutation-tiny", true, benchSpec("permutation", Params{Hosts: 16},
+			WithWarmup(time.Millisecond), WithWindow(3*time.Millisecond))},
+		{"random-tiny", true, benchSpec("random", Params{Hosts: 16},
+			WithWarmup(time.Millisecond), WithWindow(2*time.Millisecond))},
+		{"rpc-tiny", true, benchSpec("rpc", Params{Hosts: 16, Degree: 2},
+			WithDeadline(5*time.Millisecond))},
+		{"failure-tiny", true, benchSpec("failure", Params{Hosts: 16},
+			WithWarmup(time.Millisecond), WithWindow(3*time.Millisecond))},
+		// Figure-scale: the paper's 100:1 incast (Fig 17 class) and a
+		// full-load permutation on a 128-host FatTree.
+		{"incast-large", false, benchSpec("incast", Params{Hosts: 128, Degree: 100, FlowSize: 135_000},
+			WithDeadline(200*time.Millisecond))},
+		{"permutation-large", false, benchSpec("permutation", Params{Hosts: 128},
+			WithWarmup(time.Millisecond), WithWindow(5*time.Millisecond))},
+	}
+	out := make([]harness.BenchCase, 0, len(cases))
+	for _, c := range cases {
+		spec := c.spec
+		out = append(out, harness.BenchCase{
+			Name: c.name,
+			Tiny: c.tiny,
+			Run: func() harness.BenchCounts {
+				m, stats, err := RunWithStats(spec)
+				if err != nil {
+					panic(fmt.Sprintf("bench case: %v", err))
+				}
+				if m.FlowsLaunched == 0 {
+					panic("bench case launched no flows")
+				}
+				return harness.BenchCounts{Events: stats.Events, PacketHops: stats.PacketHops}
+			},
+		})
+	}
+	return out
+}
+
+// benchSpec builds one pinned suite member; registry names are known good
+// (TestBenchSuite covers every case), so lookup failure is a programmer
+// error.
+func benchSpec(name string, p Params, opts ...Option) Spec {
+	spec, err := Build(name, p, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return spec.With(WithSeed(1), WithWorkers(1), WithRepeats(1))
+}

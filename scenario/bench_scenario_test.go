@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestBenchSuite checks the pinned suite's invariants: every case builds a
+// valid Spec, names are unique (they are the comparison key across
+// BENCH_*.json files), the CI subset is nonempty, and a representative case
+// actually produces engine counts.
+func TestBenchSuite(t *testing.T) {
+	cases := BenchSuite()
+	if len(cases) == 0 {
+		t.Fatal("empty bench suite")
+	}
+	seen := map[string]bool{}
+	tiny := 0
+	for _, c := range cases {
+		if c.Name == "" || c.Run == nil {
+			t.Fatalf("malformed case: %+v", c)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate bench case name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Tiny {
+			tiny++
+		}
+	}
+	if tiny == 0 {
+		t.Error("no -tiny cases: the CI gate would run nothing")
+	}
+	if testing.Short() {
+		return
+	}
+	for _, c := range cases {
+		if c.Name != "random-tiny" {
+			continue
+		}
+		counts := c.Run()
+		if counts.Events <= 0 || counts.PacketHops <= 0 {
+			t.Errorf("case %s produced no engine counts: %+v", c.Name, counts)
+		}
+	}
+}
+
+// TestBenchSuiteDeterminism extends the public determinism guarantee to a
+// bench-suite scenario on the rewritten scheduler: the same pinned spec run
+// with Workers=1 and Workers=8 (multiple repeats in flight) must produce
+// bit-identical Metrics AND identical engine stats. Run under `go test
+// -race` in CI, this also proves the parallel pool shares no scheduler
+// state across simulations.
+func TestBenchSuiteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	spec := benchSpec("incast", Params{Hosts: 16, Degree: 8, FlowSize: 90_000}).
+		With(WithRepeats(6))
+	serial, sstats, err := RunWithStats(spec.With(WithWorkers(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, pstats, err := RunWithStats(spec.With(WithWorkers(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, _ := json.Marshal(serial)
+	pj, _ := json.Marshal(parallel)
+	if string(sj) != string(pj) {
+		t.Errorf("bench scenario metrics differ between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s", sj, pj)
+	}
+	if sstats != pstats {
+		t.Errorf("engine stats differ between 1 and 8 workers: serial %+v, parallel %+v", sstats, pstats)
+	}
+	if sstats.Events <= 0 || sstats.PacketHops <= 0 {
+		t.Errorf("engine stats empty: %+v", sstats)
+	}
+}

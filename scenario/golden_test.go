@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden metrics testdata")
+
+// goldenSpecs pins every registry scenario at small scale and fixed seed.
+// The resulting Metrics JSON is the behavioral contract of the whole
+// simulator: topology construction, transport logic, scheduler pop order
+// (including equal-timestamp FIFO ties) all feed into it, so any engine
+// change that perturbs a single event is caught here. Repeats=2 also
+// exercises the merge path; Workers is deliberately >1 because results
+// must be bit-identical for any worker count.
+func goldenSpecs(t *testing.T) map[string]Spec {
+	t.Helper()
+	build := func(name string, p Params, opts ...Option) Spec {
+		spec, err := Build(name, p, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec.With(
+			WithSeed(3),
+			WithRepeats(2),
+			WithWorkers(2),
+		)
+	}
+	return map[string]Spec{
+		"incast": build("incast", Params{Hosts: 16, Degree: 8, FlowSize: 45_000},
+			WithDeadline(100*time.Millisecond)),
+		"permutation": build("permutation", Params{Hosts: 16},
+			WithWarmup(time.Millisecond), WithWindow(3*time.Millisecond)),
+		"random": build("random", Params{Hosts: 16},
+			WithWarmup(time.Millisecond), WithWindow(2*time.Millisecond)),
+		"rpc": build("rpc", Params{Hosts: 16, Degree: 2},
+			WithDeadline(5*time.Millisecond)),
+		"failure": build("failure", Params{Hosts: 16},
+			WithWarmup(time.Millisecond), WithWindow(3*time.Millisecond)),
+	}
+}
+
+// TestGoldenMetrics locks scenario.Run output bit-for-bit against testdata.
+// Regenerate with `go test ./scenario -run TestGoldenMetrics -update` and
+// review the diff: a golden change means simulated behavior changed.
+func TestGoldenMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	for name, spec := range goldenSpecs(t) {
+		name, spec := name, spec
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(m, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden", name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("metrics diverged from golden %s.\nThis means simulated behavior changed; if intended, regenerate with -update and justify in the PR.\n--- got ---\n%s\n--- want ---\n%s",
+					name, got, want)
+			}
+		})
+	}
+}

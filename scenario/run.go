@@ -17,10 +17,28 @@ import (
 // into Spec.Repeats independent sweep jobs (one simulation per derived
 // seed) executed on a Workers-sized pool; Metrics are bit-identical for
 // any worker count. Simulation failures surface as errors, never panics.
-func Run(spec Spec) (m *Metrics, err error) {
+func Run(spec Spec) (*Metrics, error) {
+	m, _, err := RunWithStats(spec)
+	return m, err
+}
+
+// RunStats are engine-level observables of one Run: how much simulation
+// machinery turned to produce the Metrics. They are deliberately not part
+// of Metrics — event counts change whenever the scheduler changes, while
+// Metrics are pinned bit-for-bit by the golden regression suite.
+type RunStats struct {
+	// Events is the total scheduler events executed across repeats.
+	Events int64
+	// PacketHops is the total packet wire-traversals across repeats.
+	PacketHops int64
+}
+
+// RunWithStats is Run plus the engine observables the bench harness
+// reports throughput against.
+func RunWithStats(spec Spec) (m *Metrics, stats RunStats, err error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
-		return nil, err
+		return nil, RunStats{}, err
 	}
 	name := spec.name
 	if name == "" {
@@ -31,7 +49,7 @@ func Run(spec Spec) (m *Metrics, err error) {
 	// promises.
 	defer func() {
 		if p := recover(); p != nil {
-			m, err = nil, fmt.Errorf("scenario: run failed: %v", p)
+			m, stats, err = nil, RunStats{}, fmt.Errorf("scenario: run failed: %v", p)
 		}
 	}()
 	seeds := harness.SweepSeeds(spec.Seed, spec.Repeats)
@@ -43,7 +61,11 @@ func Run(spec Spec) (m *Metrics, err error) {
 			func(seed uint64) *runOut { return runOnce(spec, seed) })
 	}
 	outs := harness.RunJobs(harness.Options{Workers: spec.Workers}, jobs)
-	return merge(spec, outs), nil
+	for _, o := range outs {
+		stats.Events += o.events
+		stats.PacketHops += o.hops
+	}
+	return merge(spec, outs), stats, nil
 }
 
 // runOut is one repetition's raw contribution to the Metrics.
@@ -56,6 +78,8 @@ type runOut struct {
 	last      sim.Time
 	counters  topo.SwitchStats
 	linkRate  int64
+	events    int64 // scheduler events executed
+	hops      int64 // packet wire-traversals
 }
 
 // runOnce builds the network for one derived seed and drives the workload.
@@ -77,6 +101,8 @@ func runOnce(spec Spec, seed uint64) *runOut {
 		runMatrix(spec, seed, net, out)
 	}
 	out.counters = net.Cluster().CollectStats()
+	out.events = int64(net.EL().Executed())
+	out.hops = net.Cluster().PacketHops()
 	return out
 }
 

@@ -12,6 +12,7 @@
 //
 //	ndpsim -scenario incast -transport dcqcn -hosts 128 -degree 100 -flowsize 135000
 //	ndpsim -scenario permutation -transport mptcp -json
+//	ndpsim -scenario permutation -hosts 1024 -shards 8   # one sim, 8 cores
 //
 //	ndpsim -bench                                # pinned performance suite
 //	ndpsim -bench -tiny -baseline BENCH_3.json   # CI regression gate
@@ -51,6 +52,7 @@ func main() {
 		degree    = flag.Int("degree", 0, "scenario incast fan-in / rpc conns per host (0 = default)")
 		flowsize  = flag.Int64("flowsize", 0, "scenario flow size in bytes (0 = default)")
 		repeats   = flag.Int("repeats", 1, "scenario repetitions aggregated into one result")
+		shards    = flag.Int("shards", 1, "scenario: shard each simulation across this many cores (ndp+fattree; results identical for any value)")
 
 		bench      = flag.Bool("bench", false, "run the pinned benchmark suite, then exit")
 		tiny       = flag.Bool("tiny", false, "bench: run only the seconds-fast -tiny cases (the CI subset)")
@@ -66,6 +68,15 @@ func main() {
 	if *hosts < 0 || *degree < 0 || *flowsize < 0 {
 		fatalUsage("-hosts/-degree/-flowsize must be >= 0 (0 = scenario default), got %d/%d/%d",
 			*hosts, *degree, *flowsize)
+	}
+	if *hosts == 1 {
+		fatalUsage("-hosts 1 cannot carry traffic; use 0 for the scenario default or >= 2")
+	}
+	if *shards < 1 {
+		fatalUsage("-shards must be >= 1, got %d", *shards)
+	}
+	if explicit["shards"] && *scen == "" {
+		fatalUsage("-shards only applies to -scenario mode (experiments parallelize across sweep jobs with -parallel; the bench suite pins its own sharded cases)")
 	}
 	validateFlags(*exp, *scen, *transport, *scale, *parallel, *repeats, *bench, explicit)
 
@@ -83,7 +94,7 @@ func main() {
 	}
 
 	if *scen != "" {
-		runScenario(*scen, *transport, *hosts, *degree, *flowsize, *seed, *parallel, *repeats, *jsonOut)
+		runScenario(*scen, *transport, *hosts, *degree, *flowsize, *seed, *parallel, *repeats, *shards, *jsonOut)
 		return
 	}
 
@@ -215,13 +226,14 @@ func printCatalog() {
 }
 
 func runScenario(name, transport string, hosts, degree int, flowsize int64,
-	seed uint64, workers, repeats int, jsonOut bool) {
+	seed uint64, workers, repeats, shards int, jsonOut bool) {
 	spec, err := scenario.Build(name,
 		scenario.Params{Hosts: hosts, Degree: degree, FlowSize: flowsize},
 		scenario.WithTransport(scenario.Transport(transport)),
 		scenario.WithSeed(seed),
 		scenario.WithWorkers(workers),
 		scenario.WithRepeats(repeats),
+		scenario.WithShards(shards),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

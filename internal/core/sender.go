@@ -43,6 +43,11 @@ type Sender struct {
 	pathAcks []int64
 	pathNaks []int64
 	pathLoss []int64
+	// permScratch is the reusable backing array repermute rebuilds perm
+	// into; hoisted here because repermute used to allocate a fresh slice
+	// on every permutation cycle of every flow (about half the remaining
+	// steady-state allocations after the scheduler rewrite).
+	permScratch []int
 
 	nextNew     int64
 	rtxq        []int64
@@ -166,7 +171,13 @@ func (s *Sender) nextPathID() int16 {
 // them would stall the whole transfer.
 func (s *Sender) repermute() {
 	n := len(s.paths)
-	include := make([]int, 0, n)
+	if cap(s.permScratch) < n {
+		s.permScratch = make([]int, 0, n)
+	}
+	// perm aliases the scratch array; that is safe because perm is fully
+	// rebuilt here before it is read again (nextPathID only consults it
+	// between repermute calls).
+	include := s.permScratch[:0]
 	s.excludedActive = 0
 	if !s.st.cfg.DisablePathPenalty && n > 1 {
 		var fracSum float64

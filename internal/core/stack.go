@@ -273,20 +273,41 @@ func (st *Stack) Connect(dst *Stack, size int64, opts FlowOpts) *Sender {
 	if opts.Flow == 0 {
 		opts.Flow = NextFlowID()
 	}
-	if opts.Priority {
-		dst.SetPriority(opts.Flow)
+	dst.PreRegister(opts.Flow, opts.Priority, opts.OnReceiverDone, opts.OnReceiverData)
+	return st.ConnectLocal(dst.Host.ID, size, opts)
+}
+
+// PreRegister installs receiver-side flow state ahead of the first packet:
+// pull priority and completion/goodput observers. In a sharded run the
+// source host defers this call onto the destination's shard (it must land
+// before the first SYN arrives — one link delay is plenty, the first data
+// packet is at least a serialization plus two propagations away); in a
+// single-list run it is simply called inline.
+func (st *Stack) PreRegister(flow uint64, priority bool, onDone func(*Receiver), onData func(int64)) {
+	if priority {
+		st.SetPriority(flow)
 	}
-	if opts.OnReceiverDone != nil {
-		dst.flowDone[opts.Flow] = opts.OnReceiverDone
+	if onDone != nil {
+		st.flowDone[flow] = onDone
 	}
-	if opts.OnReceiverData != nil {
-		dst.flowData[opts.Flow] = opts.OnReceiverData
+	if onData != nil {
+		st.flowData[flow] = onData
 	}
-	paths := st.pathsTo(dst.Host.ID)
+}
+
+// ConnectLocal starts the sender half of an NDP transfer toward host dst,
+// touching only this stack's state. opts.Flow must be set. Receiver-side
+// observers must be delivered separately via the destination stack's
+// PreRegister (Connect does both for the single-shard convenience path).
+func (st *Stack) ConnectLocal(dst int32, size int64, opts FlowOpts) *Sender {
+	if opts.Flow == 0 {
+		panic("core: ConnectLocal needs an explicit flow id")
+	}
+	paths := st.pathsTo(dst)
 	if len(paths) == 0 {
-		panic(fmt.Sprintf("core: no paths from host %d to host %d", st.Host.ID, dst.Host.ID))
+		panic(fmt.Sprintf("core: no paths from host %d to host %d", st.Host.ID, dst))
 	}
-	s := newSender(st, opts, dst.Host.ID, size, paths)
+	s := newSender(st, opts, dst, size, paths)
 	st.senders[opts.Flow] = s
 	st.demux.Register(opts.Flow, s)
 	s.start()

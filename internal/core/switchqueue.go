@@ -85,13 +85,16 @@ type queueRing struct {
 
 func (r *queueRing) push(p *fabric.Packet) {
 	if r.n == len(r.buf) {
-		size := len(r.buf) * 2
-		if size == 0 {
-			size = 16
+		// The masked indexing below requires a power-of-two buffer;
+		// normalize the new capacity on growth instead of assuming the
+		// doubling always started from one (mirrors fabric's ring guard).
+		size := 16
+		for size < len(r.buf)*2 {
+			size *= 2
 		}
 		nb := make([]*fabric.Packet, size)
 		for i := 0; i < r.n; i++ {
-			nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+			nb[i] = r.buf[(r.head+i)%len(r.buf)]
 		}
 		r.buf, r.head, r.tail = nb, 0, r.n
 	}
@@ -122,8 +125,11 @@ func (r *queueRing) popTail() *fabric.Packet {
 	return p
 }
 
-// NewSwitchQueue builds an NDP port queue. rand drives the 50% trim coin and
-// must be the topology's deterministic generator.
+// NewSwitchQueue builds an NDP port queue. rand drives the 50% trim coin;
+// it must be deterministic and must belong to this queue alone. A generator
+// shared across queues would make coin values depend on the global order in
+// which queues trim — an order a sharded run cannot reproduce — so each
+// queue draws from its own stream (see QueueFactory).
 func NewSwitchQueue(cfg SwitchConfig, rand *sim.Rand) *SwitchQueue {
 	return &SwitchQueue{cfg: cfg, rand: rand}
 }
@@ -209,11 +215,28 @@ func (q *SwitchQueue) DataPackets() int { return q.data.n }
 func (q *SwitchQueue) HeaderPackets() int { return q.hdr.n }
 
 // QueueFactory returns a topo.Config-compatible queue factory producing NDP
-// switch queues with the given configuration. Call WireBounce on the built
+// switch queues with the given configuration. Each queue's trim coin draws
+// from its own RNG stream, derived from the seed and the queue's stable
+// name: coin values then depend only on the sequence of trims at that one
+// port, never on the global interleaving of trims across the fabric, which
+// keeps results identical for any shard count. Call WireBounce on the built
 // topology's switches afterwards so return-to-sender headers re-enter the
 // routing pipeline.
-func QueueFactory(cfg SwitchConfig, rand *sim.Rand) func(name string) fabric.Queue {
-	return func(string) fabric.Queue { return NewSwitchQueue(cfg, rand) }
+func QueueFactory(cfg SwitchConfig, seed uint64) func(name string) fabric.Queue {
+	return func(name string) fabric.Queue {
+		return NewSwitchQueue(cfg, sim.NewRand(seed^hashName(name)))
+	}
+}
+
+// hashName is FNV-1a over the queue's name — a stable, construction-order-
+// independent identity for deriving per-queue RNG streams.
+func hashName(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // WireBounce connects every NDP SwitchQueue on the given switches to its

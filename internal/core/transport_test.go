@@ -13,7 +13,7 @@ import (
 // host, all listening.
 func ndpNet(k int, scfg SwitchConfig, ccfg Config) (*topo.FatTree, []*Stack) {
 	cfg := topo.Config{Seed: 42}
-	cfg.SwitchQueue = QueueFactory(scfg, sim.NewRand(4242))
+	cfg.SwitchQueue = QueueFactory(scfg, 4242)
 	net := topo.NewFatTree(k, cfg)
 	WireBounce(net.Switches)
 	stacks := make([]*Stack, net.NumHosts())

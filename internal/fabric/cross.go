@@ -1,0 +1,101 @@
+package fabric
+
+import (
+	"ndp/internal/sim"
+)
+
+// CrossBox is a single-writer mailbox for one directed shard pair in a
+// sharded simulation: ports (and the command layer) of the source shard
+// append entries during a window, and the coordinator drains the box into
+// the destination shard's event list at the window boundary. No locking is
+// needed: exactly one shard goroutine writes between barriers, and the
+// barrier's happens-before edge publishes the entries to the coordinator.
+type CrossBox struct {
+	entries []CrossEntry
+}
+
+// CrossEntry is one boundary crossing: a packet delivery into a Sink, or a
+// deferred command (Fn non-nil). At and Ord carry the exact timestamp and
+// canonical equal-time key the event would have had on a single list.
+type CrossEntry struct {
+	At   sim.Time
+	Ord  uint64
+	Pkt  *Packet
+	Sink Sink
+	Fn   func()
+}
+
+// AddDelivery appends a packet delivery crossing the shard boundary.
+func (b *CrossBox) AddDelivery(at sim.Time, ord uint64, pkt *Packet, sink Sink) {
+	b.entries = append(b.entries, CrossEntry{At: at, Ord: ord, Pkt: pkt, Sink: sink})
+}
+
+// AddCommand appends a deferred cross-shard command.
+func (b *CrossBox) AddCommand(at sim.Time, ord uint64, fn func()) {
+	b.entries = append(b.entries, CrossEntry{At: at, Ord: ord, Fn: fn})
+}
+
+// Drain moves every pending entry into the destination shard's inbox and
+// empties the box. Injection order is irrelevant — the heap orders by
+// (At, Ord) — so no sort is needed. An entry timed before the destination
+// clock means the emitter violated the conservative lookahead contract
+// (delivery at least one lookahead after emission); the event-list clamp
+// would silently turn that into shard-layout-dependent timing, so it
+// panics instead.
+func (b *CrossBox) Drain(dst *Inbox) {
+	for i := range b.entries {
+		e := b.entries[i]
+		b.entries[i] = CrossEntry{}
+		if e.At < dst.el.Now() {
+			panic("fabric: cross-shard entry timed before the destination clock (lookahead contract violated)")
+		}
+		dst.inject(e)
+	}
+	b.entries = b.entries[:0]
+}
+
+// Len reports pending entries (tests and telemetry).
+func (b *CrossBox) Len() int { return len(b.entries) }
+
+// Inbox is one shard's receiving side of the cross-shard exchange: a slot
+// arena plus a typed event per injected entry, so packet deliveries cross
+// the boundary without allocating a closure each (the command variant
+// still carries its one closure, created at emission). Slots recycle as
+// entries fire, so steady-state crossings allocate nothing.
+type Inbox struct {
+	el      *sim.EventList
+	entries []CrossEntry
+	free    []int32
+}
+
+// NewInbox builds the inbox feeding one shard's event list.
+func NewInbox(el *sim.EventList) *Inbox { return &Inbox{el: el} }
+
+// inject stores the entry in a slot and schedules its keyed firing.
+func (ib *Inbox) inject(e CrossEntry) {
+	var slot int32
+	if n := len(ib.free); n > 0 {
+		slot = ib.free[n-1]
+		ib.free = ib.free[:n-1]
+		ib.entries[slot] = e
+	} else {
+		slot = int32(len(ib.entries))
+		ib.entries = append(ib.entries, e)
+	}
+	ib.el.ScheduleKeyed(e.At, e.Ord, ib, uint64(slot))
+}
+
+// OnEvent fires one injected entry (sim.Handler).
+func (ib *Inbox) OnEvent(arg uint64) {
+	e := ib.entries[arg]
+	ib.entries[arg] = CrossEntry{}
+	ib.free = append(ib.free, int32(arg))
+	switch {
+	case e.Fn != nil:
+		e.Fn()
+	case e.Sink != nil:
+		e.Sink.Receive(e.Pkt)
+	default:
+		Free(e.Pkt)
+	}
+}

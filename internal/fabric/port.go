@@ -22,6 +22,19 @@ type Port struct {
 	RateBps int64
 	Delay   sim.Time
 
+	// UID is the port's canonical identity for equal-timestamp delivery
+	// ordering (sim.DeliveryOrd). Topology builders assign UIDs in
+	// construction order, which is identical no matter how the topology is
+	// sharded — the keystone of shard-count-independent results. Ports
+	// built outside a topology (unit tests) may leave it zero.
+	UID uint32
+
+	// Cross, when set, routes this port's deliveries through a cross-shard
+	// mailbox instead of the local event list: the peer sink lives in
+	// another shard, and the windowed runner injects the delivery at the
+	// next window boundary.
+	Cross *CrossBox
+
 	// OnDequeue, when set, runs after each packet leaves the queue. The
 	// lossless switch uses it to pull held ingress packets forward.
 	OnDequeue func()
@@ -33,12 +46,12 @@ type Port struct {
 
 	// serializing is the packet currently on the wire; flight holds packets
 	// in propagation toward the peer, in serialization-end order. Delivery
-	// events pop from flight FIFO: serialization is serial and Delay is
-	// fixed per port, so delivery times are strictly ordered and the queue
-	// discipline is exact. Together they let the port schedule typed,
+	// events are keyed by (UID, emitSeq), so they fire in emission order
+	// and flight pops FIFO. Together they let the port schedule typed,
 	// allocation-free events instead of a closure per packet phase.
 	serializing *Packet
 	flight      ring
+	emitSeq     uint64
 
 	// Telemetry.
 	BytesSent   int64
@@ -123,8 +136,15 @@ func (p *Port) OnEvent(arg uint64) {
 		p.busy = false
 		pkt := p.serializing
 		p.serializing = nil
-		p.flight.push(pkt)
-		p.el.ScheduleAfter(p.Delay, p, portDeliver)
+		p.emitSeq++
+		at := p.el.Now() + p.Delay
+		ord := sim.DeliveryOrd(p.UID, p.emitSeq)
+		if p.Cross != nil {
+			p.Cross.AddDelivery(at, ord, pkt, p.peer)
+		} else {
+			p.flight.push(pkt)
+			p.el.ScheduleKeyed(at, ord, p, portDeliver)
+		}
 		p.kick()
 	case portDeliver:
 		pkt := p.flight.pop()

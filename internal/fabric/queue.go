@@ -107,17 +107,27 @@ func (r *ring) peek() *Packet {
 }
 
 func (r *ring) grow() {
-	size := len(r.buf) * 2
-	if size == 0 {
-		size = 16
-	}
+	// The index masking throughout this type requires a power-of-two
+	// buffer. Doubling preserves that invariant, but a buffer installed by
+	// any other path (or a future refactor) would silently corrupt the
+	// queue, so normalize the new capacity instead of assuming it.
+	size := nextPow2(len(r.buf)*2, 16)
 	nb := make([]*Packet, size)
 	for i := 0; i < r.n; i++ {
-		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
 	}
 	r.buf = nb
 	r.head = 0
 	r.tail = r.n
+}
+
+// nextPow2 returns the smallest power of two >= max(n, floor).
+func nextPow2(n, floor int) int {
+	size := floor
+	for size < n {
+		size *= 2
+	}
+	return size
 }
 
 // FIFOQueue is a byte-bounded drop-tail FIFO: the classic switch queue used

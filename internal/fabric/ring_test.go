@@ -1,0 +1,94 @@
+package fabric
+
+import "testing"
+
+// ringModel is the obviously-correct reference for the packet ring: a
+// plain slice deque.
+type ringModel struct{ s []*Packet }
+
+func (m *ringModel) push(p *Packet)     { m.s = append(m.s, p) }
+func (m *ringModel) pushHead(p *Packet) { m.s = append([]*Packet{p}, m.s...) }
+func (m *ringModel) pop() *Packet {
+	if len(m.s) == 0 {
+		return nil
+	}
+	p := m.s[0]
+	m.s = m.s[1:]
+	return p
+}
+func (m *ringModel) popTail() *Packet {
+	if len(m.s) == 0 {
+		return nil
+	}
+	p := m.s[len(m.s)-1]
+	m.s = m.s[:len(m.s)-1]
+	return p
+}
+
+// TestRingWraparoundAndResize is the regression test for the ring's
+// power-of-two masking: interleaved push/pop/popTail/pushHead sequences
+// drive head and tail through many wraparounds and across several grow()
+// boundaries, checked against the slice model at every step. A capacity
+// normalization bug or a mask applied to a non-power-of-two buffer shows
+// up as a reordered or lost packet.
+func TestRingWraparoundAndResize(t *testing.T) {
+	mk := func(i int) *Packet { return &Packet{Seq: int64(i)} }
+	var r ring
+	var m ringModel
+	next := 0
+	// A fixed op pattern with net growth: pushes outnumber pops so the
+	// ring resizes mid-wraparound several times (16 -> 32 -> 64 -> 128).
+	ops := []byte("ppppptppphpppptpphpppppptpppp")
+	for round := 0; round < 40; round++ {
+		for _, op := range ops {
+			switch op {
+			case 'p':
+				p := mk(next)
+				next++
+				r.push(p)
+				m.push(p)
+			case 'h':
+				p := mk(next)
+				next++
+				r.pushHead(p)
+				m.pushHead(p)
+			case 't':
+				got, want := r.popTail(), m.popTail()
+				if got != want {
+					t.Fatalf("popTail: got %v, want %v (len %d)", got, want, r.len())
+				}
+			}
+			if r.len() != len(m.s) {
+				t.Fatalf("length diverged: ring %d, model %d", r.len(), len(m.s))
+			}
+			if got, want := r.peek(), func() *Packet {
+				if len(m.s) == 0 {
+					return nil
+				}
+				return m.s[0]
+			}(); got != want {
+				t.Fatalf("peek diverged: got %v, want %v", got, want)
+			}
+		}
+		// Drain half FIFO so the head chases the tail through the buffer.
+		for i := 0; i < len(ops)/2; i++ {
+			got, want := r.pop(), m.pop()
+			if got != want {
+				t.Fatalf("pop: got %v, want %v", got, want)
+			}
+		}
+		if len(r.buf)&(len(r.buf)-1) != 0 {
+			t.Fatalf("ring capacity %d is not a power of two", len(r.buf))
+		}
+	}
+	// Full drain must return every packet in order.
+	for r.len() > 0 {
+		got, want := r.pop(), m.pop()
+		if got != want {
+			t.Fatalf("drain: got %v, want %v", got, want)
+		}
+	}
+	if r.pop() != nil || r.popTail() != nil || r.peek() != nil {
+		t.Fatal("empty ring returned a packet")
+	}
+}

@@ -54,6 +54,9 @@ func BuildNDP(build BuildFunc, base topo.Config, scfg core.SwitchConfig, hcfg co
 // EL returns the cluster's scheduler.
 func (n *NDPNet) EL() *sim.EventList { return n.C.EventList() }
 
+// Runner returns the cluster's engine driver.
+func (n *NDPNet) Runner() sim.Runner { return n.C.Runner() }
+
 // Transfer starts one NDP flow.
 func (n *NDPNet) Transfer(src, dst int, size int64, opts core.FlowOpts) *core.Sender {
 	return n.Stacks[src].Connect(n.Stacks[dst], size, opts)
@@ -115,6 +118,9 @@ func BuildTCPFamily(build BuildFunc, base topo.Config, queue topo.QueueFactory, 
 
 // EL returns the cluster's scheduler.
 func (t *TCPNet) EL() *sim.EventList { return t.C.EventList() }
+
+// Runner returns the cluster's engine driver.
+func (t *TCPNet) Runner() sim.Runner { return t.C.Runner() }
 
 func (t *TCPNet) flowID(stride uint64) uint64 {
 	id := t.nextFlow
@@ -186,6 +192,9 @@ func BuildDCQCN(build BuildFunc, base topo.Config, mtu int) *DCQCNNet {
 // EL returns the cluster's scheduler.
 func (d *DCQCNNet) EL() *sim.EventList { return d.C.EventList() }
 
+// Runner returns the cluster's engine driver.
+func (d *DCQCNNet) Runner() sim.Runner { return d.C.Runner() }
+
 // Flow starts a DCQCN transfer on a fixed path (RoCE is single-path).
 func (d *DCQCNNet) Flow(src, dst int, size int64, onDone func(*dcqcn.Receiver)) (*dcqcn.Sender, *dcqcn.Receiver) {
 	flow := d.nextFlow
@@ -230,6 +239,9 @@ func BuildPHost(build BuildFunc, base topo.Config, cfg phost.Config) *PHostNet {
 
 // EL returns the cluster's scheduler.
 func (p *PHostNet) EL() *sim.EventList { return p.C.EventList() }
+
+// Runner returns the cluster's engine driver.
+func (p *PHostNet) Runner() sim.Runner { return p.C.Runner() }
 
 // ------------------------------------------------------------- metering ----
 

@@ -21,7 +21,7 @@ func init() {
 func overloadRun(o Options, seed uint64, n int, scfg core.SwitchConfig) (mean, worst float64, drops int64) {
 	const mtu = 9000
 	base := topo.Config{Seed: seed}
-	base.SwitchQueue = core.QueueFactory(scfg, sim.NewRand(seed+99))
+	base.SwitchQueue = core.QueueFactory(scfg, seed+99)
 	tt := topo.NewTwoTier(1, n+1, 0, base)
 	core.WireBounce(tt.Switches)
 

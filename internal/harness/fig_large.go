@@ -634,7 +634,7 @@ func fig22(o Options, r *Result) {
 		hcfg := core.DefaultConfig()
 		hcfg.DisablePathPenalty = noPenalty
 		base := topo.Config{Seed: seed}
-		base.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(9000), sim.NewRand(seed+41))
+		base.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(9000), seed+41)
 		ft := topo.NewFatTree(k, base)
 		core.WireBounce(ft.Switches)
 		ft.DegradeLink(0, 0, 1e9)

@@ -52,7 +52,7 @@ func fig2(o Options, r *Result) {
 				func(seed uint64) cell {
 					base := topo.Config{Seed: seed}
 					if mode == 0 {
-						base.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(mtu), sim.NewRand(seed+99))
+						base.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(mtu), seed+99)
 					} else {
 						base.SwitchQueue = cp.QueueFactory(8*mtu, 8*mtu+64*fabric.HeaderSize)
 					}

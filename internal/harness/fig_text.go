@@ -45,17 +45,18 @@ func fig23(o Options, r *Result) {
 				n := BuildNDP(OversubFatTreeBuilder(k, oversub), topo.Config{Seed: seed}, scfg, hcfg)
 				var fcts stats.Dist
 				cl := &workload.ClosedLoop{
-					EL:    n.EL(),
-					Rand:  sim.NewRand(seed + 7),
-					Hosts: n.C.NumHosts(),
-					Conns: conns,
-					Gap:   sim.Millisecond,
-					Sizes: workload.FacebookWeb(),
-					Start: func(src, dst int, size int64, done func()) {
+					Hosts:         n.C.NumHosts(),
+					Conns:         conns,
+					Gap:           sim.Millisecond,
+					Sizes:         workload.FacebookWeb(),
+					Seed:          seed + 7,
+					NotifyLatency: n.C.LinkDelay(),
+					Defer:         n.C.Defer,
+					Start: func(src, dst int, size int64, done func(at sim.Time)) {
 						start := n.EL().Now()
 						n.Transfer(src, dst, size, core.FlowOpts{OnReceiverDone: func(rcv *core.Receiver) {
 							fcts.Add((rcv.CompletedAt - start).Millis())
-							done()
+							done(rcv.CompletedAt)
 						}})
 					},
 				}
@@ -74,17 +75,18 @@ func fig23(o Options, r *Result) {
 				var fcts stats.Dist
 				cfg := dctcp.SenderConfig(mtu)
 				cl := &workload.ClosedLoop{
-					EL:    tn.EL(),
-					Rand:  sim.NewRand(seed + 7),
-					Hosts: tn.C.NumHosts(),
-					Conns: conns,
-					Gap:   sim.Millisecond,
-					Sizes: workload.FacebookWeb(),
-					Start: func(src, dst int, size int64, done func()) {
+					Hosts:         tn.C.NumHosts(),
+					Conns:         conns,
+					Gap:           sim.Millisecond,
+					Sizes:         workload.FacebookWeb(),
+					Seed:          seed + 7,
+					NotifyLatency: tn.C.LinkDelay(),
+					Defer:         tn.C.Defer,
+					Start: func(src, dst int, size int64, done func(at sim.Time)) {
 						start := tn.EL().Now()
 						tn.Flow(src, dst, size, cfg, func(rcv *tcp.Receiver) {
 							fcts.Add((rcv.CompletedAt - start).Millis())
-							done()
+							done(rcv.CompletedAt)
 						})
 					},
 				}
@@ -219,7 +221,7 @@ func tTrim(o Options, r *Result) {
 			hcfg := core.DefaultConfig()
 			hcfg.SwitchLB = switchLB
 			base := topo.Config{Seed: seed}
-			base.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(9000), sim.NewRand(seed+41))
+			base.SwitchQueue = core.QueueFactory(core.DefaultSwitchConfig(9000), seed+41)
 			ft := topo.NewFatTree(k, base)
 			core.WireBounce(ft.Switches)
 			n := &NDPNet{C: ft}

@@ -47,8 +47,12 @@ type StartOpts struct {
 // transport's endpoints installed on every host. It is what workloads
 // drive, regardless of protocol.
 type Net interface {
-	// EL returns the simulation scheduler.
+	// EL returns the simulation scheduler (shard 0's list when sharded;
+	// drivers of sharded networks must use Runner instead).
 	EL() *sim.EventList
+	// Runner returns the engine driver: the event list itself for
+	// single-list networks, the windowed multi-list runner when sharded.
+	Runner() sim.Runner
 	// Cluster returns the underlying topology.
 	Cluster() topo.Cluster
 	// StartFlow begins a transfer of size bytes from host src to host
@@ -84,7 +88,7 @@ func (t NDPTransport) Name() string { return "ndp" }
 
 // Build implements Transport.
 func (t NDPTransport) Build(build BuildFunc, base topo.Config) Net {
-	base.SwitchQueue = core.QueueFactory(t.Switch, sim.NewRand(base.Seed*2654435761+17))
+	base.SwitchQueue = core.QueueFactory(t.Switch, base.Seed*2654435761+17)
 	c := build(base)
 	core.WireBounce(c.SwitchList())
 	n := &NDPNet{C: c}
@@ -105,14 +109,29 @@ func (n *NDPNet) Cluster() topo.Cluster { return n.C }
 // Close implements Net (no transport timers to stop).
 func (n *NDPNet) Close() {}
 
-// StartFlow implements Net.
+// StartFlow implements Net. The sender half starts immediately on the
+// source host; the receiver-side observers (pull priority, completion and
+// goodput hooks) are delivered to the destination stack one link delay
+// later via the cluster's command channel. That deferral is what lets a
+// mid-run flow start (closed-loop RPC) work when source and destination
+// live on different shards — and it runs identically when they don't, so
+// results never depend on the shard layout. The registration always lands
+// before the first SYN, which is at least a serialization plus two
+// propagation delays behind it.
 func (n *NDPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
-	fo := core.FlowOpts{Priority: opts.Priority, OnReceiverData: opts.OnData}
+	fo := core.FlowOpts{Flow: core.NextFlowID(), Priority: opts.Priority, OnReceiverData: opts.OnData}
 	if opts.OnDone != nil {
 		done := opts.OnDone
 		fo.OnReceiverDone = func(r *core.Receiver) { done(r.CompletedAt) }
 	}
-	return n.Transfer(src, dst, size, fo)
+	c := n.C
+	dstStack := n.Stacks[dst]
+	flow, prio, onDone, onData := fo.Flow, fo.Priority, fo.OnReceiverDone, fo.OnReceiverData
+	at := n.Stacks[src].Host.EventList().Now() + c.LinkDelay()
+	c.Defer(src, dst, at, func() {
+		dstStack.PreRegister(flow, prio, onDone, onData)
+	})
+	return n.Stacks[src].ConnectLocal(dstStack.Host.ID, size, fo)
 }
 
 // ----------------------------------------------------------- TCP / DCTCP ----

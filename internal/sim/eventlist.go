@@ -17,6 +17,15 @@ package sim
 // The func()-based At/After remain for cold call-sites where a closure per
 // event is irrelevant.
 //
+// Equal-timestamp ordering is a 64-bit ord word, not the raw sequence
+// counter: plainly-scheduled events carry ordNormal|seq (FIFO, as before),
+// while ScheduleKeyed events carry a caller-chosen canonical key built with
+// DeliveryOrd or CommandOrd. Canonical keys make the firing order of
+// same-instant link deliveries a pure function of (emitter identity,
+// emission index) instead of of who happened to schedule first — the
+// property that lets the sharded multi-list runner (shards.go) reproduce
+// the single-list engine bit for bit.
+//
 // Layout notes, because this is the innermost loop of every simulation:
 // the heap is split into parallel key/value arrays so that sift comparisons
 // touch only 16-byte (time, seq) keys — the four children examined per
@@ -50,17 +59,54 @@ type EventID int32
 // NoEvent is the null EventID.
 const NoEvent EventID = -1
 
-// eventKey is the heap ordering key: fire time, then FIFO sequence.
+// eventKey is the heap ordering key: fire time, then the 64-bit ord word
+// (ordNormal|seq for plain events, a canonical class/uid/seq key for keyed
+// ones).
 type eventKey struct {
 	at  Time
-	seq uint64
+	ord uint64
 }
 
 func (a *eventKey) less(b *eventKey) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	return a.seq < b.seq
+	return a.ord < b.ord
+}
+
+// Ord classes, highest bits of the ord word. Lower ord fires first at equal
+// timestamps: link deliveries, then cross-shard commands, then everything
+// scheduled plainly (whose FIFO order the sequence counter preserves).
+const (
+	ordDeliveryClass uint64 = 0
+	ordCommandClass  uint64 = 1 << 62
+	ordNormal        uint64 = 1 << 63
+
+	ordSeqBits = 40
+	ordUIDMax  = 1 << 22 // uid field width above the 40-bit sequence
+)
+
+// DeliveryOrd builds the canonical ord for a link delivery: at equal
+// timestamps deliveries fire before all other events, ordered by the
+// emitting port's uid and then its emission sequence. uid must be unique
+// per emitter and stable across engine modes; seq must increase per
+// emitter.
+func DeliveryOrd(uid uint32, seq uint64) uint64 {
+	if uint64(uid) >= ordUIDMax {
+		panic("sim: DeliveryOrd uid out of range")
+	}
+	return ordDeliveryClass | uint64(uid)<<ordSeqBits | seq&(1<<ordSeqBits-1)
+}
+
+// CommandOrd builds the canonical ord for a cross-host command (deferred
+// registration, closed-loop restarts): after same-instant deliveries,
+// before plainly-scheduled events, ordered by emitting host uid then its
+// emission sequence.
+func CommandOrd(uid uint32, seq uint64) uint64 {
+	if uint64(uid) >= ordUIDMax {
+		panic("sim: CommandOrd uid out of range")
+	}
+	return ordCommandClass | uint64(uid)<<ordSeqBits | seq&(1<<ordSeqBits-1)
 }
 
 // eventVal is the heap payload: what to call and, for cancellable events,
@@ -108,6 +154,19 @@ func (el *EventList) Schedule(t Time, h Handler, arg uint64) {
 	el.push(t, eventVal{h: h, arg: arg, id: -1})
 }
 
+// ScheduleKeyed schedules h.OnEvent(arg) at t with an explicit equal-time
+// ordering key (build it with DeliveryOrd or CommandOrd). Keyed events at
+// one timestamp fire in ord order regardless of when they were scheduled,
+// which is what keeps sharded and single-list execution identical.
+func (el *EventList) ScheduleKeyed(t Time, ord uint64, h Handler, arg uint64) {
+	el.pushKeyed(t, ord, eventVal{h: h, arg: arg, id: -1})
+}
+
+// AtKeyed is ScheduleKeyed's closure-fallback twin.
+func (el *EventList) AtKeyed(t Time, ord uint64, fn func()) {
+	el.pushKeyed(t, ord, eventVal{h: funcEvent(fn), id: -1})
+}
+
 // ScheduleAfter arranges for h.OnEvent(arg) to run d after the current time.
 func (el *EventList) ScheduleAfter(d Time, h Handler, arg uint64) {
 	el.push(el.now+d, eventVal{h: h, arg: arg, id: -1})
@@ -147,7 +206,7 @@ func (el *EventList) Reschedule(id EventID, t Time) bool {
 	}
 	i := int(el.slots[id])
 	el.seq++
-	el.keys[i] = eventKey{at: t, seq: el.seq}
+	el.keys[i] = eventKey{at: t, ord: ordNormal | el.seq}
 	if !el.down(i) {
 		el.up(i)
 	}
@@ -205,6 +264,28 @@ func (el *EventList) RunUntil(deadline Time) {
 	}
 }
 
+// RunBefore processes events with timestamps strictly < limit and leaves the
+// clock at the last event executed — the window body of the sharded runner,
+// which must not advance an idle shard's clock past events another shard
+// may still inject at the window boundary.
+func (el *EventList) RunBefore(limit Time) {
+	for !el.halted && len(el.keys) > 0 && el.keys[0].at < limit {
+		el.Step()
+	}
+}
+
+// AdvanceTo moves an idle clock forward to t (never backward); pending
+// events earlier than t make this a programming error, so it panics rather
+// than silently running time backwards through them.
+func (el *EventList) AdvanceTo(t Time) {
+	if len(el.keys) > 0 && el.keys[0].at < t {
+		panic("sim: AdvanceTo past a pending event")
+	}
+	if el.now < t {
+		el.now = t
+	}
+}
+
 // Halt stops Run/RunUntil after the current event returns. Pending events
 // are retained; Resume allows stepping again.
 func (el *EventList) Halt() { el.halted = true }
@@ -226,11 +307,16 @@ func (el *EventList) NextAt() Time {
 
 // push clamps, stamps the FIFO sequence number, and sifts the record in.
 func (el *EventList) push(at Time, v eventVal) {
+	el.seq++
+	el.pushKeyed(at, ordNormal|el.seq, v)
+}
+
+// pushKeyed clamps and sifts a record in under an explicit ord word.
+func (el *EventList) pushKeyed(at Time, ord uint64, v eventVal) {
 	if at < el.now {
 		at = el.now
 	}
-	el.seq++
-	el.keys = append(el.keys, eventKey{at: at, seq: el.seq})
+	el.keys = append(el.keys, eventKey{at: at, ord: ord})
 	el.vals = append(el.vals, v)
 	i := len(el.keys) - 1
 	if v.id >= 0 {
@@ -266,7 +352,7 @@ func (el *EventList) popMin() {
 				end = last
 			}
 			for c := first + 1; c < end; c++ {
-				if keys[c].at < sk.at || (keys[c].at == sk.at && keys[c].seq < sk.seq) {
+				if keys[c].at < sk.at || (keys[c].at == sk.at && keys[c].ord < sk.ord) {
 					smallest, sk = c, keys[c]
 				}
 			}
@@ -380,7 +466,7 @@ func (el *EventList) down(i int) bool {
 			end = n
 		}
 		for c := first + 1; c < end; c++ {
-			if keys[c].at < sk.at || (keys[c].at == sk.at && keys[c].seq < sk.seq) {
+			if keys[c].at < sk.at || (keys[c].at == sk.at && keys[c].ord < sk.ord) {
 				smallest, sk = c, keys[c]
 			}
 		}

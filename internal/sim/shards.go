@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the conservative parallel-discrete-event runner behind
+// sharded simulations: several EventLists (one per topology shard) advance
+// in lockstep time windows bounded by the minimum latency of any
+// cross-shard link (the lookahead, in the Chandy–Misra sense). Within a
+// window shards share nothing and may run on separate goroutines; at each
+// window boundary an exchange callback drains the cross-shard mailboxes
+// into the destination lists as keyed events.
+//
+// Correctness rests on two invariants the wiring layer must uphold:
+//
+//  1. every cross-shard interaction is emitted as a message whose delivery
+//     time is at least Lookahead after the emitting event, so a message
+//     produced inside window [T, T+L) is always delivered at or after T+L
+//     and the boundary exchange never injects into the past;
+//  2. cross-shard messages are scheduled with canonical ord keys
+//     (DeliveryOrd/CommandOrd), so their firing order at equal timestamps
+//     does not depend on which side of a shard boundary they crossed —
+//     which is what makes an N-shard run bit-identical to a 1-shard run.
+
+// Runner is the engine surface a driver needs: both *EventList (the
+// single-list engine) and *MultiRunner (the sharded one) implement it.
+type Runner interface {
+	// Now returns the current simulated time.
+	Now() Time
+	// RunUntil processes events with timestamps <= deadline and advances
+	// the clock (all shard clocks) to exactly the deadline.
+	RunUntil(deadline Time)
+	// Executed returns the total events fired since creation.
+	Executed() uint64
+}
+
+// MultiRunner advances a set of shard EventLists in conservative lockstep
+// windows of Lookahead simulated time.
+type MultiRunner struct {
+	// Lists are the per-shard schedulers, index = shard id.
+	Lists []*EventList
+	// Lookahead bounds each window; it must not exceed the minimum
+	// latency of any cross-shard interaction.
+	Lookahead Time
+	// Exchange drains all cross-shard mailboxes into the destination
+	// lists. It runs single-threaded between windows.
+	Exchange func()
+	// Parallel runs each window's shards on separate goroutines. Serial
+	// execution is bit-identical (behavior is fixed by event keys, not by
+	// the execution schedule); parallel is the point of sharding.
+	Parallel bool
+}
+
+// NewMultiRunner builds a runner over the given shard lists. Parallel
+// defaults to off on a single-CPU process, where per-window goroutine
+// handoff is pure overhead; behavior is identical either way.
+func NewMultiRunner(lists []*EventList, lookahead Time, exchange func()) *MultiRunner {
+	if lookahead <= 0 {
+		panic("sim: MultiRunner needs positive lookahead")
+	}
+	return &MultiRunner{Lists: lists, Lookahead: lookahead, Exchange: exchange,
+		Parallel: runtime.GOMAXPROCS(0) > 1}
+}
+
+// Now returns the farthest-behind shard clock (all clocks are equal after
+// RunUntil returns).
+func (mr *MultiRunner) Now() Time {
+	now := mr.Lists[0].Now()
+	for _, el := range mr.Lists[1:] {
+		if t := el.Now(); t < now {
+			now = t
+		}
+	}
+	return now
+}
+
+// Executed sums events fired across all shards.
+func (mr *MultiRunner) Executed() uint64 {
+	var n uint64
+	for _, el := range mr.Lists {
+		n += el.Executed()
+	}
+	return n
+}
+
+// nextAt returns the earliest pending event time across shards.
+func (mr *MultiRunner) nextAt() Time {
+	at := Infinity
+	for _, el := range mr.Lists {
+		if t := el.NextAt(); t < at {
+			at = t
+		}
+	}
+	return at
+}
+
+// RunUntil drives windows until every event with a timestamp <= deadline
+// has fired, then sets all shard clocks to the deadline. Empty stretches of
+// virtual time are skipped: each window starts at the earliest pending
+// event, so idle phases (closed-loop gaps) cost no barriers.
+func (mr *MultiRunner) RunUntil(deadline Time) {
+	// Drain the mailboxes before choosing the first window: setup code
+	// (flow priming on the coordinator goroutine, between runs) may have
+	// emitted cross-shard entries that no event list knows about yet, and
+	// the window-start jump below must not skip past their times.
+	if mr.Exchange != nil {
+		mr.Exchange()
+	}
+	for {
+		start := mr.nextAt()
+		if start > deadline {
+			break
+		}
+		limit := start + mr.Lookahead
+		// The +1 makes the exclusive window bound inclusive of events at
+		// exactly the deadline, still within the conservative limit.
+		if d := deadline + 1; d < limit {
+			limit = d
+		}
+		mr.runWindow(limit)
+		if mr.Exchange != nil {
+			mr.Exchange()
+		}
+	}
+	for _, el := range mr.Lists {
+		el.AdvanceTo(deadline)
+	}
+}
+
+// runWindow executes one window on every shard with pending work.
+func (mr *MultiRunner) runWindow(limit Time) {
+	// Run single-shard windows inline: goroutine handoff costs more than
+	// it buys when only one shard is busy.
+	nBusy := 0
+	for _, el := range mr.Lists {
+		if el.NextAt() < limit {
+			nBusy++
+		}
+	}
+	if nBusy == 0 {
+		return
+	}
+	if nBusy == 1 || !mr.Parallel {
+		for _, el := range mr.Lists {
+			el.RunBefore(limit)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, el := range mr.Lists {
+		if el.NextAt() >= limit {
+			continue
+		}
+		wg.Add(1)
+		go func(el *EventList) {
+			defer wg.Done()
+			el.RunBefore(limit)
+		}(el)
+	}
+	wg.Wait()
+}

@@ -1,13 +1,16 @@
 // Package sim provides the discrete-event simulation engine that underpins
 // the NDP reproduction: a picosecond-resolution virtual clock, an indexed
-// 4-ary-heap event list with allocation-free typed events, and a
-// deterministic pseudo-random number generator.
+// 4-ary-heap event list with allocation-free typed events, a deterministic
+// pseudo-random number generator, and a conservative parallel runner.
 //
-// The engine is deliberately single-threaded: datacenter packet simulations
-// are dominated by tiny events (a packet finishing serialization, a timer
-// firing) whose ordering must be exactly reproducible for experiments to be
-// comparable, so all components of one simulation share one EventList and
-// one goroutine.
+// Each event list is strictly single-threaded: datacenter packet
+// simulations are dominated by tiny events (a packet finishing
+// serialization, a timer firing) whose ordering must be exactly
+// reproducible for experiments to be comparable. A simulation either
+// shares one EventList on one goroutine, or is partitioned into shards —
+// one list and one goroutine each — advanced in lockstep lookahead
+// windows by MultiRunner; canonical equal-timestamp event keys make the
+// two modes bit-identical.
 package sim
 
 import (

@@ -47,6 +47,12 @@ func NewFatTree(k int, cfg Config) *FatTree { return NewFatTreeOversub(k, 1, cfg
 
 // NewFatTreeOversub builds a k-ary FatTree whose ToRs serve oversub times
 // more hosts than a fully-provisioned tree. k must be even, oversub >= 1.
+//
+// With cfg.Shards > 1 the tree is partitioned by pod (pods are contiguous
+// runs of hosts, ToRs and aggs; core switches spread round-robin), each
+// shard owning its own event list. Only agg<->core links cross the cut, so
+// the conservative lookahead is the link propagation delay. Shards is
+// clamped to the pod count.
 func NewFatTreeOversub(k, oversub int, cfg Config) *FatTree {
 	if k < 2 || k%2 != 0 {
 		panic(fmt.Sprintf("topo: FatTree k must be even and >= 2, got %d", k))
@@ -56,7 +62,12 @@ func NewFatTreeOversub(k, oversub int, cfg Config) *FatTree {
 	}
 	cfg = cfg.withDefaults()
 	ft := &FatTree{K: k, Oversub: oversub, HostsPerTor: oversub * k / 2}
-	ft.init(cfg)
+	shards := cfg.Shards
+	if shards > k {
+		shards = k // at most one shard per pod
+	}
+	ft.initShards(cfg, shards)
+	shardOfPod := func(pod int) int { return pod * ft.Shards() / k }
 
 	half := k / 2
 	nPods := k
@@ -66,13 +77,18 @@ func NewFatTreeOversub(k, oversub int, cfg Config) *FatTree {
 	nHosts := nPods * nTorsPerPod * ft.HostsPerTor
 
 	// Create switches. IDs are dense across all levels for the meta arrays.
-	newSwitch := func(level, pod, idx int, name string) *fabric.Switch {
-		sw := fabric.NewSwitch(ft.EL, len(ft.Switches), name)
+	// Every switch gets its private ECMP stream up front (mid-run creation
+	// would race across shard goroutines).
+	newSwitch := func(level, pod, idx, shard int, name string) *fabric.Switch {
+		id := len(ft.Switches)
+		sw := fabric.NewSwitch(ft.ShardEventList(shard), id, name)
 		sw.Route = ft.route
 		ft.Switches = append(ft.Switches, sw)
 		ft.level = append(ft.level, level)
 		ft.pod = append(ft.pod, pod)
 		ft.idx = append(ft.idx, idx)
+		ft.swShard = append(ft.swShard, shard)
+		ft.switchRand(id)
 		if cfg.Lossless {
 			sw.EnableLossless(cfg.LosslessLimit, cfg.PFCXoff, cfg.PFCXon)
 		}
@@ -80,21 +96,26 @@ func NewFatTreeOversub(k, oversub int, cfg Config) *FatTree {
 	}
 	for p := 0; p < nPods; p++ {
 		for t := 0; t < nTorsPerPod; t++ {
-			ft.Tors = append(ft.Tors, newSwitch(levelTor, p, t, fmt.Sprintf("tor%d.%d", p, t)))
+			ft.Tors = append(ft.Tors, newSwitch(levelTor, p, t, shardOfPod(p), fmt.Sprintf("tor%d.%d", p, t)))
 		}
 	}
 	for p := 0; p < nPods; p++ {
 		for a := 0; a < nAggsPerPod; a++ {
-			ft.Aggs = append(ft.Aggs, newSwitch(levelAgg, p, a, fmt.Sprintf("agg%d.%d", p, a)))
+			ft.Aggs = append(ft.Aggs, newSwitch(levelAgg, p, a, shardOfPod(p), fmt.Sprintf("agg%d.%d", p, a)))
 		}
 	}
 	for c := 0; c < nCores; c++ {
-		ft.Cores = append(ft.Cores, newSwitch(levelCore, -1, c, fmt.Sprintf("core%d", c)))
+		// Cores belong to no pod; spread them across shards so the core
+		// layer's work parallelizes too.
+		ft.Cores = append(ft.Cores, newSwitch(levelCore, -1, c, c*ft.Shards()/nCores, fmt.Sprintf("core%d", c)))
 	}
 
-	// Hosts.
+	// Hosts live with their pod's shard.
 	for h := 0; h < nHosts; h++ {
-		host := fabric.NewHost(ft.EL, int32(h), fmt.Sprintf("h%d", h))
+		pod, _, _ := ft.locate(int32(h))
+		shard := shardOfPod(pod)
+		ft.hostShard = append(ft.hostShard, shard)
+		host := fabric.NewHost(ft.ShardEventList(shard), int32(h), fmt.Sprintf("h%d", h))
 		ft.Hosts = append(ft.Hosts, host)
 	}
 
@@ -105,23 +126,34 @@ func NewFatTreeOversub(k, oversub int, cfg Config) *FatTree {
 	ft.CoreDown = make([][]*fabric.Port, len(ft.Cores))
 	ft.HostNIC = make([]*fabric.Port, nHosts)
 
-	newPort := func(name string, q fabric.Queue) *fabric.Port {
-		return fabric.NewPort(ft.EL, name, q, cfg.LinkRateBps, cfg.LinkDelay)
+	// Each port lives on its owning node's shard list; a port whose peer is
+	// in another shard routes deliveries through that pair's mailbox.
+	newPort := func(shard int, name string, q fabric.Queue) *fabric.Port {
+		p := fabric.NewPort(ft.ShardEventList(shard), name, q, cfg.LinkRateBps, cfg.LinkDelay)
+		p.UID = ft.allocPortUID()
+		return p
+	}
+	wire := func(p *fabric.Port, from, to int, dst fabric.Sink) {
+		link(p, dst)
+		if from != to {
+			p.Cross = ft.noteCrossLink(from, to, p.Delay)
+		}
 	}
 
 	// Wire hosts <-> ToRs. ToR egress ports [0, HostsPerTor) go down.
 	for ti, tor := range ft.Tors {
+		ts := ft.swShard[tor.ID]
 		ft.TorDown[ti] = make([]*fabric.Port, ft.HostsPerTor)
 		for off := 0; off < ft.HostsPerTor; off++ {
 			h := ft.hostID(ft.pod[tor.ID], ft.idx[tor.ID], off)
 			host := ft.Hosts[h]
-			down := newPort(portName("tor", ti, int(h)), cfg.SwitchQueue(fmt.Sprintf("%s->h%d", tor.Name, h)))
-			link(down, host)
+			down := newPort(ts, portName("tor", ti, int(h)), cfg.SwitchQueue(fmt.Sprintf("%s->h%d", tor.Name, h)))
+			wire(down, ts, ft.hostShard[h], host)
 			tor.AddPort(down)
 			ft.TorDown[ti][off] = down
 
-			up := newPort(portName("h", int(h), ti), cfg.HostQueue(fmt.Sprintf("h%d", h)))
-			link(up, tor)
+			up := newPort(ft.hostShard[h], portName("h", int(h), ti), cfg.HostQueue(fmt.Sprintf("h%d", h)))
+			wire(up, ft.hostShard[h], ts, tor)
 			host.NIC = up
 			ft.HostNIC[h] = up
 		}
@@ -130,50 +162,56 @@ func NewFatTreeOversub(k, oversub int, cfg Config) *FatTree {
 	// Agg egress ports [0, half) go down to ToRs.
 	for ti, tor := range ft.Tors {
 		p := ft.pod[tor.ID]
+		ts := ft.swShard[tor.ID]
 		ft.TorUp[ti] = make([]*fabric.Port, half)
 		for a := 0; a < half; a++ {
 			agg := ft.Aggs[p*half+a]
-			up := newPort(portName("torUp", ti, a), cfg.SwitchQueue(fmt.Sprintf("%s->%s", tor.Name, agg.Name)))
-			link(up, agg)
+			up := newPort(ts, portName("torUp", ti, a), cfg.SwitchQueue(fmt.Sprintf("%s->%s", tor.Name, agg.Name)))
+			wire(up, ts, ft.swShard[agg.ID], agg)
 			tor.AddPort(up)
 			ft.TorUp[ti][a] = up
 		}
 	}
 	for ai, agg := range ft.Aggs {
 		p := ft.pod[agg.ID]
+		as := ft.swShard[agg.ID]
 		ft.AggDown[ai] = make([]*fabric.Port, half)
 		for t := 0; t < half; t++ {
 			tor := ft.Tors[p*half+t]
-			down := newPort(portName("aggDown", ai, t), cfg.SwitchQueue(fmt.Sprintf("%s->%s", agg.Name, tor.Name)))
-			link(down, tor)
+			down := newPort(as, portName("aggDown", ai, t), cfg.SwitchQueue(fmt.Sprintf("%s->%s", agg.Name, tor.Name)))
+			wire(down, as, ft.swShard[tor.ID], tor)
 			agg.AddPort(down)
 			ft.AggDown[ai][t] = down
 		}
 	}
 	// Wire Aggs <-> Cores. Agg a connects to cores [a*half, (a+1)*half).
 	// Agg egress ports [half, k) go up; core egress port p goes to pod p.
+	// These are the only links that can cross the pod partition.
 	for ai, agg := range ft.Aggs {
 		a := ft.idx[agg.ID]
+		as := ft.swShard[agg.ID]
 		ft.AggUp[ai] = make([]*fabric.Port, half)
 		for j := 0; j < half; j++ {
 			core := ft.Cores[a*half+j]
-			up := newPort(portName("aggUp", ai, j), cfg.SwitchQueue(fmt.Sprintf("%s->%s", agg.Name, core.Name)))
-			link(up, core)
+			up := newPort(as, portName("aggUp", ai, j), cfg.SwitchQueue(fmt.Sprintf("%s->%s", agg.Name, core.Name)))
+			wire(up, as, ft.swShard[core.ID], core)
 			agg.AddPort(up)
 			ft.AggUp[ai][j] = up
 		}
 	}
 	for ci, core := range ft.Cores {
 		a := ci / half // which agg position this core group serves
+		cs := ft.swShard[core.ID]
 		ft.CoreDown[ci] = make([]*fabric.Port, nPods)
 		for p := 0; p < nPods; p++ {
 			agg := ft.Aggs[p*half+a]
-			down := newPort(portName("coreDown", ci, p), cfg.SwitchQueue(fmt.Sprintf("%s->%s", core.Name, agg.Name)))
-			link(down, agg)
+			down := newPort(cs, portName("coreDown", ci, p), cfg.SwitchQueue(fmt.Sprintf("%s->%s", core.Name, agg.Name)))
+			wire(down, cs, ft.swShard[agg.ID], agg)
 			core.AddPort(down)
 			ft.CoreDown[ci][p] = down
 		}
 	}
+	ft.finishShards()
 	return ft
 }
 
@@ -220,7 +258,9 @@ func (ft *FatTree) pickUp(sw *fabric.Switch, p *fabric.Packet, n int) int {
 	if ft.cfg.ECMPPerFlow {
 		return int(hash64(p.Flow^(uint64(sw.ID)<<32|0x5bd1e995)) % uint64(n))
 	}
-	return ft.Rand.Intn(n)
+	// Per-switch stream: draw order is the packet sequence through this
+	// one switch, which is shard-local and shard-count-independent.
+	return ft.swRand[sw.ID].Intn(n)
 }
 
 // Paths enumerates the source routes from src to dst: one route per core
@@ -231,8 +271,11 @@ func (ft *FatTree) Paths(src, dst int32) [][]int16 {
 	if src == dst {
 		return nil
 	}
+	// The cache is per source-host shard: enumeration happens mid-run
+	// (control-packet routing), and shards must never share a mutable map.
+	cache := ft.pathCache[ft.hostShard[src]]
 	key := pairKey{src, dst}
-	if p, ok := ft.pathCache[key]; ok {
+	if p, ok := cache[key]; ok {
 		return p
 	}
 	spod, stor, _ := ft.locate(src)
@@ -263,7 +306,7 @@ func (ft *FatTree) Paths(src, dst int32) [][]int16 {
 			}
 		}
 	}
-	ft.pathCache[key] = paths
+	cache[key] = paths
 	return paths
 }
 

@@ -51,12 +51,15 @@ func NewJellyfish(n, hostsPerSwitch, degree, maxPaths int, cfg Config) *Jellyfis
 		sw := fabric.NewSwitch(j.EL, s, fmt.Sprintf("jf%d", s))
 		sw.Route = j.route
 		j.Switches = append(j.Switches, sw)
+		j.switchRand(s)
 		if cfg.Lossless {
 			sw.EnableLossless(cfg.LosslessLimit, cfg.PFCXoff, cfg.PFCXon)
 		}
 	}
 	newPort := func(name string, q fabric.Queue) *fabric.Port {
-		return fabric.NewPort(j.EL, name, q, cfg.LinkRateBps, cfg.LinkDelay)
+		p := fabric.NewPort(j.EL, name, q, cfg.LinkRateBps, cfg.LinkDelay)
+		p.UID = j.allocPortUID()
+		return p
 	}
 	// Hosts and host ports.
 	for s := 0; s < n; s++ {
@@ -64,6 +67,7 @@ func NewJellyfish(n, hostsPerSwitch, degree, maxPaths int, cfg Config) *Jellyfis
 			id := int32(s*hostsPerSwitch + o)
 			host := fabric.NewHost(j.EL, id, fmt.Sprintf("h%d", id))
 			j.Hosts = append(j.Hosts, host)
+			j.hostShard = append(j.hostShard, 0)
 			down := newPort(portName("jf", s, int(id)), cfg.SwitchQueue(fmt.Sprintf("jf%d->h%d", s, id)))
 			link(down, host)
 			j.Switches[s].AddPort(down)
@@ -80,6 +84,7 @@ func NewJellyfish(n, hostsPerSwitch, degree, maxPaths int, cfg Config) *Jellyfis
 			j.Switches[s].AddPort(p)
 		}
 	}
+	j.finishShards()
 	return j
 }
 
@@ -232,7 +237,7 @@ func (j *Jellyfish) route(sw *fabric.Switch, p *fabric.Packet) int {
 	if len(best) == 0 {
 		return -1
 	}
-	return j.HostsPerSwitch + best[j.Rand.Intn(len(best))]
+	return j.HostsPerSwitch + best[j.swRand[sw.ID].Intn(len(best))]
 }
 
 // Paths enumerates up to MaxPaths source routes: all shortest switch paths
@@ -242,8 +247,9 @@ func (j *Jellyfish) Paths(src, dst int32) [][]int16 {
 	if src == dst {
 		return nil
 	}
+	cache := j.pathCache[j.hostShard[src]]
 	key := pairKey{src, dst}
-	if p, ok := j.pathCache[key]; ok {
+	if p, ok := cache[key]; ok {
 		return p
 	}
 	ssw, _ := j.locate(src)
@@ -251,7 +257,7 @@ func (j *Jellyfish) Paths(src, dst int32) [][]int16 {
 	var paths [][]int16
 	if ssw == dsw {
 		paths = [][]int16{{int16(doff)}}
-		j.pathCache[key] = paths
+		cache[key] = paths
 		return paths
 	}
 	d := j.dist(dsw)
@@ -285,7 +291,7 @@ func (j *Jellyfish) Paths(src, dst int32) [][]int16 {
 		}
 	}
 	walk(ssw, nil, false)
-	j.pathCache[key] = paths
+	cache[key] = paths
 	return paths
 }
 

@@ -40,6 +40,14 @@ type Config struct {
 	LosslessLimit, PFCXoff, PFCXon int
 	// Seed seeds the topology's private RNG (per-packet ECMP choices).
 	Seed uint64
+	// Shards partitions the topology into this many per-core shards, each
+	// with its own event list, advanced in conservative lockstep windows
+	// (sim.MultiRunner). 0 or 1 keeps the proven single-list engine.
+	// Results are bit-identical for every value. FatTree partitions by
+	// pod (the cut runs through the agg<->core layer); other topologies
+	// support only 1, and lossless (PFC) fabrics refuse sharding because
+	// the pause signal's upstream application has zero lookahead.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,10 +76,16 @@ func (c Config) withDefaults() Config {
 }
 
 // Cluster is the view of a topology that transport harnesses need: the
-// scheduler, the hosts, source-route enumeration and telemetry. All
-// concrete topologies (*FatTree, *TwoTier, *BackToBack) implement it.
+// scheduler (single-list or sharded), the hosts, source-route enumeration
+// and telemetry. All concrete topologies (*FatTree, *TwoTier, *BackToBack)
+// implement it.
 type Cluster interface {
 	EventList() *sim.EventList
+	Runner() sim.Runner
+	Shards() int
+	ShardOfHost(h int) int
+	Defer(from, to int, at sim.Time, fn func())
+	LinkDelay() sim.Time
 	HostList() []*fabric.Host
 	SwitchList() []*fabric.Switch
 	Paths(src, dst int32) [][]int16
@@ -81,22 +95,58 @@ type Cluster interface {
 	PacketHops() int64
 }
 
-// Network is the common state every topology exposes: the event list, the
-// hosts and switches, and cached source-route path lists.
+// Network is the common state every topology exposes: the per-shard event
+// lists and their runner, the hosts and switches, and cached source-route
+// path lists.
 type Network struct {
-	EL       *sim.EventList
-	Rand     *sim.Rand
+	EL       *sim.EventList // shard 0's list (the only list when unsharded)
+	Rand     *sim.Rand      // construction-time randomness (graph wiring)
 	Hosts    []*fabric.Host
 	Switches []*fabric.Switch
 
-	cfg       Config
-	pathCache map[pairKey][][]int16
+	cfg    Config
+	els    []*sim.EventList
+	runner sim.Runner
+	// boxes[src][dst] is the cross-shard mailbox for each directed shard
+	// pair; inboxes[dst] is the receiving slot arena. Both nil when
+	// unsharded.
+	boxes     [][]fabric.CrossBox
+	inboxes   []*fabric.Inbox
+	lookahead sim.Time
+	hostShard []int
+	swShard   []int
+	swRand    []*sim.Rand // per-switch ECMP stream, index = switch ID
+	portUID   uint32
+	cmdSeq    []uint64 // per-host command emission counters (Defer ord)
+	// pathCache is per source-host shard so concurrent shards never share
+	// a map; the cached route slices themselves are identical read-only
+	// values in every shard.
+	pathCache []map[pairKey][][]int16
 }
 
 type pairKey struct{ src, dst int32 }
 
-// EventList returns the simulation scheduler.
+// EventList returns shard 0's scheduler — the simulation scheduler for
+// unsharded topologies. Pre-run setup code may use it; mid-run components
+// must schedule on their own host's list.
 func (n *Network) EventList() *sim.EventList { return n.EL }
+
+// Runner returns the engine driver: the event list itself when unsharded,
+// or the conservative windowed multi-list runner.
+func (n *Network) Runner() sim.Runner { return n.runner }
+
+// Shards returns the number of partitions the topology runs as.
+func (n *Network) Shards() int { return len(n.els) }
+
+// ShardOfHost returns the shard owning host h.
+func (n *Network) ShardOfHost(h int) int { return n.hostShard[h] }
+
+// ShardEventList returns the scheduler of one shard.
+func (n *Network) ShardEventList(shard int) *sim.EventList { return n.els[shard] }
+
+// Lookahead returns the conservative window bound: the minimum latency of
+// any cross-shard interaction (Infinity when nothing crosses).
+func (n *Network) Lookahead() sim.Time { return n.lookahead }
 
 // HostList returns the hosts in id order.
 func (n *Network) HostList() []*fabric.Host { return n.Hosts }
@@ -114,10 +164,116 @@ func (n *Network) LinkDelay() sim.Time { return n.cfg.LinkDelay }
 func (n *Network) Config() Config { return n.cfg }
 
 func (n *Network) init(cfg Config) {
+	if cfg.Shards > 1 {
+		panic("topo: sharding is only supported for FatTree topologies")
+	}
+	n.initShards(cfg, 1)
+}
+
+// initShards sets up the common state for a topology split into shards
+// event-list domains. Builders that support partitioning call it with
+// their clamped shard count; everyone else goes through init.
+func (n *Network) initShards(cfg Config, shards int) {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 1 && cfg.Lossless {
+		panic("topo: sharding is incompatible with lossless (PFC) fabrics: pause signals apply upstream with zero lookahead")
+	}
 	n.cfg = cfg
-	n.EL = sim.NewEventList()
+	n.els = make([]*sim.EventList, shards)
+	for i := range n.els {
+		n.els[i] = sim.NewEventList()
+	}
+	n.EL = n.els[0]
 	n.Rand = sim.NewRand(cfg.Seed ^ 0x9e3779b97f4a7c15)
-	n.pathCache = make(map[pairKey][][]int16)
+	n.pathCache = make([]map[pairKey][][]int16, shards)
+	for i := range n.pathCache {
+		n.pathCache[i] = make(map[pairKey][][]int16)
+	}
+	n.lookahead = sim.Infinity
+	if shards > 1 {
+		n.boxes = make([][]fabric.CrossBox, shards)
+		n.inboxes = make([]*fabric.Inbox, shards)
+		for i := range n.boxes {
+			n.boxes[i] = make([]fabric.CrossBox, shards)
+			n.inboxes[i] = fabric.NewInbox(n.els[i])
+		}
+		n.runner = sim.NewMultiRunner(n.els, cfg.LinkDelay, n.exchange)
+	} else {
+		n.runner = n.els[0]
+	}
+}
+
+// finishShards recomputes the runner's lookahead once the builder has
+// reported every cross-shard link via noteCrossLink.
+func (n *Network) finishShards() {
+	n.cmdSeq = make([]uint64, len(n.Hosts))
+	if mr, ok := n.runner.(*sim.MultiRunner); ok {
+		if n.lookahead == sim.Infinity {
+			// No link crosses the partition: windows can be arbitrarily
+			// wide, but link delay is a safe, simple bound.
+			n.lookahead = n.cfg.LinkDelay
+		}
+		mr.Lookahead = n.lookahead
+	}
+}
+
+// noteCrossLink registers a shard-crossing link's latency for the
+// lookahead computation and returns the mailbox its traffic must use.
+func (n *Network) noteCrossLink(from, to int, delay sim.Time) *fabric.CrossBox {
+	if delay < n.lookahead {
+		n.lookahead = delay
+	}
+	return &n.boxes[from][to]
+}
+
+// exchange drains every cross-shard mailbox into its destination list; the
+// windowed runner calls it single-threaded at each window boundary.
+func (n *Network) exchange() {
+	for src := range n.boxes {
+		for dst := range n.boxes[src] {
+			if n.boxes[src][dst].Len() > 0 {
+				n.boxes[src][dst].Drain(n.inboxes[dst])
+			}
+		}
+	}
+}
+
+// Defer runs fn at absolute time at in host to's event domain, emitted by
+// host from (whose identity and emission order form the deterministic
+// equal-time key). It is the cross-shard command path for interactions
+// that are not packets: receiver-side flow registration and closed-loop
+// workload restarts. Cross-shard deferrals must satisfy the conservative
+// bound at >= now(from) + Lookahead; same-shard deferrals have no bound.
+func (n *Network) Defer(from, to int, at sim.Time, fn func()) {
+	n.cmdSeq[from]++
+	ord := sim.CommandOrd(uint32(from), n.cmdSeq[from])
+	sf, st := n.hostShard[from], n.hostShard[to]
+	if sf == st {
+		n.els[st].AtKeyed(at, ord, fn)
+		return
+	}
+	n.boxes[sf][st].AddCommand(at, ord, fn)
+}
+
+// allocPortUID hands out canonical port identities in construction order.
+func (n *Network) allocPortUID() uint32 {
+	n.portUID++
+	return n.portUID
+}
+
+// switchRand returns switch id's private ECMP stream, creating per-switch
+// generators on first use. Per-switch streams make destination-routed path
+// choices depend only on the packet sequence through that one switch, so
+// they survive sharding; a topology-wide stream would entangle draw order
+// across shards.
+func (n *Network) switchRand(id int) *sim.Rand {
+	for len(n.swRand) <= id {
+		n.swRand = append(n.swRand,
+			sim.NewRand(n.cfg.Seed^(uint64(len(n.swRand))+1)*0x9e3779b97f4a7c15^0xc2b2ae3d27d4eb4f))
+	}
+	return n.swRand[id]
 }
 
 // hash64 mixes a flow id with a per-switch salt for per-flow ECMP.

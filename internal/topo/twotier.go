@@ -37,11 +37,13 @@ func NewTwoTier(tors, hostsPerTor, spines int, cfg Config) *TwoTier {
 	tt.init(cfg)
 
 	newSwitch := func(level, idx int, name string) *fabric.Switch {
-		sw := fabric.NewSwitch(tt.EL, len(tt.Switches), name)
+		id := len(tt.Switches)
+		sw := fabric.NewSwitch(tt.EL, id, name)
 		sw.Route = tt.route
 		tt.Switches = append(tt.Switches, sw)
 		tt.level = append(tt.level, level)
 		tt.idx = append(tt.idx, idx)
+		tt.switchRand(id)
 		if cfg.Lossless {
 			sw.EnableLossless(cfg.LosslessLimit, cfg.PFCXoff, cfg.PFCXon)
 		}
@@ -56,10 +58,13 @@ func NewTwoTier(tors, hostsPerTor, spines int, cfg Config) *TwoTier {
 	nHosts := tors * hostsPerTor
 	for h := 0; h < nHosts; h++ {
 		tt.Hosts = append(tt.Hosts, fabric.NewHost(tt.EL, int32(h), fmt.Sprintf("h%d", h)))
+		tt.hostShard = append(tt.hostShard, 0)
 	}
 
 	newPort := func(name string, q fabric.Queue) *fabric.Port {
-		return fabric.NewPort(tt.EL, name, q, cfg.LinkRateBps, cfg.LinkDelay)
+		p := fabric.NewPort(tt.EL, name, q, cfg.LinkRateBps, cfg.LinkDelay)
+		p.UID = tt.allocPortUID()
+		return p
 	}
 
 	tt.HostNIC = make([]*fabric.Port, nHosts)
@@ -100,6 +105,7 @@ func NewTwoTier(tors, hostsPerTor, spines int, cfg Config) *TwoTier {
 			tt.SpineDwn[s][t] = down
 		}
 	}
+	tt.finishShards()
 	return tt
 }
 
@@ -121,7 +127,7 @@ func (tt *TwoTier) route(sw *fabric.Switch, p *fabric.Packet) int {
 	if tt.cfg.ECMPPerFlow {
 		return tt.HostsPerTor + int(hash64(p.Flow^(uint64(sw.ID)<<32|0x5bd1e995))%uint64(tt.NSpines))
 	}
-	return tt.HostsPerTor + tt.Rand.Intn(tt.NSpines)
+	return tt.HostsPerTor + tt.swRand[sw.ID].Intn(tt.NSpines)
 }
 
 // Paths enumerates source routes: one per spine between racks, the single
@@ -130,8 +136,9 @@ func (tt *TwoTier) Paths(src, dst int32) [][]int16 {
 	if src == dst {
 		return nil
 	}
+	cache := tt.pathCache[tt.hostShard[src]]
 	key := pairKey{src, dst}
-	if p, ok := tt.pathCache[key]; ok {
+	if p, ok := cache[key]; ok {
 		return p
 	}
 	stor, _ := tt.locate(src)
@@ -148,7 +155,7 @@ func (tt *TwoTier) Paths(src, dst int32) [][]int16 {
 			})
 		}
 	}
-	tt.pathCache[key] = paths
+	cache[key] = paths
 	return paths
 }
 
@@ -169,12 +176,16 @@ func NewBackToBack(cfg Config) *BackToBack {
 	h0 := fabric.NewHost(b.EL, 0, "h0")
 	h1 := fabric.NewHost(b.EL, 1, "h1")
 	b.Hosts = []*fabric.Host{h0, h1}
+	b.hostShard = []int{0, 0}
 	p0 := fabric.NewPort(b.EL, "h0->h1", cfg.HostQueue("h0"), cfg.LinkRateBps, cfg.LinkDelay)
 	p1 := fabric.NewPort(b.EL, "h1->h0", cfg.HostQueue("h1"), cfg.LinkRateBps, cfg.LinkDelay)
+	p0.UID = b.allocPortUID()
+	p1.UID = b.allocPortUID()
 	p0.Connect(h1)
 	p1.Connect(h0)
 	h0.NIC = p0
 	h1.NIC = p1
+	b.finishShards()
 	return b
 }
 

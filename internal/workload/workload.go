@@ -124,29 +124,52 @@ func FacebookWeb() *SizeDist {
 	})
 }
 
-// ClosedLoop drives a closed-loop flow generator: each host keeps conns
+// ClosedLoop drives a closed-loop flow generator: each host keeps Conns
 // simultaneous connections to random destinations; when a flow finishes, a
-// new one starts after gap (the paper uses a 1ms median inter-flow gap).
-// The caller supplies start, which must launch one flow and invoke done
-// when it completes.
+// new one starts after a gap (the paper uses a 1ms median inter-flow gap).
+// The caller supplies Start, which must launch one flow and invoke done
+// (with the completion time) when it completes.
+//
+// All state is per-source: each source host draws destinations, sizes and
+// gaps from its own RNG stream, and re-launches are routed back to the
+// source's scheduling domain through Defer. A flow's completion fires
+// wherever the receiver lives; the restart is deferred onto the source
+// NotifyLatency later. This decomposition is what lets the generator run
+// unchanged — and bit-identically — on a sharded engine, where source and
+// receiver may live on different event lists: a single shared RNG would
+// make draw values depend on the global completion interleaving.
 type ClosedLoop struct {
-	EL    *sim.EventList
-	Rand  *sim.Rand
 	Hosts int
 	Conns int
 	Gap   sim.Time
 	Sizes *SizeDist
+	// Seed derives the per-source RNG streams.
+	Seed uint64
+	// NotifyLatency is the delay between a flow completing at its receiver
+	// and the source learning about it (at least the engine's cross-shard
+	// lookahead; one link propagation delay models the returning notice).
+	NotifyLatency sim.Time
 
 	// Start launches a flow of size bytes from src to dst; it must call
-	// the provided completion callback when the flow finishes.
-	Start func(src, dst int, size int64, done func())
+	// the provided completion callback with the completion time. It runs
+	// in the source host's scheduling domain.
+	Start func(src, dst int, size int64, done func(at sim.Time))
+	// Defer schedules fn at absolute time at in host to's scheduling
+	// domain, emitted by host from (wire it to topo's Cluster.Defer).
+	Defer func(from, to int, at sim.Time, fn func())
 
-	Launched int64
+	rands    []*sim.Rand
+	launched []int64
 }
 
-// Run primes Conns flows per host and keeps the loop going until the event
-// list deadline is reached (the caller bounds the simulation).
+// Run primes Conns flows per host; completions keep the loop going until
+// the caller's deadline bounds the simulation.
 func (c *ClosedLoop) Run() {
+	c.rands = make([]*sim.Rand, c.Hosts)
+	c.launched = make([]int64, c.Hosts)
+	for h := 0; h < c.Hosts; h++ {
+		c.rands[h] = sim.NewRand(c.Seed ^ (uint64(h)+1)*0x9e3779b97f4a7c15)
+	}
 	for h := 0; h < c.Hosts; h++ {
 		for i := 0; i < c.Conns; i++ {
 			c.launch(h)
@@ -154,15 +177,31 @@ func (c *ClosedLoop) Run() {
 	}
 }
 
+// Launched returns the total flows started across all sources.
+func (c *ClosedLoop) Launched() int64 {
+	var n int64
+	for _, v := range c.launched {
+		n += v
+	}
+	return n
+}
+
 func (c *ClosedLoop) launch(src int) {
-	dst := c.Rand.Intn(c.Hosts - 1)
+	r := c.rands[src]
+	dst := r.Intn(c.Hosts - 1)
 	if dst >= src {
 		dst++
 	}
-	size := c.Sizes.Sample(c.Rand)
-	c.Launched++
-	c.Start(src, dst, size, func() {
-		gap := c.Gap/2 + c.Rand.Duration(c.Gap) // median ~= Gap
-		c.EL.After(gap, func() { c.launch(src) })
+	size := c.Sizes.Sample(r)
+	c.launched[src]++
+	c.Start(src, dst, size, func(at sim.Time) {
+		// Runs at the receiver: hop back to the source's domain, then draw
+		// the gap there (so the source's RNG is only ever touched in its
+		// own domain, in its own deterministic order).
+		notify := at + c.NotifyLatency
+		c.Defer(dst, src, notify, func() {
+			gap := c.Gap/2 + c.rands[src].Duration(c.Gap) // median ~= Gap
+			c.Defer(src, src, notify+gap, func() { c.launch(src) })
+		})
 	})
 }

@@ -102,15 +102,16 @@ func TestClosedLoopKeepsConnsRunning(t *testing.T) {
 	el := sim.NewEventList()
 	active := 0
 	cl := &ClosedLoop{
-		EL:    el,
-		Rand:  sim.NewRand(11),
-		Hosts: 4,
-		Conns: 2,
-		Gap:   sim.Millisecond,
-		Sizes: NewSizeDist(map[int64]float64{1000: 1}),
+		Hosts:         4,
+		Conns:         2,
+		Gap:           sim.Millisecond,
+		Sizes:         NewSizeDist(map[int64]float64{1000: 1}),
+		Seed:          11,
+		NotifyLatency: 500 * sim.Nanosecond,
+		Defer:         func(from, to int, at sim.Time, fn func()) { el.At(at, fn) },
 	}
 	completions := 0
-	cl.Start = func(src, dst int, size int64, done func()) {
+	cl.Start = func(src, dst int, size int64, done func(at sim.Time)) {
 		if src == dst {
 			t.Fatal("closed loop generated self-flow")
 		}
@@ -119,13 +120,13 @@ func TestClosedLoopKeepsConnsRunning(t *testing.T) {
 		el.After(100*sim.Microsecond, func() {
 			active--
 			completions++
-			done()
+			done(el.Now())
 		})
 	}
 	cl.Run()
 	el.RunUntil(20 * sim.Millisecond)
-	if cl.Launched < 20 {
-		t.Errorf("launched %d flows in 20ms; closed loop not cycling", cl.Launched)
+	if cl.Launched() < 20 {
+		t.Errorf("launched %d flows in 20ms; closed loop not cycling", cl.Launched())
 	}
 	if completions < 16 {
 		t.Errorf("completions = %d", completions)

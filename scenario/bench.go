@@ -37,12 +37,26 @@ func BenchSuite() []harness.BenchCase {
 			WithDeadline(5*time.Millisecond))},
 		{"failure-tiny", true, benchSpec("failure", Params{Hosts: 16},
 			WithWarmup(time.Millisecond), WithWindow(3*time.Millisecond))},
+		// Lossless/DCQCN: the PFC+ECN machinery (ingress gating, pause
+		// cascades, rate timers) has a very different event profile from
+		// the trimming fabrics, so it gets its own trajectory point.
+		{"lossless-tiny", true, benchSpec("incast", Params{Hosts: 16, Degree: 8, FlowSize: 90_000},
+			WithTransport(DCQCN), WithDeadline(20*time.Millisecond))},
 		// Figure-scale: the paper's 100:1 incast (Fig 17 class) and a
 		// full-load permutation on a 128-host FatTree.
 		{"incast-large", false, benchSpec("incast", Params{Hosts: 128, Degree: 100, FlowSize: 135_000},
 			WithDeadline(200*time.Millisecond))},
 		{"permutation-large", false, benchSpec("permutation", Params{Hosts: 128},
 			WithWarmup(time.Millisecond), WithWindow(5*time.Millisecond))},
+		// The same figure-scale cases under the sharded engine: identical
+		// Metrics by construction (TestShardDeterminism), so events/sec
+		// against the unsharded twin is a pure engine-speedup readout.
+		// Wall time only improves with real cores (GOMAXPROCS > 1); on a
+		// single-CPU runner these measure the windowing overhead instead.
+		{"incast-large-shards4", false, benchSpec("incast", Params{Hosts: 128, Degree: 100, FlowSize: 135_000},
+			WithDeadline(200*time.Millisecond), WithShards(4))},
+		{"permutation-large-shards4", false, benchSpec("permutation", Params{Hosts: 128},
+			WithWarmup(time.Millisecond), WithWindow(5*time.Millisecond), WithShards(4))},
 	}
 	out := make([]harness.BenchCase, 0, len(cases))
 	for _, c := range cases {

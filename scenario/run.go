@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"ndp/internal/core"
@@ -84,9 +85,11 @@ type runOut struct {
 
 // runOnce builds the network for one derived seed and drives the workload.
 // Everything inside derives from the seed alone, which is what lets the
-// job pool schedule repetitions on any worker without perturbing results.
+// job pool schedule repetitions on any worker without perturbing results —
+// and, with Shards > 1, lets the windowed multi-list runner advance the
+// partitions in parallel without perturbing them either.
 func runOnce(spec Spec, seed uint64) *runOut {
-	net := spec.harnessTransport().Build(spec.Topology.builder(), topo.Config{Seed: seed})
+	net := spec.harnessTransport().Build(spec.Topology.builder(), topo.Config{Seed: seed, Shards: spec.Shards})
 	defer net.Close()
 	for _, f := range spec.Failures {
 		net.Cluster().(*topo.FatTree).DegradeLink(f.Agg, f.CoreOff, f.RateBps)
@@ -101,14 +104,15 @@ func runOnce(spec Spec, seed uint64) *runOut {
 		runMatrix(spec, seed, net, out)
 	}
 	out.counters = net.Cluster().CollectStats()
-	out.events = int64(net.EL().Executed())
+	out.events = int64(net.Runner().Executed())
 	out.hops = net.Cluster().PacketHops()
 	return out
 }
 
 // runIncast fans Degree flows into the receiver and records each FCT.
 // Validate already bounded the degree by the host count, so the launched
-// flow count always matches the Spec.
+// flow count always matches the Spec. Completions write into per-flow
+// slots (never a shared counter), so shards may finish flows concurrently.
 func runIncast(spec Spec, net harness.Net, out *runOut) {
 	w := spec.Workload
 	hosts := net.Cluster().NumHosts()
@@ -120,12 +124,12 @@ func runIncast(spec Spec, net harness.Net, out *runOut) {
 		i := i
 		flows[i] = net.StartFlow(s, w.Receiver, w.FlowSize, harness.StartOpts{
 			Priority: w.PrioritizeLast && i == len(senders)-1,
-			OnDone:   func(at sim.Time) { done[i] = at; out.completed++ },
+			OnDone:   func(at sim.Time) { done[i] = at },
 		})
 	}
 	out.launched = len(senders)
 	optimal := sim.FromSeconds(float64(degree) * float64(w.FlowSize) * 8 / float64(out.linkRate))
-	net.EL().RunUntil(fctDeadline(spec.Deadline, optimal))
+	net.Runner().RunUntil(fctDeadline(spec.Deadline, optimal))
 	collectFCTs(out, done)
 	out.excluded = countExcludedPaths(flows)
 }
@@ -150,12 +154,13 @@ func runMatrix(spec Spec, seed uint64, net harness.Net, out *runOut) {
 			flows[src] = net.StartFlow(src, d, -1, harness.StartOpts{})
 		}
 		warm, window := simDur(spec.Warmup), simDur(spec.Window)
-		net.EL().RunUntil(warm)
+		runner := net.Runner()
+		runner.RunUntil(warm)
 		base := make([]int64, len(flows))
 		for i, f := range flows {
 			base[i] = f.AckedBytes()
 		}
-		net.EL().RunUntil(warm + window)
+		runner.RunUntil(warm + window)
 		out.goodput = make([]float64, len(flows))
 		for i, f := range flows {
 			out.goodput[i] = stats.Gbps(f.AckedBytes()-base[i], window)
@@ -169,13 +174,23 @@ func runMatrix(spec Spec, seed uint64, net harness.Net, out *runOut) {
 	for src, d := range dst {
 		src := src
 		flows[src] = net.StartFlow(src, d, w.FlowSize, harness.StartOpts{
-			OnDone: func(at sim.Time) { done[src] = at; out.completed++ },
+			OnDone: func(at sim.Time) { done[src] = at },
 		})
 	}
 	optimal := sim.FromSeconds(float64(w.FlowSize) * 8 / float64(out.linkRate))
-	net.EL().RunUntil(fctDeadline(spec.Deadline, optimal*100))
+	net.Runner().RunUntil(fctDeadline(spec.Deadline, optimal*100))
 	collectFCTs(out, done)
 	out.excluded = countExcludedPaths(flows)
+}
+
+// rpcDone is one closed-loop completion record. Completions land on the
+// receiver's shard; records are buffered per shard and merged into one
+// deterministic order afterwards, so concurrent shards never contend and
+// the merged result is independent of the shard layout.
+type rpcDone struct {
+	at       sim.Time
+	us       float64
+	src, dst int
 }
 
 // runRPC keeps Degree closed-loop request flows per host in flight until
@@ -190,22 +205,22 @@ func runRPC(spec Spec, seed uint64, net harness.Net, out *runOut) {
 	if gap == 0 {
 		gap = time.Millisecond
 	}
+	c := net.Cluster()
+	recs := make([][]rpcDone, c.Shards())
 	cl := &workload.ClosedLoop{
-		EL:    net.EL(),
-		Rand:  sim.NewRand(seed + 7),
-		Hosts: net.Cluster().NumHosts(),
-		Conns: w.Degree,
-		Gap:   simDur(gap),
-		Sizes: sizes,
-		Start: func(src, dst int, size int64, done func()) {
-			start := net.EL().Now()
+		Hosts:         c.NumHosts(),
+		Conns:         w.Degree,
+		Gap:           simDur(gap),
+		Sizes:         sizes,
+		Seed:          seed + 7,
+		NotifyLatency: c.LinkDelay(),
+		Defer:         c.Defer,
+		Start: func(src, dst int, size int64, done func(at sim.Time)) {
+			start := c.HostList()[src].EventList().Now()
+			shard := c.ShardOfHost(dst)
 			net.StartFlow(src, dst, size, harness.StartOpts{OnDone: func(at sim.Time) {
-				out.fcts = append(out.fcts, (at - start).Micros())
-				out.completed++
-				if at > out.last {
-					out.last = at
-				}
-				done()
+				recs[shard] = append(recs[shard], rpcDone{at: at, us: (at - start).Micros(), src: src, dst: dst})
+				done(at)
 			}})
 		},
 	}
@@ -214,8 +229,33 @@ func runRPC(spec Spec, seed uint64, net harness.Net, out *runOut) {
 	if deadline == 0 {
 		deadline = 20 * time.Millisecond
 	}
-	net.EL().RunUntil(simDur(deadline))
-	out.launched = int(cl.Launched)
+	net.Runner().RunUntil(simDur(deadline))
+	out.launched = int(cl.Launched())
+
+	// Merge the per-shard completion buffers into one canonical order:
+	// completion time, then receiver, then sender — a key identical for
+	// every shard count (per-shard buffer order is only per-receiver-shard
+	// FIFO, which a different partition would interleave differently).
+	var all []rpcDone
+	for _, r := range recs {
+		all = append(all, r...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		if all[i].dst != all[j].dst {
+			return all[i].dst < all[j].dst
+		}
+		return all[i].src < all[j].src
+	})
+	for _, r := range all {
+		out.fcts = append(out.fcts, r.us)
+		out.completed++
+		if r.at > out.last {
+			out.last = r.at
+		}
+	}
 }
 
 // pathExcluder is the optional sender capability behind
@@ -247,11 +287,13 @@ func fctDeadline(explicit time.Duration, optimal sim.Time) sim.Time {
 }
 
 // collectFCTs folds per-flow completion times (zero = never finished) into
-// the runOut in flow order.
+// the runOut in flow order, counting completions as it goes (callbacks
+// write only their own flow's slot, so shards never share a counter).
 func collectFCTs(out *runOut, done []sim.Time) {
 	for _, at := range done {
 		if at > 0 {
 			out.fcts = append(out.fcts, at.Micros())
+			out.completed++
 			if at > out.last {
 				out.last = at
 			}

@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestShardDeterminism is the acceptance gate of the sharded engine: every
+// registry scenario, run with the single-list engine (Shards=1) and with
+// the conservative windowed multi-list engine at two different partition
+// widths, must produce bit-identical Metrics AND identical engine event
+// counts. The guarantee is structural — equal-timestamp ordering comes
+// from canonical (emitter, sequence) keys and every RNG stream is owned by
+// exactly one shard-local component — so any divergence here is a bug, not
+// noise. Run under -race in CI, this also proves shards share no state.
+func TestShardDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	for name, spec := range goldenSpecs(t) {
+		name, spec := name, spec
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var ref []byte
+			var refStats RunStats
+			for _, shards := range []int{1, 2, 4} {
+				m, stats, err := RunWithStats(spec.With(WithShards(shards)))
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				blob, err := json.Marshal(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if shards == 1 {
+					ref, refStats = blob, stats
+					continue
+				}
+				if string(blob) != string(ref) {
+					t.Errorf("metrics diverge between shards=1 and shards=%d:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
+						shards, ref, shards, blob)
+				}
+				if stats != refStats {
+					t.Errorf("engine stats diverge between shards=1 and shards=%d: %+v vs %+v",
+						shards, refStats, stats)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedValidation pins the guard rails: sharding is an NDP-on-FatTree
+// mode, and misuse is a Validate error rather than a wrong answer.
+func TestShardedValidation(t *testing.T) {
+	base := New(WithShards(2))
+	if err := base.Validate(); err != nil {
+		t.Errorf("ndp+fattree+shards=2 should validate, got %v", err)
+	}
+	if err := New(WithShards(-1)).Validate(); err == nil {
+		t.Error("negative shards validated")
+	}
+	if err := New(WithShards(2), WithTransport(DCQCN)).Validate(); err == nil {
+		t.Error("dcqcn+shards validated; PFC pause has zero lookahead")
+	}
+	if err := New(WithShards(2), WithTopology(TwoTier(4, 2, 2))).Validate(); err == nil {
+		t.Error("twotier+shards validated; only fattree partitions")
+	}
+}
+
+// TestShardsClampToPods checks that an oversized shard count degrades to
+// the pod count instead of failing: a k=4 tree has at most 4 shards, and
+// the result is still identical.
+func TestShardsClampToPods(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	spec := New(
+		WithTopology(FatTree(4)),
+		WithWorkload(Incast(4, 90_000)),
+		WithSeed(5),
+		WithDeadline(50*time.Millisecond),
+	)
+	a, err := Run(spec.With(WithShards(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec.With(WithShards(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Errorf("metrics diverge between shards=1 and clamped shards=64:\n%s\n%s", aj, bj)
+	}
+}

@@ -1,0 +1,98 @@
+// Command benchplot renders the committed BENCH_*.json performance
+// trajectory as a self-contained SVG: one line per benchmark case, one
+// x-position per report, so a glance shows how events/sec (and allocation
+// counts) moved across PRs. The nightly bench workflow attaches the
+// rendered SVG as an artifact next to the fresh report.
+//
+// Usage:
+//
+//	benchplot                                # BENCH_*.json in ., to bench-trajectory.svg
+//	benchplot -o out.svg BENCH_3.json BENCH_4.json bench-tiny.json
+//
+// Reports are plotted in argument order; with no arguments, BENCH_*.json
+// files sort by their numeric suffix. Wall-clock derived series (events/sec)
+// are only comparable across reports from the same hardware class — the
+// labels carry each report's cpu count for exactly that caveat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ndp/internal/harness"
+)
+
+func main() {
+	out := flag.String("o", "bench-trajectory.svg", "output SVG path")
+	flag.Parse()
+
+	paths := flag.Args()
+	if len(paths) == 0 {
+		var err error
+		paths, err = defaultReports(".")
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("benchplot: no BENCH_*.json reports found (pass paths explicitly)"))
+	}
+	var reports []*harness.BenchReport
+	var labels []string
+	for _, p := range paths {
+		rep, err := harness.LoadBenchReport(p)
+		if err != nil {
+			fatal(err)
+		}
+		reports = append(reports, rep)
+		labels = append(labels, reportLabel(p, rep))
+	}
+	svg := RenderTrajectory(reports, labels)
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchplot: %d reports, wrote %s\n", len(reports), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// defaultReports globs BENCH_*.json in dir, ordered by numeric suffix so
+// the trajectory reads left-to-right in PR order.
+func defaultReports(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(paths, func(i, j int) bool { return benchNum(paths[i]) < benchNum(paths[j]) })
+	return paths, nil
+}
+
+// benchNum extracts the numeric suffix of BENCH_<n>.json (0 if unparsable).
+func benchNum(path string) int {
+	base := strings.TrimSuffix(filepath.Base(path), ".json")
+	if i := strings.LastIndexByte(base, '_'); i >= 0 {
+		if n, err := strconv.Atoi(base[i+1:]); err == nil {
+			return n
+		}
+	}
+	return 0
+}
+
+// reportLabel names one x-position: the report's own label if set, else the
+// file name, plus the cpu count (wall-derived series are only comparable
+// within a hardware class).
+func reportLabel(path string, rep *harness.BenchReport) string {
+	l := rep.Label
+	if l == "" || l == "local" {
+		l = strings.TrimSuffix(filepath.Base(path), ".json")
+	}
+	return fmt.Sprintf("%s (%dcpu)", l, rep.CPUs)
+}

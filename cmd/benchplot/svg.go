@@ -1,0 +1,199 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ndp/internal/harness"
+)
+
+// This file renders the trajectory SVG with nothing but the standard
+// library: two stacked panels (events/sec, allocs per run) sharing one
+// x-axis of report positions, one polyline per benchmark case, with a
+// legend keyed by color. Cases missing from a report simply skip that x
+// position, so adding a benchmark mid-trajectory leaves a gap instead of a
+// lie.
+
+const (
+	plotW    = 960
+	panelH   = 300
+	marginL  = 90
+	marginR  = 230
+	marginT  = 40
+	panelGap = 70
+)
+
+// palette cycles per case; chosen for contrast on white.
+var palette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
+	"#e377c2", "#7f7f7f", "#bcbd22", "#17becf", "#393b79", "#ad494a",
+	"#637939", "#7b4173",
+}
+
+// series is one case's values across reports; NaN marks a missing report.
+type series struct {
+	name string
+	vals []float64
+}
+
+// RenderTrajectory builds the full SVG document for the given reports.
+func RenderTrajectory(reports []*harness.BenchReport, labels []string) string {
+	events := collect(reports, func(r harness.BenchResult) float64 { return r.EventsPerSec })
+	allocs := collect(reports, func(r harness.BenchResult) float64 { return float64(r.AllocsPerOp) })
+
+	height := marginT + 2*(panelH+panelGap)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n",
+		plotW, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	renderPanel(&b, marginT, "events/sec (higher is better)", events, labels, false)
+	renderPanel(&b, marginT+panelH+panelGap, "allocations per run (lower is better)", allocs, labels, true)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// collect extracts one metric into per-case series ordered by case name.
+func collect(reports []*harness.BenchReport, metric func(harness.BenchResult) float64) []series {
+	byName := map[string][]float64{}
+	for ri, rep := range reports {
+		for _, res := range rep.Results {
+			vals, ok := byName[res.Name]
+			if !ok {
+				vals = make([]float64, len(reports))
+				for i := range vals {
+					vals[i] = math.NaN()
+				}
+				byName[res.Name] = vals
+			}
+			vals[ri] = metric(res)
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]series, 0, len(names))
+	for _, n := range names {
+		out = append(out, series{name: n, vals: byName[n]})
+	}
+	return out
+}
+
+// renderPanel draws one metric panel at vertical offset top. logScale suits
+// allocation counts, which span orders of magnitude across cases.
+func renderPanel(b *strings.Builder, top int, title string, data []series, labels []string, logScale bool) {
+	innerW := plotW - marginL - marginR
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range data {
+		for _, v := range s.vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			if logScale && v < 1 {
+				v = 1
+			}
+			if logScale {
+				v = math.Log10(v)
+			}
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) { // no data at all
+		lo, hi = 0, 1
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.08
+	lo, hi = lo-pad, hi+pad
+
+	x := func(i int) float64 {
+		if len(labels) == 1 {
+			return marginL + float64(innerW)/2
+		}
+		return marginL + float64(i)*float64(innerW)/float64(len(labels)-1)
+	}
+	y := func(v float64) float64 {
+		if logScale {
+			if v < 1 {
+				v = 1
+			}
+			v = math.Log10(v)
+		}
+		return float64(top+panelH) - (v-lo)/(hi-lo)*float64(panelH)
+	}
+
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-weight="bold">%s</text>`+"\n", marginL, top-12, title)
+	// Axes and y grid.
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, top, marginL, top+panelH)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginL, top+panelH, plotW-marginR, top+panelH)
+	for t := 0; t <= 4; t++ {
+		v := lo + (hi-lo)*float64(t)/4
+		yy := float64(top+panelH) - float64(t)/4*float64(panelH)
+		label := v
+		if logScale {
+			label = math.Pow(10, v)
+		}
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, yy, plotW-marginR, yy)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" text-anchor="end" fill="#555">%s</text>`+"\n",
+			marginL-6, yy+4, compactNum(label))
+	}
+	// X labels.
+	for i, l := range labels {
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" text-anchor="middle" fill="#555">%s</text>`+"\n",
+			x(i), top+panelH+18, escape(l))
+	}
+	// Series. A missing report splits the line into separate segments — a
+	// visible gap, never an interpolated value the report did not measure.
+	for si, s := range data {
+		color := palette[si%len(palette)]
+		var seg []string
+		flush := func() {
+			if len(seg) > 1 {
+				fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+					strings.Join(seg, " "), color)
+			}
+			seg = seg[:0]
+		}
+		for i, v := range s.vals {
+			if math.IsNaN(v) {
+				flush()
+				continue
+			}
+			seg = append(seg, fmt.Sprintf("%.1f,%.1f", x(i), y(v)))
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", x(i), y(v), color)
+		}
+		flush()
+		// Legend entry.
+		ly := top + 14*si
+		fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			plotW-marginR+12, ly, plotW-marginR+30, ly, color)
+		fmt.Fprintf(b, `<text x="%d" y="%d" fill="#333">%s</text>`+"\n",
+			plotW-marginR+36, ly+4, escape(s.name))
+	}
+}
+
+// compactNum renders 6742252 as "6.7M", 38698 as "38.7k".
+func compactNum(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

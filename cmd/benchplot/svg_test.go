@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ndp/internal/harness"
+)
+
+func report(label string, cases map[string]harness.BenchResult) *harness.BenchReport {
+	rep := &harness.BenchReport{Label: label, CPUs: 4}
+	for name, r := range cases {
+		r.Name = name
+		rep.Results = append(rep.Results, r)
+	}
+	return rep
+}
+
+// TestRenderTrajectory checks the SVG is well-formed and contains one
+// series per case plus every report label — including a case missing from
+// one report (gap, not a lie).
+func TestRenderTrajectory(t *testing.T) {
+	reps := []*harness.BenchReport{
+		report("PR 3", map[string]harness.BenchResult{
+			"rpc-tiny":    {EventsPerSec: 5e6, AllocsPerOp: 49116},
+			"incast-tiny": {EventsPerSec: 7e6, AllocsPerOp: 3000},
+		}),
+		report("PR 4", map[string]harness.BenchResult{
+			"rpc-tiny":    {EventsPerSec: 6e6, AllocsPerOp: 41545},
+			"incast-tiny": {EventsPerSec: 8e6, AllocsPerOp: 2900},
+			"tcp-large":   {EventsPerSec: 4e6, AllocsPerOp: 100000},
+		}),
+	}
+	svg := RenderTrajectory(reps, []string{"PR 3 (4cpu)", "PR 4 (4cpu)"})
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatalf("not an SVG document:\n%.200s", svg)
+	}
+	for _, want := range []string{"rpc-tiny", "incast-tiny", "tcp-large", "PR 3 (4cpu)", "PR 4 (4cpu)",
+		"events/sec", "allocations per run"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// tcp-large exists only in PR 4: it must contribute a point but no line.
+	if got := strings.Count(svg, "<polyline"); got != 4 { // 2 cases x 2 panels
+		t.Errorf("expected 4 polylines (2 full series x 2 panels), got %d", got)
+	}
+}
+
+// TestRenderGapSplitsLine checks that a case absent from a middle report
+// renders as two line segments with a visible gap — never an interpolated
+// value the missing report did not measure.
+func TestRenderGapSplitsLine(t *testing.T) {
+	reps := []*harness.BenchReport{
+		report("A", map[string]harness.BenchResult{"c": {EventsPerSec: 1e6, AllocsPerOp: 10}, "d": {EventsPerSec: 2e6, AllocsPerOp: 20}}),
+		report("B", map[string]harness.BenchResult{"d": {EventsPerSec: 2e6, AllocsPerOp: 20}}),
+		report("C", map[string]harness.BenchResult{"c": {EventsPerSec: 1e6, AllocsPerOp: 10}, "d": {EventsPerSec: 2e6, AllocsPerOp: 20}}),
+	}
+	svg := RenderTrajectory(reps, []string{"A", "B", "C"})
+	// Case "c" has a gap at B: no segment spans it, so only case "d"
+	// contributes polylines (one 3-point line per panel).
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("expected 2 polylines (only the gapless series draws lines), got %d", got)
+	}
+}
+
+// TestBenchNumOrdering pins the numeric BENCH_<n>.json ordering.
+func TestBenchNumOrdering(t *testing.T) {
+	if benchNum("BENCH_10.json") < benchNum("BENCH_3.json") {
+		t.Error("BENCH_10 must sort after BENCH_3")
+	}
+}

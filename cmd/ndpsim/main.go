@@ -13,6 +13,7 @@
 //	ndpsim -scenario incast -transport dcqcn -hosts 128 -degree 100 -flowsize 135000
 //	ndpsim -scenario permutation -transport mptcp -json
 //	ndpsim -scenario permutation -hosts 1024 -shards 8   # one sim, 8 cores
+//	ndpsim -scenario rpc -transport tcp -shards 4        # baselines shard too
 //
 //	ndpsim -bench                                # pinned performance suite
 //	ndpsim -bench -tiny -baseline BENCH_3.json   # CI regression gate
@@ -52,7 +53,7 @@ func main() {
 		degree    = flag.Int("degree", 0, "scenario incast fan-in / rpc conns per host (0 = default)")
 		flowsize  = flag.Int64("flowsize", 0, "scenario flow size in bytes (0 = default)")
 		repeats   = flag.Int("repeats", 1, "scenario repetitions aggregated into one result")
-		shards    = flag.Int("shards", 1, "scenario: shard each simulation across this many cores (ndp+fattree; results identical for any value)")
+		shards    = flag.Int("shards", 1, "scenario: shard each simulation across this many cores (every transport except dcqcn, on fattree/twotier/jellyfish; results identical for any value)")
 
 		bench      = flag.Bool("bench", false, "run the pinned benchmark suite, then exit")
 		tiny       = flag.Bool("tiny", false, "bench: run only the seconds-fast -tiny cases (the CI subset)")

@@ -35,9 +35,27 @@ type Receiver struct {
 }
 
 func newReceiver(st *Stack, flow uint64, peer int32) *Receiver {
-	r := &Receiver{Flow: flow, Peer: peer, st: st, total: -1}
-	r.fp = st.pacer.flowEntry(r, st.prioFlows[flow])
+	r := st.takeRetiredReceiver()
+	if r == nil {
+		r = &Receiver{st: st}
+		r.fp = st.pacer.flowEntry(r, false)
+	} else {
+		r.recycle()
+	}
+	r.Flow = flow
+	r.Peer = peer
+	r.total = -1
+	r.fp.prio = st.prioFlows[flow]
 	return r
+}
+
+// recycle resets a retired receiver to the zero state, keeping its stack,
+// its pull-queue entry (already drained — takeRetiredReceiver checked) and
+// the backing array of its arrival bitmap.
+func (r *Receiver) recycle() {
+	st, fp, got := r.st, r.fp, r.got[:0]
+	*r = Receiver{st: st, fp: fp, got: got}
+	*fp = flowPull{r: r}
 }
 
 // Receive handles data packets and trimmed headers from the sender.
@@ -142,6 +160,7 @@ func (r *Receiver) finish() {
 	if r.OnComplete != nil {
 		r.OnComplete(r)
 	}
+	r.st.retireReceiver(r)
 }
 
 // Complete reports whether all data has been received.

@@ -86,19 +86,23 @@ type Sender struct {
 }
 
 func newSender(st *Stack, opts FlowOpts, dst int32, size int64, paths [][]int16) *Sender {
-	s := &Sender{
-		Flow:     opts.Flow,
-		Dst:      dst,
-		st:       st,
-		size:     size,
-		paths:    paths,
-		pathAcks: make([]int64, len(paths)),
-		pathNaks: make([]int64, len(paths)),
-		pathLoss: make([]int64, len(paths)),
-		onDone:   opts.OnSenderDone,
-		started:  st.el.Now(),
-		probeSeq: -1,
+	s := st.takeRetiredSender()
+	if s == nil {
+		s = &Sender{st: st}
+		s.timer = sim.NewTimer(st.el, s.onTimeout)
+	} else {
+		s.recycle()
 	}
+	s.Flow = opts.Flow
+	s.Dst = dst
+	s.size = size
+	s.paths = paths
+	s.pathAcks = growZeroInt64(s.pathAcks, len(paths))
+	s.pathNaks = growZeroInt64(s.pathNaks, len(paths))
+	s.pathLoss = growZeroInt64(s.pathLoss, len(paths))
+	s.onDone = opts.OnSenderDone
+	s.started = st.el.Now()
+	s.probeSeq = -1
 	mtu := int64(st.cfg.MTU)
 	if size >= 0 {
 		s.total = (size + mtu - 1) / mtu
@@ -127,8 +131,32 @@ func newSender(st *Stack, opts FlowOpts, dst int32, size int64, paths [][]int16)
 	if burst := 2 * s.iw * int64(sim.TransmissionTime(st.cfg.MTU, st.Host.LinkRate())); sim.Time(burst) > s.rto {
 		s.rto = sim.Time(burst)
 	}
-	s.timer = sim.NewTimer(st.el, s.onTimeout)
 	s.repermute()
+	return s
+}
+
+// recycle resets a retired sender to the zero state while keeping its
+// identity-bound resources (stack, timer — whose callback closure already
+// points at this object) and the backing arrays of its per-packet and
+// per-path state, truncated to length zero for the next flow to regrow.
+func (s *Sender) recycle() {
+	st, timer := s.st, s.timer
+	state, sentAt, firstTx, lastPath := s.state[:0], s.sentAt[:0], s.firstTx[:0], s.lastPath[:0]
+	rtxq, permScratch := s.rtxq[:0], s.permScratch
+	pathAcks, pathNaks, pathLoss := s.pathAcks, s.pathNaks, s.pathLoss
+	*s = Sender{st: st, timer: timer,
+		state: state, sentAt: sentAt, firstTx: firstTx, lastPath: lastPath,
+		rtxq: rtxq, permScratch: permScratch,
+		pathAcks: pathAcks, pathNaks: pathNaks, pathLoss: pathLoss}
+}
+
+// growZeroInt64 returns s resized to n zeroed entries, reusing its backing
+// array when capacity allows.
+func growZeroInt64(s []int64, n int) []int64 {
+	s = s[:0]
+	for i := 0; i < n; i++ {
+		s = append(s, 0)
+	}
 	return s
 }
 
@@ -368,6 +396,7 @@ func (s *Sender) onAck(p *fabric.Packet) {
 		if s.onDone != nil {
 			s.onDone(s)
 		}
+		s.st.retireSender(s)
 	}
 }
 

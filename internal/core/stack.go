@@ -104,6 +104,20 @@ type Stack struct {
 
 	senders   map[uint64]*Sender
 	receivers map[uint64]*Receiver
+
+	// retiredS/retiredR are FIFO free-lists of completed flow state whose
+	// slice-backed per-packet arrays (and pull-queue entries) later flows
+	// reuse. A retired object is only taken once quiescent: at least two
+	// maximum segment lifetimes past its completion — by the same
+	// datacenter-MSL argument that bounds time-wait (§3.2.2), no packet
+	// for the flow can still exist in the network — with its timer
+	// disarmed and its pull entry drained. Until then the old flow stays
+	// registered, so late duplicates and stale headers are handled
+	// exactly as before pooling existed. Closed-loop workloads (the rpc
+	// scenario starts thousands of short flows per host) were allocating
+	// a full Sender/Receiver pair plus packet-state arrays per StartFlow.
+	retiredS []*Sender
+	retiredR []*Receiver
 }
 
 // NewStack installs an NDP endpoint on a host. pathsTo must enumerate source
@@ -213,6 +227,66 @@ func (st *Stack) Sender(flow uint64) *Sender { return st.senders[flow] }
 // with the same id is rejected.
 func (st *Stack) enterTimeWait(flow uint64) {
 	st.timeWait[flow] = st.el.Now() + st.msl
+}
+
+// retireSender parks a completed sender on the free-list; takeRetiredSender
+// may hand its state to a later flow once it is quiescent.
+func (st *Stack) retireSender(s *Sender) { st.retiredS = append(st.retiredS, s) }
+
+// retireReceiver parks a completed receiver on the free-list.
+func (st *Stack) retireReceiver(r *Receiver) { st.retiredR = append(st.retiredR, r) }
+
+// takeRetiredSender pops the oldest retired sender if it is safely
+// reusable: complete, timer disarmed, and at least 2*MSL past completion
+// (no packet for the old flow can still exist). The old flow is
+// unregistered at that point — any later arrival for it would have been a
+// no-op on the completed sender anyway. Returns nil when the head is not
+// yet quiescent; the list is FIFO, so the head is always the oldest.
+func (st *Stack) takeRetiredSender() *Sender {
+	if len(st.retiredS) == 0 {
+		return nil
+	}
+	s := st.retiredS[0]
+	if s.timer.Pending() || st.el.Now() < s.CompletedAt+2*st.msl {
+		return nil
+	}
+	st.retiredS = st.retiredS[1:]
+	st.reclaimFlow(s.Flow)
+	delete(st.senders, s.Flow)
+	return s
+}
+
+// reclaimFlow removes a reused flow's demux registration and pins its id
+// in time-wait forever. Flow ids are never legitimately reused (NextFlowID
+// and the per-source-host counters are monotone), so a packet for the id
+// arriving after reclamation can only be a pathologically late duplicate —
+// the permanent time-wait entry makes listen() reject it instead of
+// resurrecting a ghost receiver that would re-fire the flow's completion
+// callbacks. The per-flow observer hooks are dropped for the same reason.
+func (st *Stack) reclaimFlow(flow uint64) {
+	st.demux.Unregister(flow)
+	st.timeWait[flow] = sim.Infinity
+	delete(st.flowDone, flow)
+	delete(st.flowData, flow)
+	delete(st.prioFlows, flow)
+}
+
+// takeRetiredReceiver pops the oldest retired receiver if quiescent: 2*MSL
+// past completion and its pull-queue entry fully drained (a stale queued
+// entry still holds the pointer, and reusing it would release phantom pull
+// credit for the new flow).
+func (st *Stack) takeRetiredReceiver() *Receiver {
+	if len(st.retiredR) == 0 {
+		return nil
+	}
+	r := st.retiredR[0]
+	if r.fp.queued || st.el.Now() < r.CompletedAt+2*st.msl {
+		return nil
+	}
+	st.retiredR = st.retiredR[1:]
+	st.reclaimFlow(r.Flow)
+	delete(st.receivers, r.Flow)
+	return r
 }
 
 // sendControl emits an ACK/NACK/PULL toward peer on a random source route

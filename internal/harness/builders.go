@@ -104,6 +104,48 @@ type TCPNet struct {
 	Cfg   tcp.Config
 
 	nextFlow uint64
+
+	// Per-source-host flow-id counters and connect-time RNG streams for
+	// the uniform StartFlow surface. Flows may start mid-run from any
+	// shard (closed-loop restarts), so this state must be owned by the
+	// source host's shard: a net-wide counter or stream would be both a
+	// data race and an ordering entanglement — its values would depend on
+	// which shard's flow start happened to execute first. The legacy
+	// Flow/MPTCPFlow methods (single-domain figure runners) still use the
+	// shared Rand/nextFlow.
+	srcSeq  []uint64
+	srcRand []*sim.Rand
+}
+
+// srcFlowID allocates `stride` consecutive flow ids from the source host's
+// private counter; ids are globally unique because the host index occupies
+// the high word.
+func (t *TCPNet) srcFlowID(src int, stride uint64) uint64 {
+	id := uint64(src+1)<<32 | (t.srcSeq[src] + 1)
+	t.srcSeq[src] += stride
+	return id
+}
+
+// newTCPNet wires the shared TCP-family state onto a built cluster: a
+// demux per host, the legacy net-wide stream, and the per-source-host
+// counters and streams that the uniform StartFlow surface requires. Every
+// TCPNet construction site must go through here — a literal &TCPNet{...}
+// would leave srcSeq/srcRand nil and StartFlow would panic.
+func newTCPNet(c topo.Cluster, cfg tcp.Config, seed uint64) *TCPNet {
+	n := &TCPNet{C: c, Cfg: cfg, Rand: sim.NewRand(seed*48271 + 5), nextFlow: 1}
+	n.srcSeq = make([]uint64, c.NumHosts())
+	n.srcRand = make([]*sim.Rand, c.NumHosts())
+	for i := range n.srcRand {
+		// One connect-time stream per source host, created up front
+		// (mid-run creation would race across shard goroutines).
+		n.srcRand[i] = sim.NewRand(seed*48271 + 5 + (uint64(i)+1)*0x9e3779b97f4a7c15)
+	}
+	for _, h := range c.HostList() {
+		d := fabric.NewDemux()
+		h.Stack = d
+		n.Demux = append(n.Demux, d)
+	}
+	return n
 }
 
 // BuildTCPFamily constructs a topology with the given switch queues and a
@@ -227,7 +269,9 @@ type PHostNet struct {
 	C     topo.Cluster
 	Hosts []*phost.Host
 
-	nextFlow uint64
+	// srcSeq holds per-source-host flow-id counters (see TCPNet.srcSeq for
+	// why a net-wide counter cannot survive sharding).
+	srcSeq []uint64
 }
 
 // BuildPHost constructs the §6.2 comparison network: 8-packet drop-tail

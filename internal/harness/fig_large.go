@@ -6,7 +6,6 @@ import (
 	"ndp/internal/core"
 	"ndp/internal/dcqcn"
 	"ndp/internal/dctcp"
-	"ndp/internal/fabric"
 	"ndp/internal/mptcp"
 	"ndp/internal/sim"
 	"ndp/internal/stats"
@@ -659,12 +658,7 @@ func fig22(o Options, r *Result) {
 			base.SwitchQueue = dropTail(200 * 9000)
 			ft := topo.NewFatTree(k, base)
 			ft.DegradeLink(0, 0, 1e9)
-			tn := &TCPNet{C: ft, Rand: sim.NewRand(seed*48271 + 5), nextFlow: 1}
-			for _, h := range ft.Hosts {
-				d := fabric.NewDemux()
-				h.Stack = d
-				tn.Demux = append(tn.Demux, d)
-			}
+			tn := newTCPNet(ft, tcp.Config{}, seed)
 			dst := workload.Permutation(ft.NumHosts(), sim.NewRand(seed))
 			cfg := mptcp.DefaultConfig()
 			meters := make([]*meter, 0, len(dst))
@@ -679,12 +673,7 @@ func fig22(o Options, r *Result) {
 			base.SwitchQueue = dctcp.QueueFactory(9000)
 			ft := topo.NewFatTree(k, base)
 			ft.DegradeLink(0, 0, 1e9)
-			tn := &TCPNet{C: ft, Rand: sim.NewRand(seed*48271 + 5), nextFlow: 1}
-			for _, h := range ft.Hosts {
-				d := fabric.NewDemux()
-				h.Stack = d
-				tn.Demux = append(tn.Demux, d)
-			}
+			tn := newTCPNet(ft, tcp.Config{}, seed)
 			dst := workload.Permutation(ft.NumHosts(), sim.NewRand(seed))
 			meters := make([]*meter, 0, len(dst))
 			for src, d := range dst {

@@ -57,9 +57,21 @@ type Net interface {
 	Cluster() topo.Cluster
 	// StartFlow begins a transfer of size bytes from host src to host
 	// dst; size < 0 runs an unbounded (permutation-style) flow.
+	//
+	// StartFlow is shard-safe for every transport except DCQCN: called
+	// mid-run in the source host's scheduling domain, it touches only
+	// source-shard state inline and delivers receiver-side setup through
+	// the cluster's deferred command channel, so closed-loop workloads
+	// run bit-identically on any shard layout.
 	StartFlow(src, dst int, size int64, opts StartOpts) Flow
+	// DoneHost reports the host (src or dst) in whose scheduling domain
+	// StartOpts.OnDone runs for a src->dst flow: the receiver for
+	// transports that detect completion on arrival (NDP, TCP family,
+	// DCQCN), the sender for ack-counting ones (pHost). Sharded workload
+	// drivers route per-completion bookkeeping through this host's shard.
+	DoneHost(src, dst int) int
 	// Close releases transport timers (needed after unbounded DCQCN
-	// flows; a no-op elsewhere).
+	// flows) and the cluster's engine resources (sharded-runner workers).
 	Close()
 }
 
@@ -107,7 +119,10 @@ func (t NDPTransport) Build(build BuildFunc, base topo.Config) Net {
 func (n *NDPNet) Cluster() topo.Cluster { return n.C }
 
 // Close implements Net (no transport timers to stop).
-func (n *NDPNet) Close() {}
+func (n *NDPNet) Close() { n.C.Close() }
+
+// DoneHost implements Net: NDP completion fires at the receiver.
+func (n *NDPNet) DoneHost(src, dst int) int { return dst }
 
 // StartFlow implements Net. The sender half starts immediately on the
 // source host; the receiver-side observers (pull priority, completion and
@@ -156,13 +171,7 @@ func (t TCPTransport) Name() string {
 func (t TCPTransport) Build(build BuildFunc, base topo.Config) Net {
 	base.SwitchQueue = t.Queue
 	c := build(base)
-	n := &TCPNet{C: c, Cfg: t.Cfg, Rand: sim.NewRand(base.Seed*48271 + 5), nextFlow: 1}
-	for _, h := range c.HostList() {
-		d := fabric.NewDemux()
-		h.Stack = d
-		n.Demux = append(n.Demux, d)
-	}
-	return n
+	return newTCPNet(c, t.Cfg, base.Seed)
 }
 
 // DCTCPTransport returns the paper's DCTCP baseline for the given MTU:
@@ -184,19 +193,48 @@ func PlainTCPTransport(mtu int) TCPTransport {
 func (t *TCPNet) Cluster() topo.Cluster { return t.C }
 
 // Close implements Net.
-func (t *TCPNet) Close() {}
+func (t *TCPNet) Close() { t.C.Close() }
 
-// StartFlow implements Net.
+// DoneHost implements Net: TCP-family completion fires at the receiver
+// (FIN acknowledged, stream fully received).
+func (t *TCPNet) DoneHost(src, dst int) int { return dst }
+
+// StartFlow implements Net. The sender half starts immediately on the
+// source host, drawing its flow id and both path choices from the source's
+// private stream; the receiver half (state, reverse route, observers) is
+// created on the destination's scheduling domain one link delay later via
+// the cluster's command channel — always before the first SYN, which is at
+// least a serialization plus two propagation delays behind it. The reverse
+// route is fixed by a raw value drawn at the source and reduced modulo the
+// destination's path count inside the deferred command, because the path
+// enumeration cache is per source-host shard and must only be touched from
+// its own domain.
 func (t *TCPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
-	var onDone func(*tcp.Receiver)
-	if opts.OnDone != nil {
-		done := opts.OnDone
-		onDone = func(r *tcp.Receiver) { done(r.CompletedAt) }
+	flow := t.srcFlowID(src, 1)
+	hs, hd := t.C.HostList()[src], t.C.HostList()[dst]
+	var source tcp.DataSource
+	if size < 0 {
+		source = unboundedSource{mss: t.Cfg.MSS}
+	} else {
+		source = tcp.NewFixedSource(size, t.Cfg.MSS)
 	}
-	snd, rcv := t.Flow(src, dst, size, t.Cfg, onDone)
-	if opts.OnData != nil {
-		rcv.OnData = opts.OnData
-	}
+	r := t.srcRand[src]
+	fwd := t.C.Paths(hs.ID, hd.ID)
+	snd := tcp.NewSender(hs, hd.ID, flow, fwd[r.Intn(len(fwd))], source, t.Cfg)
+	t.Demux[src].Register(flow, snd)
+	revPick := r.Uint64()
+	onDone, onData := opts.OnDone, opts.OnData
+	c := t.C
+	c.Defer(src, dst, hs.EventList().Now()+c.LinkDelay(), func() {
+		revs := c.Paths(hd.ID, hs.ID)
+		rcv := tcp.NewReceiver(hd, hs.ID, flow, revs[revPick%uint64(len(revs))])
+		rcv.OnData = onData
+		if onDone != nil {
+			rcv.OnComplete = func(r *tcp.Receiver) { onDone(r.CompletedAt) }
+		}
+		t.Demux[dst].Register(flow, rcv)
+	})
+	snd.Start()
 	return tcpFlow{snd}
 }
 
@@ -238,27 +276,36 @@ type MPTCPNet struct {
 	Cfg mptcp.Config
 }
 
-// StartFlow implements Net.
+// StartFlow implements Net. Construction is split across the shard cut:
+// the subflow senders (forward-path permutation from the source's stream)
+// start on the source host's domain, and the receivers attach on the
+// destination's domain one link delay later — before any subflow's SYN
+// arrives — permuting reverse paths with a generator seeded from a value
+// drawn at the source, so the choice is deterministic without sharing a
+// stream across shards.
 func (m *MPTCPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
-	var onDone func(*mptcp.Flow)
+	// Reserve the same stride NewSenderHalf will register: a zero-value
+	// Config defaults to 8 subflows there, and under-reserving would let
+	// the next flow's ids collide with this one's live subflows.
+	subflows := m.Cfg.Subflows
+	if subflows <= 0 {
+		subflows = 8
+	}
+	flow := m.srcFlowID(src, uint64(subflows)+1)
+	hs, hd := m.C.HostList()[src], m.C.HostList()[dst]
+	r := m.srcRand[src]
+	f := mptcp.NewSenderHalf(hs, hd.ID, m.Demux[src], flow, size, m.C.Paths(hs.ID, hd.ID), r, m.Cfg)
 	if opts.OnDone != nil {
 		done := opts.OnDone
-		onDone = func(f *mptcp.Flow) { done(f.CompletedAt) }
+		f.OnComplete = func(fl *mptcp.Flow) { done(fl.CompletedAt) }
 	}
-	f := m.MPTCPFlow(src, dst, size, m.Cfg, onDone)
-	if opts.OnData != nil {
-		for _, r := range f.Receivers {
-			// mptcp wires its own OnData for completion accounting;
-			// chain the observer rather than replacing it.
-			inner, obs := r.OnData, opts.OnData
-			r.OnData = func(n int64) {
-				if inner != nil {
-					inner(n)
-				}
-				obs(n)
-			}
-		}
-	}
+	revSeed := r.Uint64()
+	onData := opts.OnData
+	c := m.C
+	c.Defer(src, dst, hs.EventList().Now()+c.LinkDelay(), func() {
+		f.AttachReceivers(hd, m.Demux[dst], c.Paths(hd.ID, hs.ID), sim.NewRand(revSeed), onData)
+	})
+	f.Start()
 	return f
 }
 
@@ -307,7 +354,15 @@ func (t DCQCNTransport) Build(build BuildFunc, base topo.Config) Net {
 func (d *DCQCNNet) Cluster() topo.Cluster { return d.C }
 
 // Close implements Net: it stops every sender's rate timers.
-func (d *DCQCNNet) Close() { d.StopAll() }
+func (d *DCQCNNet) Close() {
+	d.StopAll()
+	d.C.Close()
+}
+
+// DoneHost implements Net: DCQCN completion fires at the receiver. (The
+// lossless fabric cannot shard — PFC pause has zero lookahead — so this
+// only ever matters for single-domain bookkeeping.)
+func (d *DCQCNNet) DoneHost(src, dst int) int { return dst }
 
 // StartFlow implements Net.
 func (d *DCQCNNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
@@ -349,7 +404,7 @@ func (t PHostTransport) Build(build BuildFunc, base topo.Config) Net {
 	}
 	base.SwitchQueue = dropTail(8 * mtu)
 	c := build(base)
-	p := &PHostNet{C: c, nextFlow: 1}
+	p := &PHostNet{C: c, srcSeq: make([]uint64, c.NumHosts())}
 	for _, h := range c.HostList() {
 		ph := phost.NewHost(h, cfg)
 		ph.Listen(nil)
@@ -362,13 +417,22 @@ func (t PHostTransport) Build(build BuildFunc, base topo.Config) Net {
 func (p *PHostNet) Cluster() topo.Cluster { return p.C }
 
 // Close implements Net.
-func (p *PHostNet) Close() {}
+func (p *PHostNet) Close() { p.C.Close() }
+
+// DoneHost implements Net: pHost completion fires at the *sender* (it
+// learns completion by counting acks; the receiver cannot tell a dropped
+// packet from one not yet arrived).
+func (p *PHostNet) DoneHost(src, dst int) int { return src }
 
 // StartFlow implements Net. pHost has no per-byte goodput observer, so
 // StartOpts.OnData is ignored; AckedBytes meters progress instead.
+// Connect touches only source-host state — the receiver materializes on
+// the destination's shard when the first data packet arrives (pHost's
+// listen hook) — so the only shard hazard was the flow-id counter, now
+// per source host.
 func (p *PHostNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
-	flow := p.nextFlow
-	p.nextFlow++
+	p.srcSeq[src]++
+	flow := uint64(src+1)<<32 | p.srcSeq[src]
 	if size < 0 {
 		size = 1 << 40 // effectively unbounded
 	}

@@ -43,6 +43,7 @@ type Flow struct {
 	Senders   []*tcp.Sender
 	Receivers []*tcp.Receiver
 
+	subflows    int
 	received    int64
 	complete    bool
 	CompletedAt sim.Time
@@ -67,12 +68,31 @@ func (s *unboundedSource) Exhausted() bool { return false }
 // to distinct paths chosen by rand (wrapping if there are fewer paths than
 // subflows). Flows are registered on the given demuxes under ids
 // flow..flow+Subflows-1.
+//
+// New touches both hosts' state, so it is a single-scheduling-domain
+// convenience. Sharded engines use the split construction: NewSenderHalf
+// on the source's domain, then AttachReceivers deferred onto the
+// destination's.
 func New(src, dst *fabric.Host, srcDemux, dstDemux *fabric.Demux, flow uint64,
 	size int64, paths, revPaths [][]int16, rand *sim.Rand, cfg Config) *Flow {
+	f := NewSenderHalf(src, dst.ID, srcDemux, flow, size, paths, rand, cfg)
+	f.AttachReceivers(dst, dstDemux, revPaths, rand, nil)
+	return f
+}
+
+// NewSenderHalf builds the source-side half of an MPTCP flow: the subflow
+// senders on their permuted forward paths, registered on srcDemux and
+// coupled by LIA, but not yet started. It touches only source-host state
+// and draws only from rand (the forward permutation), so it is safe to run
+// in the source's scheduling domain of a sharded engine; complete the flow
+// with AttachReceivers in the destination's domain before the first data
+// packet arrives.
+func NewSenderHalf(src *fabric.Host, dst int32, srcDemux *fabric.Demux, flow uint64,
+	size int64, paths [][]int16, rand *sim.Rand, cfg Config) *Flow {
 	if cfg.Subflows <= 0 {
 		cfg.Subflows = 8
 	}
-	f := &Flow{Flow: flow, Size: size}
+	f := &Flow{Flow: flow, Size: size, subflows: cfg.Subflows}
 
 	var source tcp.DataSource
 	if size < 0 {
@@ -82,13 +102,35 @@ func New(src, dst *fabric.Host, srcDemux, dstDemux *fabric.Demux, flow uint64,
 	}
 
 	fwdPerm := rand.Perm(len(paths))
-	revPerm := rand.Perm(len(revPaths))
 	for i := 0; i < cfg.Subflows; i++ {
 		id := flow + uint64(i)
 		fwd := paths[fwdPerm[i%len(fwdPerm)]]
+		snd := tcp.NewSender(src, dst, id, fwd, source, cfg.TCP)
+		srcDemux.Register(id, snd)
+		f.Senders = append(f.Senders, snd)
+	}
+	// Couple congestion avoidance across the subflows (LIA).
+	for _, snd := range f.Senders {
+		snd.SetIncrease(f.liaIncrease)
+	}
+	return f
+}
+
+// AttachReceivers builds the destination-side half: one receiver per
+// subflow on reverse paths permuted by rand, registered on dstDemux, with
+// the completion accounting chained to the optional onData observer. It
+// touches only destination-host state (plus the Flow's receiver-owned
+// fields), so a sharded engine defers it onto the destination's domain —
+// with a rand seeded from a value drawn in the source's domain, which
+// keeps the reverse-path choice deterministic without sharing a stream
+// across shards.
+func (f *Flow) AttachReceivers(dst *fabric.Host, dstDemux *fabric.Demux,
+	revPaths [][]int16, rand *sim.Rand, onData func(n int64)) {
+	revPerm := rand.Perm(len(revPaths))
+	for i := 0; i < f.subflows; i++ {
+		id := f.Flow + uint64(i)
 		rev := revPaths[revPerm[i%len(revPerm)]]
-		snd := tcp.NewSender(src, dst.ID, id, fwd, source, cfg.TCP)
-		rcv := tcp.NewReceiver(dst, src.ID, id, rev)
+		rcv := tcp.NewReceiver(dst, f.Senders[i].Host().ID, id, rev)
 		rcv.OnData = func(n int64) {
 			f.received += n
 			if f.Size >= 0 && f.received >= f.Size && !f.complete {
@@ -98,17 +140,13 @@ func New(src, dst *fabric.Host, srcDemux, dstDemux *fabric.Demux, flow uint64,
 					f.OnComplete(f)
 				}
 			}
+			if onData != nil {
+				onData(n)
+			}
 		}
-		srcDemux.Register(id, snd)
 		dstDemux.Register(id, rcv)
-		f.Senders = append(f.Senders, snd)
 		f.Receivers = append(f.Receivers, rcv)
 	}
-	// Couple congestion avoidance across the subflows (LIA).
-	for _, snd := range f.Senders {
-		snd.SetIncrease(f.liaIncrease)
-	}
-	return f
 }
 
 // Start launches every subflow.

@@ -17,12 +17,19 @@ import (
 //
 //  1. every cross-shard interaction is emitted as a message whose delivery
 //     time is at least Lookahead after the emitting event, so a message
-//     produced inside window [T, T+L) is always delivered at or after T+L
-//     and the boundary exchange never injects into the past;
+//     produced by an event at time t is always delivered at or after
+//     t + Lookahead and the boundary exchange never injects into the past;
 //  2. cross-shard messages are scheduled with canonical ord keys
 //     (DeliveryOrd/CommandOrd), so their firing order at equal timestamps
 //     does not depend on which side of a shard boundary they crossed —
 //     which is what makes an N-shard run bit-identical to a 1-shard run.
+//
+// Windows are adaptive: each shard gets its own per-window horizon derived
+// from every shard's next pending event time (see windowLimits), so the
+// fixed-lookahead window is only the worst case. When the mailboxes stay
+// empty because peer shards have nothing pending soon, horizons widen
+// automatically — an idle-peer phase costs one barrier per stretch instead
+// of one barrier per lookahead of virtual time.
 
 // Runner is the engine surface a driver needs: both *EventList (the
 // single-list engine) and *MultiRunner (the sharded one) implement it.
@@ -36,8 +43,8 @@ type Runner interface {
 	Executed() uint64
 }
 
-// MultiRunner advances a set of shard EventLists in conservative lockstep
-// windows of Lookahead simulated time.
+// MultiRunner advances a set of shard EventLists in conservative windows
+// bounded by the cross-shard lookahead.
 type MultiRunner struct {
 	// Lists are the per-shard schedulers, index = shard id.
 	Lists []*EventList
@@ -51,6 +58,17 @@ type MultiRunner struct {
 	// execution is bit-identical (behavior is fixed by event keys, not by
 	// the execution schedule); parallel is the point of sharding.
 	Parallel bool
+
+	// limits is the per-shard window horizon scratch, recomputed each
+	// window by windowLimits.
+	limits []Time
+	// work feeds each persistent shard worker its next window horizon.
+	// Workers are started lazily on the first parallel window and live
+	// until Close, so the steady state spawns no goroutines — PR 4 paid a
+	// goroutine spawn per busy shard per window, which showed up as
+	// allocation and scheduler churn on short windows.
+	work []chan Time
+	wg   sync.WaitGroup
 }
 
 // NewMultiRunner builds a runner over the given shard lists. Parallel
@@ -62,6 +80,17 @@ func NewMultiRunner(lists []*EventList, lookahead Time, exchange func()) *MultiR
 	}
 	return &MultiRunner{Lists: lists, Lookahead: lookahead, Exchange: exchange,
 		Parallel: runtime.GOMAXPROCS(0) > 1}
+}
+
+// Close stops the persistent shard workers (if any were started). The
+// runner remains usable afterwards — the next parallel window simply
+// restarts them — so Close is a resource release, not a terminal state.
+// It is safe to call on a runner that never went parallel.
+func (mr *MultiRunner) Close() {
+	for _, ch := range mr.work {
+		close(ch)
+	}
+	mr.work = nil
 }
 
 // Now returns the farthest-behind shard clock (all clocks are equal after
@@ -96,10 +125,71 @@ func (mr *MultiRunner) nextAt() Time {
 	return at
 }
 
+// satAdd adds a latency to a timestamp without overflowing Infinity.
+func satAdd(t, d Time) Time {
+	if t >= Infinity-d {
+		return Infinity
+	}
+	return t + d
+}
+
+// windowLimits computes each shard's horizon for the next window from the
+// snapshot of next-event times. Shard i may safely run every event with a
+// timestamp strictly below
+//
+//	limit_i = min( min_{j != i}(N_j + L),  N_i + 2L )
+//
+// where N_j is shard j's earliest pending event and L the lookahead:
+//   - any message another shard j emits this window comes from an event at
+//     time >= N_j, so it arrives at >= N_j + L >= limit_i;
+//   - any *future* message toward i is a reaction to something emitted this
+//     window — a chain i -> j -> i costs at least 2L (each hop is one
+//     lookahead), and chains through more shards cost more — so it arrives
+//     at >= N_i + 2L >= limit_i.
+//
+// Nothing injected at this or any later barrier can therefore land in
+// shard i's past. When peer shards are idle (N_j far ahead or Infinity),
+// limit_i widens well beyond the fixed lookahead — this is the adaptive
+// widening that makes empty-mailbox phases cheap — and when every shard is
+// equally busy it degrades exactly to the classic min(N)+L window.
+func (mr *MultiRunner) windowLimits(deadline Time) {
+	if mr.limits == nil {
+		mr.limits = make([]Time, len(mr.Lists))
+	}
+	// min and second-min of N_j + L give min_{j != i} in O(shards).
+	min1, min2 := Infinity, Infinity
+	argmin := -1
+	for i, el := range mr.Lists {
+		h := satAdd(el.NextAt(), mr.Lookahead)
+		if h < min1 {
+			min1, min2, argmin = h, min1, i
+		} else if h < min2 {
+			min2 = h
+		}
+	}
+	// The +1 makes the exclusive window bound inclusive of events at
+	// exactly the deadline, still within the conservative limit.
+	bound := deadline + 1
+	for i, el := range mr.Lists {
+		peers := min1
+		if i == argmin {
+			peers = min2
+		}
+		limit := satAdd(satAdd(el.NextAt(), mr.Lookahead), mr.Lookahead)
+		if peers < limit {
+			limit = peers
+		}
+		if bound < limit {
+			limit = bound
+		}
+		mr.limits[i] = limit
+	}
+}
+
 // RunUntil drives windows until every event with a timestamp <= deadline
 // has fired, then sets all shard clocks to the deadline. Empty stretches of
-// virtual time are skipped: each window starts at the earliest pending
-// event, so idle phases (closed-loop gaps) cost no barriers.
+// virtual time are skipped: per-shard horizons derive from the earliest
+// pending events, so idle phases (closed-loop gaps) cost no barriers.
 func (mr *MultiRunner) RunUntil(deadline Time) {
 	// Drain the mailboxes before choosing the first window: setup code
 	// (flow priming on the coordinator goroutine, between runs) may have
@@ -108,18 +198,9 @@ func (mr *MultiRunner) RunUntil(deadline Time) {
 	if mr.Exchange != nil {
 		mr.Exchange()
 	}
-	for {
-		start := mr.nextAt()
-		if start > deadline {
-			break
-		}
-		limit := start + mr.Lookahead
-		// The +1 makes the exclusive window bound inclusive of events at
-		// exactly the deadline, still within the conservative limit.
-		if d := deadline + 1; d < limit {
-			limit = d
-		}
-		mr.runWindow(limit)
+	for mr.nextAt() <= deadline {
+		mr.windowLimits(deadline)
+		mr.runWindow()
 		if mr.Exchange != nil {
 			mr.Exchange()
 		}
@@ -129,13 +210,14 @@ func (mr *MultiRunner) RunUntil(deadline Time) {
 	}
 }
 
-// runWindow executes one window on every shard with pending work.
-func (mr *MultiRunner) runWindow(limit Time) {
-	// Run single-shard windows inline: goroutine handoff costs more than
-	// it buys when only one shard is busy.
+// runWindow executes one window: every shard runs its pending events up to
+// its own precomputed horizon.
+func (mr *MultiRunner) runWindow() {
+	// Run single-shard windows inline: worker handoff costs more than it
+	// buys when only one shard is busy.
 	nBusy := 0
-	for _, el := range mr.Lists {
-		if el.NextAt() < limit {
+	for i, el := range mr.Lists {
+		if el.NextAt() < mr.limits[i] {
 			nBusy++
 		}
 	}
@@ -143,21 +225,40 @@ func (mr *MultiRunner) runWindow(limit Time) {
 		return
 	}
 	if nBusy == 1 || !mr.Parallel {
-		for _, el := range mr.Lists {
-			el.RunBefore(limit)
+		for i, el := range mr.Lists {
+			el.RunBefore(mr.limits[i])
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for _, el := range mr.Lists {
-		if el.NextAt() >= limit {
+	if mr.work == nil {
+		mr.startWorkers()
+	}
+	for i, el := range mr.Lists {
+		if el.NextAt() >= mr.limits[i] {
 			continue
 		}
-		wg.Add(1)
-		go func(el *EventList) {
-			defer wg.Done()
-			el.RunBefore(limit)
-		}(el)
+		mr.wg.Add(1)
+		mr.work[i] <- mr.limits[i]
 	}
-	wg.Wait()
+	mr.wg.Wait()
+}
+
+// startWorkers spawns one persistent goroutine per shard, parked on a
+// channel between windows. The WaitGroup barrier at the end of each window
+// publishes every shard's writes to the coordinator (and, through the next
+// window's sends, to every other worker), which is the happens-before edge
+// the single-writer mailboxes rely on.
+func (mr *MultiRunner) startWorkers() {
+	mr.work = make([]chan Time, len(mr.Lists))
+	for i := range mr.Lists {
+		ch := make(chan Time, 1)
+		mr.work[i] = ch
+		el := mr.Lists[i]
+		go func() {
+			for limit := range ch {
+				el.RunBefore(limit)
+				mr.wg.Done()
+			}
+		}()
+	}
 }

@@ -156,6 +156,7 @@ func runRefSharded(seed uint64, shards int, until Time, serial bool) *refWorld {
 	mr.Parallel = !serial
 	seedStimuli(w)
 	mr.RunUntil(until)
+	mr.Close()
 	return w
 }
 

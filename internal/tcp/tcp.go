@@ -176,6 +176,9 @@ func NewSender(host *fabric.Host, dst int32, flow uint64, path []int16, source D
 // SetIncrease overrides congestion-avoidance growth (MPTCP's LIA).
 func (s *Sender) SetIncrease(f IncreaseFunc) { s.increase = f }
 
+// Host returns the host this sender transmits from.
+func (s *Sender) Host() *fabric.Host { return s.host }
+
 // Cwnd returns the current congestion window in packets.
 func (s *Sender) Cwnd() float64 { return s.cwnd }
 

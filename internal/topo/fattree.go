@@ -67,7 +67,7 @@ func NewFatTreeOversub(k, oversub int, cfg Config) *FatTree {
 		shards = k // at most one shard per pod
 	}
 	ft.initShards(cfg, shards)
-	shardOfPod := func(pod int) int { return pod * ft.Shards() / k }
+	shardOfPod := func(pod int) int { return groupShard(pod, k, ft.Shards()) }
 
 	half := k / 2
 	nPods := k
@@ -107,7 +107,7 @@ func NewFatTreeOversub(k, oversub int, cfg Config) *FatTree {
 	for c := 0; c < nCores; c++ {
 		// Cores belong to no pod; spread them across shards so the core
 		// layer's work parallelizes too.
-		ft.Cores = append(ft.Cores, newSwitch(levelCore, -1, c, c*ft.Shards()/nCores, fmt.Sprintf("core%d", c)))
+		ft.Cores = append(ft.Cores, newSwitch(levelCore, -1, c, groupShard(c, nCores, ft.Shards()), fmt.Sprintf("core%d", c)))
 	}
 
 	// Hosts live with their pod's shard.

@@ -27,12 +27,22 @@ type Jellyfish struct {
 	adj [][]int // adjacency: switch -> neighbor switch ids
 
 	// port layout per switch: [0,H) host ports, then one port per adj entry.
-	distCache map[int32][]int // per destination switch: BFS distances
+	// dists[d] holds BFS distances from every switch to switch d. It is
+	// precomputed at build time and read-only afterwards: routing consults
+	// it per packet from every shard, so a lazily-filled cache would be a
+	// cross-shard data race.
+	dists [][]int
 }
 
 // NewJellyfish builds a connected random regular topology. n*degree must be
 // even; degree >= 2. maxPaths bounds the per-pair path enumeration
 // (default 8).
+//
+// With cfg.Shards > 1 the random graph is split by greedyEdgeCutParts into
+// balanced BFS-grown switch regions, each owning its own event list; hosts
+// live with their switch. Any inter-switch link whose endpoints land in
+// different regions crosses the cut, so the conservative lookahead is the
+// link propagation delay. Shards is clamped to the switch count.
 func NewJellyfish(n, hostsPerSwitch, degree, maxPaths int, cfg Config) *Jellyfish {
 	if n < 3 || degree < 2 || n*degree%2 != 0 {
 		panic(fmt.Sprintf("topo: invalid Jellyfish n=%d degree=%d", n, degree))
@@ -42,13 +52,18 @@ func NewJellyfish(n, hostsPerSwitch, degree, maxPaths int, cfg Config) *Jellyfis
 	}
 	cfg = cfg.withDefaults()
 	j := &Jellyfish{NSwitches: n, HostsPerSwitch: hostsPerSwitch, Degree: degree, MaxPaths: maxPaths}
-	j.init(cfg)
-	j.distCache = make(map[int32][]int)
+	shards := cfg.Shards
+	if shards > n {
+		shards = n // at most one shard per switch
+	}
+	j.initShards(cfg, shards)
 
 	j.adj = randomRegularGraph(n, degree, j.Rand)
+	j.swShard = greedyEdgeCutParts(j.adj, j.Shards())
+	j.precomputeDists()
 
 	for s := 0; s < n; s++ {
-		sw := fabric.NewSwitch(j.EL, s, fmt.Sprintf("jf%d", s))
+		sw := fabric.NewSwitch(j.ShardEventList(j.swShard[s]), s, fmt.Sprintf("jf%d", s))
 		sw.Route = j.route
 		j.Switches = append(j.Switches, sw)
 		j.switchRand(s)
@@ -56,22 +71,30 @@ func NewJellyfish(n, hostsPerSwitch, degree, maxPaths int, cfg Config) *Jellyfis
 			sw.EnableLossless(cfg.LosslessLimit, cfg.PFCXoff, cfg.PFCXon)
 		}
 	}
-	newPort := func(name string, q fabric.Queue) *fabric.Port {
-		p := fabric.NewPort(j.EL, name, q, cfg.LinkRateBps, cfg.LinkDelay)
+	newPort := func(shard int, name string, q fabric.Queue) *fabric.Port {
+		p := fabric.NewPort(j.ShardEventList(shard), name, q, cfg.LinkRateBps, cfg.LinkDelay)
 		p.UID = j.allocPortUID()
 		return p
 	}
-	// Hosts and host ports.
+	wire := func(p *fabric.Port, from, to int, dst fabric.Sink) {
+		link(p, dst)
+		if from != to {
+			p.Cross = j.noteCrossLink(from, to, p.Delay)
+		}
+	}
+	// Hosts and host ports: hosts always share their switch's shard, so
+	// these links never cross the cut.
 	for s := 0; s < n; s++ {
 		for o := 0; o < hostsPerSwitch; o++ {
 			id := int32(s*hostsPerSwitch + o)
-			host := fabric.NewHost(j.EL, id, fmt.Sprintf("h%d", id))
+			shard := j.swShard[s]
+			host := fabric.NewHost(j.ShardEventList(shard), id, fmt.Sprintf("h%d", id))
 			j.Hosts = append(j.Hosts, host)
-			j.hostShard = append(j.hostShard, 0)
-			down := newPort(portName("jf", s, int(id)), cfg.SwitchQueue(fmt.Sprintf("jf%d->h%d", s, id)))
+			j.hostShard = append(j.hostShard, shard)
+			down := newPort(shard, portName("jf", s, int(id)), cfg.SwitchQueue(fmt.Sprintf("jf%d->h%d", s, id)))
 			link(down, host)
 			j.Switches[s].AddPort(down)
-			up := newPort(portName("h", int(id), s), cfg.HostQueue(fmt.Sprintf("h%d", id)))
+			up := newPort(shard, portName("h", int(id), s), cfg.HostQueue(fmt.Sprintf("h%d", id)))
 			link(up, j.Switches[s])
 			host.NIC = up
 		}
@@ -79,8 +102,8 @@ func NewJellyfish(n, hostsPerSwitch, degree, maxPaths int, cfg Config) *Jellyfis
 	// Inter-switch ports, in adjacency order.
 	for s := 0; s < n; s++ {
 		for _, nb := range j.adj[s] {
-			p := newPort(portName("jfUp", s, nb), cfg.SwitchQueue(fmt.Sprintf("jf%d->jf%d", s, nb)))
-			link(p, j.Switches[nb])
+			p := newPort(j.swShard[s], portName("jfUp", s, nb), cfg.SwitchQueue(fmt.Sprintf("jf%d->jf%d", s, nb)))
+			wire(p, j.swShard[s], j.swShard[nb], j.Switches[nb])
 			j.Switches[s].AddPort(p)
 		}
 	}
@@ -186,31 +209,32 @@ func (j *Jellyfish) locate(h int32) (sw, off int) {
 	return int(h) / j.HostsPerSwitch, int(h) % j.HostsPerSwitch
 }
 
-// dist returns BFS distances from every switch to the destination switch.
-func (j *Jellyfish) dist(dstSwitch int) []int {
-	key := int32(dstSwitch)
-	if d, ok := j.distCache[key]; ok {
-		return d
-	}
-	d := make([]int, j.NSwitches)
-	for i := range d {
-		d[i] = -1
-	}
-	d[dstSwitch] = 0
-	queue := []int{dstSwitch}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, nb := range j.adj[cur] {
-			if d[nb] < 0 {
-				d[nb] = d[cur] + 1
-				queue = append(queue, nb)
+// precomputeDists fills dists with BFS distances toward every switch.
+func (j *Jellyfish) precomputeDists() {
+	j.dists = make([][]int, j.NSwitches)
+	for dst := range j.dists {
+		d := make([]int, j.NSwitches)
+		for i := range d {
+			d[i] = -1
+		}
+		d[dst] = 0
+		queue := []int{dst}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range j.adj[cur] {
+				if d[nb] < 0 {
+					d[nb] = d[cur] + 1
+					queue = append(queue, nb)
+				}
 			}
 		}
+		j.dists[dst] = d
 	}
-	j.distCache[key] = d
-	return d
 }
+
+// dist returns the precomputed BFS distances toward the destination switch.
+func (j *Jellyfish) dist(dstSwitch int) []int { return j.dists[dstSwitch] }
 
 // route follows source routes; destination-routed packets walk downhill on
 // BFS distance (random tie-break among equally-good neighbors).

@@ -41,12 +41,14 @@ type Config struct {
 	// Seed seeds the topology's private RNG (per-packet ECMP choices).
 	Seed uint64
 	// Shards partitions the topology into this many per-core shards, each
-	// with its own event list, advanced in conservative lockstep windows
+	// with its own event list, advanced in conservative windows
 	// (sim.MultiRunner). 0 or 1 keeps the proven single-list engine.
-	// Results are bit-identical for every value. FatTree partitions by
-	// pod (the cut runs through the agg<->core layer); other topologies
-	// support only 1, and lossless (PFC) fabrics refuse sharding because
-	// the pause signal's upstream application has zero lookahead.
+	// Results are bit-identical for every value. FatTree partitions by pod
+	// (the cut runs through the agg<->core layer), TwoTier by ToR group
+	// (spines spread across shards), Jellyfish by BFS-grown balanced
+	// switch regions (greedy edge-cut). BackToBack supports only 1, and
+	// lossless (PFC) fabrics refuse sharding because the pause signal's
+	// upstream application has zero lookahead.
 	Shards int
 }
 
@@ -93,6 +95,9 @@ type Cluster interface {
 	LinkRate() int64
 	CollectStats() SwitchStats
 	PacketHops() int64
+	// Close releases engine resources (the sharded runner's persistent
+	// shard workers); a no-op for single-list topologies.
+	Close()
 }
 
 // Network is the common state every topology exposes: the per-shard event
@@ -165,9 +170,17 @@ func (n *Network) Config() Config { return n.cfg }
 
 func (n *Network) init(cfg Config) {
 	if cfg.Shards > 1 {
-		panic("topo: sharding is only supported for FatTree topologies")
+		panic("topo: this topology does not partition (sharding is supported for FatTree, TwoTier and Jellyfish)")
 	}
 	n.initShards(cfg, 1)
+}
+
+// Close stops the sharded runner's persistent shard workers; single-list
+// networks have nothing to release.
+func (n *Network) Close() {
+	if mr, ok := n.runner.(*sim.MultiRunner); ok {
+		mr.Close()
+	}
 }
 
 // initShards sets up the common state for a topology split into shards

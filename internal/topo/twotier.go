@@ -28,21 +28,33 @@ type TwoTier struct {
 }
 
 // NewTwoTier builds a leaf/spine network. spines may be zero when tors==1.
+//
+// With cfg.Shards > 1 the network is partitioned by ToR group: each shard
+// owns a contiguous run of ToRs with their hosts, and the spine switches
+// spread across shards. Every ToR<->spine link whose endpoints land in
+// different shards crosses the cut, so the conservative lookahead is the
+// link propagation delay. Shards is clamped to the ToR count.
 func NewTwoTier(tors, hostsPerTor, spines int, cfg Config) *TwoTier {
 	if tors < 1 || hostsPerTor < 1 || (tors > 1 && spines < 1) {
 		panic(fmt.Sprintf("topo: invalid TwoTier %d/%d/%d", tors, hostsPerTor, spines))
 	}
 	cfg = cfg.withDefaults()
 	tt := &TwoTier{NTors: tors, HostsPerTor: hostsPerTor, NSpines: spines}
-	tt.init(cfg)
+	shards := cfg.Shards
+	if shards > tors {
+		shards = tors // at most one shard per ToR group
+	}
+	tt.initShards(cfg, shards)
+	shardOfTor := func(t int) int { return groupShard(t, tors, tt.Shards()) }
 
-	newSwitch := func(level, idx int, name string) *fabric.Switch {
+	newSwitch := func(level, idx, shard int, name string) *fabric.Switch {
 		id := len(tt.Switches)
-		sw := fabric.NewSwitch(tt.EL, id, name)
+		sw := fabric.NewSwitch(tt.ShardEventList(shard), id, name)
 		sw.Route = tt.route
 		tt.Switches = append(tt.Switches, sw)
 		tt.level = append(tt.level, level)
 		tt.idx = append(tt.idx, idx)
+		tt.swShard = append(tt.swShard, shard)
 		tt.switchRand(id)
 		if cfg.Lossless {
 			sw.EnableLossless(cfg.LosslessLimit, cfg.PFCXoff, cfg.PFCXon)
@@ -50,21 +62,30 @@ func NewTwoTier(tors, hostsPerTor, spines int, cfg Config) *TwoTier {
 		return sw
 	}
 	for t := 0; t < tors; t++ {
-		tt.Tors = append(tt.Tors, newSwitch(0, t, fmt.Sprintf("tor%d", t)))
+		tt.Tors = append(tt.Tors, newSwitch(0, t, shardOfTor(t), fmt.Sprintf("tor%d", t)))
 	}
 	for s := 0; s < spines; s++ {
-		tt.Spines = append(tt.Spines, newSwitch(1, s, fmt.Sprintf("spine%d", s)))
+		// Spines belong to no ToR group; spread them so the spine layer's
+		// work parallelizes too.
+		tt.Spines = append(tt.Spines, newSwitch(1, s, groupShard(s, spines, tt.Shards()), fmt.Sprintf("spine%d", s)))
 	}
 	nHosts := tors * hostsPerTor
 	for h := 0; h < nHosts; h++ {
-		tt.Hosts = append(tt.Hosts, fabric.NewHost(tt.EL, int32(h), fmt.Sprintf("h%d", h)))
-		tt.hostShard = append(tt.hostShard, 0)
+		shard := shardOfTor(h / hostsPerTor)
+		tt.Hosts = append(tt.Hosts, fabric.NewHost(tt.ShardEventList(shard), int32(h), fmt.Sprintf("h%d", h)))
+		tt.hostShard = append(tt.hostShard, shard)
 	}
 
-	newPort := func(name string, q fabric.Queue) *fabric.Port {
-		p := fabric.NewPort(tt.EL, name, q, cfg.LinkRateBps, cfg.LinkDelay)
+	newPort := func(shard int, name string, q fabric.Queue) *fabric.Port {
+		p := fabric.NewPort(tt.ShardEventList(shard), name, q, cfg.LinkRateBps, cfg.LinkDelay)
 		p.UID = tt.allocPortUID()
 		return p
+	}
+	wire := func(p *fabric.Port, from, to int, dst fabric.Sink) {
+		link(p, dst)
+		if from != to {
+			p.Cross = tt.noteCrossLink(from, to, p.Delay)
+		}
 	}
 
 	tt.HostNIC = make([]*fabric.Port, nHosts)
@@ -73,34 +94,36 @@ func NewTwoTier(tors, hostsPerTor, spines int, cfg Config) *TwoTier {
 	tt.SpineDwn = make([][]*fabric.Port, spines)
 
 	for t, tor := range tt.Tors {
+		ts := tt.swShard[tor.ID]
 		tt.TorDown[t] = make([]*fabric.Port, hostsPerTor)
 		for off := 0; off < hostsPerTor; off++ {
 			h := int32(t*hostsPerTor + off)
 			host := tt.Hosts[h]
-			down := newPort(portName("tor", t, int(h)), cfg.SwitchQueue(fmt.Sprintf("%s->h%d", tor.Name, h)))
-			link(down, host)
+			down := newPort(ts, portName("tor", t, int(h)), cfg.SwitchQueue(fmt.Sprintf("%s->h%d", tor.Name, h)))
+			wire(down, ts, tt.hostShard[h], host)
 			tor.AddPort(down)
 			tt.TorDown[t][off] = down
 
-			up := newPort(portName("h", int(h), t), cfg.HostQueue(fmt.Sprintf("h%d", h)))
-			link(up, tor)
+			up := newPort(tt.hostShard[h], portName("h", int(h), t), cfg.HostQueue(fmt.Sprintf("h%d", h)))
+			wire(up, tt.hostShard[h], ts, tor)
 			host.NIC = up
 			tt.HostNIC[h] = up
 		}
 		tt.TorUp[t] = make([]*fabric.Port, spines)
 		for s := 0; s < spines; s++ {
 			spine := tt.Spines[s]
-			up := newPort(portName("torUp", t, s), cfg.SwitchQueue(fmt.Sprintf("%s->%s", tor.Name, spine.Name)))
-			link(up, spine)
+			up := newPort(ts, portName("torUp", t, s), cfg.SwitchQueue(fmt.Sprintf("%s->%s", tor.Name, spine.Name)))
+			wire(up, ts, tt.swShard[spine.ID], spine)
 			tor.AddPort(up)
 			tt.TorUp[t][s] = up
 		}
 	}
 	for s, spine := range tt.Spines {
+		ss := tt.swShard[spine.ID]
 		tt.SpineDwn[s] = make([]*fabric.Port, tors)
 		for t, tor := range tt.Tors {
-			down := newPort(portName("spineDown", s, t), cfg.SwitchQueue(fmt.Sprintf("%s->%s", spine.Name, tor.Name)))
-			link(down, tor)
+			down := newPort(ss, portName("spineDown", s, t), cfg.SwitchQueue(fmt.Sprintf("%s->%s", spine.Name, tor.Name)))
+			wire(down, ss, tt.swShard[tor.ID], tor)
 			spine.AddPort(down)
 			tt.SpineDwn[s][t] = down
 		}

@@ -157,6 +157,13 @@ type ClosedLoop struct {
 	// Defer schedules fn at absolute time at in host to's scheduling
 	// domain, emitted by host from (wire it to topo's Cluster.Defer).
 	Defer func(from, to int, at sim.Time, fn func())
+	// DoneHost reports the host in whose scheduling domain Start's done
+	// callback is invoked for a src->dst flow. Most transports complete at
+	// the receiver (the default, nil = dst), but sender-driven ones (pHost
+	// counts acks at the source) complete at the source — and the Defer
+	// hop back to the source must name the emitting domain correctly, or a
+	// sharded engine would mutate another shard's emission counters.
+	DoneHost func(src, dst int) int
 
 	rands    []*sim.Rand
 	launched []int64
@@ -194,12 +201,16 @@ func (c *ClosedLoop) launch(src int) {
 	}
 	size := c.Sizes.Sample(r)
 	c.launched[src]++
+	doneHost := dst
+	if c.DoneHost != nil {
+		doneHost = c.DoneHost(src, dst)
+	}
 	c.Start(src, dst, size, func(at sim.Time) {
-		// Runs at the receiver: hop back to the source's domain, then draw
-		// the gap there (so the source's RNG is only ever touched in its
-		// own domain, in its own deterministic order).
+		// Runs in doneHost's domain: hop back to the source's domain, then
+		// draw the gap there (so the source's RNG is only ever touched in
+		// its own domain, in its own deterministic order).
 		notify := at + c.NotifyLatency
-		c.Defer(dst, src, notify, func() {
+		c.Defer(doneHost, src, notify, func() {
 			gap := c.Gap/2 + c.rands[src].Duration(c.Gap) // median ~= Gap
 			c.Defer(src, src, notify+gap, func() { c.launch(src) })
 		})

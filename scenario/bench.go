@@ -57,6 +57,19 @@ func BenchSuite() []harness.BenchCase {
 			WithDeadline(200*time.Millisecond), WithShards(4))},
 		{"permutation-large-shards4", false, benchSpec("permutation", Params{Hosts: 128},
 			WithWarmup(time.Millisecond), WithWindow(5*time.Millisecond), WithShards(4))},
+		// Figure-scale baseline transports under the sharded engine, added
+		// when universal sharding lifted the NDP-only restriction: the
+		// paper's headline NDP-vs-baseline comparisons run sharded, so
+		// their engine cost gets trajectory points too (identical Metrics
+		// to the unsharded twin, by TestShardDeterminismMatrix).
+		{"tcp-large", false, benchSpec("permutation", Params{Hosts: 128},
+			WithTransport(TCP), WithWarmup(time.Millisecond), WithWindow(5*time.Millisecond))},
+		{"tcp-large-shards4", false, benchSpec("permutation", Params{Hosts: 128},
+			WithTransport(TCP), WithWarmup(time.Millisecond), WithWindow(5*time.Millisecond), WithShards(4))},
+		{"phost-large", false, benchSpec("incast", Params{Hosts: 128, Degree: 100, FlowSize: 135_000},
+			WithTransport(PHost), WithDeadline(200*time.Millisecond))},
+		{"phost-large-shards4", false, benchSpec("incast", Params{Hosts: 128, Degree: 100, FlowSize: 135_000},
+			WithTransport(PHost), WithDeadline(200*time.Millisecond), WithShards(4))},
 	}
 	out := make([]harness.BenchCase, 0, len(cases))
 	for _, c := range cases {

@@ -184,9 +184,10 @@ func runMatrix(spec Spec, seed uint64, net harness.Net, out *runOut) {
 }
 
 // rpcDone is one closed-loop completion record. Completions land on the
-// receiver's shard; records are buffered per shard and merged into one
-// deterministic order afterwards, so concurrent shards never contend and
-// the merged result is independent of the shard layout.
+// shard of the transport's DoneHost (the receiver for NDP and the TCP
+// family, the sender for pHost); records are buffered per shard and merged
+// into one deterministic order afterwards, so concurrent shards never
+// contend and the merged result is independent of the shard layout.
 type rpcDone struct {
 	at       sim.Time
 	us       float64
@@ -215,9 +216,14 @@ func runRPC(spec Spec, seed uint64, net harness.Net, out *runOut) {
 		Seed:          seed + 7,
 		NotifyLatency: c.LinkDelay(),
 		Defer:         c.Defer,
+		DoneHost:      net.DoneHost,
 		Start: func(src, dst int, size int64, done func(at sim.Time)) {
 			start := c.HostList()[src].EventList().Now()
-			shard := c.ShardOfHost(dst)
+			// Completion callbacks run in the transport's DoneHost domain
+			// (receiver for NDP/TCP-family, sender for pHost); buffer each
+			// record on that host's shard so concurrent shards never share
+			// a slice.
+			shard := c.ShardOfHost(net.DoneHost(src, dst))
 			net.StartFlow(src, dst, size, harness.StartOpts{OnDone: func(at sim.Time) {
 				recs[shard] = append(recs[shard], rpcDone{at: at, us: (at - start).Micros(), src: src, dst: dst})
 				done(at)

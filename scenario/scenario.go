@@ -88,12 +88,15 @@ type Spec struct {
 	// cores, 1 runs serially. Metrics are bit-identical for any value.
 	Workers int `json:"workers,omitempty"`
 	// Shards splits each single simulation into this many per-core
-	// partitions advanced in conservative lockstep time windows (one event
-	// list per shard, windows bounded by the cross-shard link latency).
-	// 0/1 keeps the proven single-list engine. Metrics are bit-identical
-	// for any value. Requires the NDP transport on a FatTree topology;
-	// Workers parallelizes across repeats while Shards parallelizes
-	// within one simulation, and the two compose.
+	// partitions advanced in conservative time windows (one event list per
+	// shard, windows bounded by the cross-shard link latency). 0/1 keeps
+	// the proven single-list engine. Metrics are bit-identical for any
+	// value. Supported for the ndp, tcp, dctcp, mptcp and phost transports
+	// on fattree, twotier and jellyfish topologies; dcqcn is refused
+	// because PFC pause applies upstream with zero lookahead, and
+	// backtoback has nothing to partition. Workers parallelizes across
+	// repeats while Shards parallelizes within one simulation, and the
+	// two compose.
 	Shards int `json:"shards,omitempty"`
 	// Repeats runs the scenario at Repeats derived seeds (one sweep job
 	// each) and aggregates the Metrics (default 1).
@@ -173,7 +176,9 @@ func WithSeed(seed uint64) Option { return func(s *Spec) { s.Seed = seed } }
 func WithWorkers(n int) Option { return func(s *Spec) { s.Workers = n } }
 
 // WithShards splits each simulation into n conservative time-window
-// shards (results are identical for any value; NDP on FatTree only).
+// shards. Results are identical for any value. Supported for every
+// transport except dcqcn (PFC pause has zero lookahead) on the fattree,
+// twotier and jellyfish topologies.
 func WithShards(n int) Option { return func(s *Spec) { s.Shards = n } }
 
 // WithRepeats aggregates the scenario over n derived seeds.
@@ -250,11 +255,13 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: shards must be >= 0, got %d", s.Shards)
 	}
 	if s.Shards > 1 {
-		if s.Transport != NDP {
-			return fmt.Errorf("scenario: sharded execution requires the ndp transport (got %q): other endpoint stacks have not been audited for cross-shard interactions, and dcqcn's PFC pause has zero lookahead", s.Transport)
+		if s.Transport == DCQCN {
+			return fmt.Errorf("scenario: sharded execution supports the ndp, tcp, dctcp, mptcp and phost transports, not %q: dcqcn's lossless fabric applies PFC pause upstream with zero lookahead", s.Transport)
 		}
-		if s.Topology.Kind != "fattree" {
-			return fmt.Errorf("scenario: sharded execution requires a fattree topology (got %q)", s.Topology.Kind)
+		switch s.Topology.Kind {
+		case "fattree", "twotier", "jellyfish":
+		default:
+			return fmt.Errorf("scenario: sharded execution supports the fattree, twotier and jellyfish topologies, not %q", s.Topology.Kind)
 		}
 	}
 	return nil

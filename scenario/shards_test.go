@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 )
@@ -14,6 +15,10 @@ import (
 // from canonical (emitter, sequence) keys and every RNG stream is owned by
 // exactly one shard-local component — so any divergence here is a bug, not
 // noise. Run under -race in CI, this also proves shards share no state.
+//
+// The golden specs (NDP on FatTree, Workers=2, Repeats=2) keep their
+// original gate; TestShardDeterminismMatrix below sweeps the full
+// transport x topology support matrix.
 func TestShardDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real simulations")
@@ -22,55 +27,168 @@ func TestShardDeterminism(t *testing.T) {
 		name, spec := name, spec
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			var ref []byte
-			var refStats RunStats
-			for _, shards := range []int{1, 2, 4} {
-				m, stats, err := RunWithStats(spec.With(WithShards(shards)))
-				if err != nil {
-					t.Fatalf("shards=%d: %v", shards, err)
-				}
-				blob, err := json.Marshal(m)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if shards == 1 {
-					ref, refStats = blob, stats
-					continue
-				}
-				if string(blob) != string(ref) {
-					t.Errorf("metrics diverge between shards=1 and shards=%d:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
-						shards, ref, shards, blob)
-				}
-				if stats != refStats {
-					t.Errorf("engine stats diverge between shards=1 and shards=%d: %+v vs %+v",
-						shards, refStats, stats)
-				}
-			}
+			assertShardInvariant(t, spec)
 		})
 	}
 }
 
-// TestShardedValidation pins the guard rails: sharding is an NDP-on-FatTree
-// mode, and misuse is a Validate error rather than a wrong answer.
+// assertShardInvariant runs spec at shards 1, 2 and 4 and requires
+// bit-identical Metrics and engine stats.
+func assertShardInvariant(t *testing.T, spec Spec) {
+	t.Helper()
+	var ref []byte
+	var refStats RunStats
+	for _, shards := range []int{1, 2, 4} {
+		m, stats, err := RunWithStats(spec.With(WithShards(shards)))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		blob, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shards == 1 {
+			ref, refStats = blob, stats
+			continue
+		}
+		if string(blob) != string(ref) {
+			t.Errorf("metrics diverge between shards=1 and shards=%d:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
+				shards, ref, shards, blob)
+		}
+		if stats != refStats {
+			t.Errorf("engine stats diverge between shards=1 and shards=%d: %+v vs %+v",
+				shards, refStats, stats)
+		}
+	}
+}
+
+// TestShardDeterminismMatrix sweeps the full supported matrix: every
+// registry scenario x every shardable transport x every shardable
+// topology, at shards 1/2/4, each combination bit-identical across shard
+// counts. The topologies are sized to 16 hosts so the whole matrix stays
+// CI-fast; the failure scenario runs on FatTree only (link failures are a
+// FatTree feature, enforced by Validate). CI runs this under -race with
+// GOMAXPROCS > 1, which additionally proves the shard goroutines share no
+// state for any transport or topology.
+func TestShardDeterminismMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	topologies := []struct {
+		name string
+		topo Topology
+	}{
+		{"fattree", FatTree(4)},           // 16 hosts, partitioned by pod
+		{"twotier", TwoTier(4, 4, 4)},     // 16 hosts, partitioned by ToR group
+		{"jellyfish", Jellyfish(8, 2, 3)}, // 16 hosts, BFS-grown parts
+	}
+	transports := []Transport{NDP, TCP, DCTCP, MPTCP, PHost}
+	for name, spec := range matrixSpecs(t) {
+		for _, tp := range topologies {
+			if name == "failure" && tp.name != "fattree" {
+				continue // Validate: link failures are FatTree-only
+			}
+			for _, tr := range transports {
+				spec, tp, tr := spec, tp, tr
+				t.Run(name+"/"+tp.name+"/"+string(tr), func(t *testing.T) {
+					t.Parallel()
+					assertShardInvariant(t, spec.With(
+						WithTopology(tp.topo),
+						WithTransport(tr),
+					))
+				})
+			}
+		}
+	}
+}
+
+// matrixSpecs pins every registry scenario at matrix scale: one repeat,
+// serial workers (shard parallelism is what is under test), small windows.
+func matrixSpecs(t *testing.T) map[string]Spec {
+	t.Helper()
+	build := func(name string, p Params, opts ...Option) Spec {
+		spec, err := Build(name, p, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec.With(WithSeed(11), WithRepeats(1), WithWorkers(1))
+	}
+	return map[string]Spec{
+		"incast": build("incast", Params{Hosts: 16, Degree: 8, FlowSize: 45_000},
+			WithDeadline(100*time.Millisecond)),
+		"permutation": build("permutation", Params{Hosts: 16},
+			WithWarmup(time.Millisecond), WithWindow(2*time.Millisecond)),
+		"random": build("random", Params{Hosts: 16},
+			WithWarmup(time.Millisecond), WithWindow(2*time.Millisecond)),
+		"rpc": build("rpc", Params{Hosts: 16, Degree: 2},
+			WithDeadline(4*time.Millisecond)),
+		"failure": build("failure", Params{Hosts: 16},
+			WithWarmup(time.Millisecond), WithWindow(2*time.Millisecond)),
+	}
+}
+
+// TestShardedValidation pins the guard rails: the supported matrix is
+// every transport except dcqcn on fattree/twotier/jellyfish, and misuse is
+// a Validate error — whose message names the supported matrix — rather
+// than a wrong answer.
 func TestShardedValidation(t *testing.T) {
-	base := New(WithShards(2))
-	if err := base.Validate(); err != nil {
-		t.Errorf("ndp+fattree+shards=2 should validate, got %v", err)
+	for _, tr := range []Transport{NDP, TCP, DCTCP, MPTCP, PHost} {
+		for _, tp := range []Topology{FatTree(4), TwoTier(4, 4, 4), Jellyfish(8, 2, 3)} {
+			if err := New(WithShards(2), WithTransport(tr), WithTopology(tp)).Validate(); err != nil {
+				t.Errorf("%s on %s with shards=2 should validate, got %v", tr, tp, err)
+			}
+		}
 	}
 	if err := New(WithShards(-1)).Validate(); err == nil {
 		t.Error("negative shards validated")
 	}
+
+	const dcqcnMsg = `scenario: sharded execution supports the ndp, tcp, dctcp, mptcp and phost transports, not "dcqcn": dcqcn's lossless fabric applies PFC pause upstream with zero lookahead`
 	if err := New(WithShards(2), WithTransport(DCQCN)).Validate(); err == nil {
 		t.Error("dcqcn+shards validated; PFC pause has zero lookahead")
+	} else if err.Error() != dcqcnMsg {
+		t.Errorf("dcqcn+shards message drifted:\n got: %s\nwant: %s", err, dcqcnMsg)
 	}
-	if err := New(WithShards(2), WithTopology(TwoTier(4, 2, 2))).Validate(); err == nil {
-		t.Error("twotier+shards validated; only fattree partitions")
+
+	const topoMsg = `scenario: sharded execution supports the fattree, twotier and jellyfish topologies, not "backtoback"`
+	if err := New(WithShards(2), WithTopology(BackToBack())).Validate(); err == nil {
+		t.Error("backtoback+shards validated; nothing to partition")
+	} else if err.Error() != topoMsg {
+		t.Errorf("backtoback+shards message drifted:\n got: %s\nwant: %s", err, topoMsg)
+	}
+}
+
+// TestShardsHelpTextMatrix pins the user-facing descriptions of the
+// supported matrix: the WithShards doc comment and the CLI -shards help
+// text both changed when the NDP-on-FatTree-only restriction was lifted,
+// and this guards against the docs regressing to the old claim.
+func TestShardsHelpTextMatrix(t *testing.T) {
+	for _, tr := range []Transport{NDP, TCP, DCTCP, MPTCP, PHost} {
+		spec := New(WithShards(4), WithTransport(tr))
+		if err := spec.Validate(); err != nil {
+			t.Errorf("supported transport %s rejected: %v", tr, err)
+		}
+	}
+	// The error strings are the machine-checkable face of the matrix; make
+	// sure they enumerate every supported member (a partial list would
+	// mislead exactly the users who hit the error).
+	err := New(WithShards(2), WithTransport(DCQCN)).Validate()
+	for _, want := range []string{"ndp", "tcp", "dctcp", "mptcp", "phost"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("dcqcn+shards message does not name supported transport %q: %s", want, err)
+		}
+	}
+	err = New(WithShards(2), WithTopology(BackToBack())).Validate()
+	for _, want := range []string{"fattree", "twotier", "jellyfish"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("topology message does not name supported topology %q: %s", want, err)
+		}
 	}
 }
 
 // TestShardsClampToPods checks that an oversized shard count degrades to
-// the pod count instead of failing: a k=4 tree has at most 4 shards, and
-// the result is still identical.
+// the partition-unit count instead of failing: a k=4 tree has at most 4
+// shards, and the result is still identical.
 func TestShardsClampToPods(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real simulations")

@@ -86,13 +86,19 @@ func benchNum(path string) int {
 	return 0
 }
 
-// reportLabel names one x-position: the report's own label if set, else the
-// file name, plus the cpu count (wall-derived series are only comparable
-// within a hardware class).
+// reportLabel names one x-position. Committed trajectory files are named
+// for the PR that produced them, so a BENCH_<n>.json is labeled BENCH_<n>
+// — the stable PR-ordered name every point inherits — regardless of the
+// free-form label recorded inside. Other reports fall back to their own
+// label, then the file name. The cpu count rides along because
+// wall-derived series are only comparable within a hardware class.
 func reportLabel(path string, rep *harness.BenchReport) string {
-	l := rep.Label
-	if l == "" || l == "local" {
-		l = strings.TrimSuffix(filepath.Base(path), ".json")
+	base := strings.TrimSuffix(filepath.Base(path), ".json")
+	l := base
+	if !strings.HasPrefix(base, "BENCH_") {
+		if rep.Label != "" && rep.Label != "local" {
+			l = rep.Label
+		}
 	}
 	return fmt.Sprintf("%s (%dcpu)", l, rep.CPUs)
 }

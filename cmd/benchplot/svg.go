@@ -10,9 +10,11 @@ import (
 )
 
 // This file renders the trajectory SVG with nothing but the standard
-// library: two stacked panels (events/sec, allocs per run) sharing one
-// x-axis of report positions, one polyline per benchmark case, with a
-// legend keyed by color. Cases missing from a report simply skip that x
+// library: three stacked panels (events/sec, ns/event, allocs per run)
+// sharing one x-axis of report positions, one polyline per benchmark case,
+// with a legend keyed by color. Every point carries a <title> tooltip with
+// its BENCH_<n> PR label, case name and value, so the SVG is
+// self-describing on hover. Cases missing from a report simply skip that x
 // position, so adding a benchmark mid-trajectory leaves a gap instead of a
 // lie.
 
@@ -41,15 +43,17 @@ type series struct {
 // RenderTrajectory builds the full SVG document for the given reports.
 func RenderTrajectory(reports []*harness.BenchReport, labels []string) string {
 	events := collect(reports, func(r harness.BenchResult) float64 { return r.EventsPerSec })
+	nsPerEv := collect(reports, func(r harness.BenchResult) float64 { return r.NsPerEvent })
 	allocs := collect(reports, func(r harness.BenchResult) float64 { return float64(r.AllocsPerOp) })
 
-	height := marginT + 2*(panelH+panelGap)
+	height := marginT + 3*(panelH+panelGap)
 	var b strings.Builder
 	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n",
 		plotW, height)
 	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
 	renderPanel(&b, marginT, "events/sec (higher is better)", events, labels, false)
-	renderPanel(&b, marginT+panelH+panelGap, "allocations per run (lower is better)", allocs, labels, true)
+	renderPanel(&b, marginT+panelH+panelGap, "ns/event (lower is better)", nsPerEv, labels, false)
+	renderPanel(&b, marginT+2*(panelH+panelGap), "allocations per run (lower is better)", allocs, labels, true)
 	b.WriteString("</svg>\n")
 	return b.String()
 }
@@ -167,7 +171,10 @@ func renderPanel(b *strings.Builder, top int, title string, data []series, label
 				continue
 			}
 			seg = append(seg, fmt.Sprintf("%.1f,%.1f", x(i), y(v)))
-			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", x(i), y(v), color)
+			// Each point names its own report: hovering a circle answers
+			// "which PR is this" without consulting the x-axis.
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"><title>%s — %s: %s</title></circle>`+"\n",
+				x(i), y(v), color, escape(labels[i]), escape(s.name), compactNum(v))
 		}
 		flush()
 		// Legend entry.

@@ -36,14 +36,22 @@ func TestRenderTrajectory(t *testing.T) {
 		t.Fatalf("not an SVG document:\n%.200s", svg)
 	}
 	for _, want := range []string{"rpc-tiny", "incast-tiny", "tcp-large", "PR 3 (4cpu)", "PR 4 (4cpu)",
-		"events/sec", "allocations per run"} {
+		"events/sec", "ns/event", "allocations per run"} {
 		if !strings.Contains(svg, want) {
 			t.Errorf("SVG missing %q", want)
 		}
 	}
 	// tcp-large exists only in PR 4: it must contribute a point but no line.
-	if got := strings.Count(svg, "<polyline"); got != 4 { // 2 cases x 2 panels
-		t.Errorf("expected 4 polylines (2 full series x 2 panels), got %d", got)
+	if got := strings.Count(svg, "<polyline"); got != 6 { // 2 cases x 3 panels
+		t.Errorf("expected 6 polylines (2 full series x 3 panels), got %d", got)
+	}
+	// Every point carries a tooltip naming its report: the SVG stays
+	// self-describing when detached from the x-axis (zoom, crop, hover).
+	if !strings.Contains(svg, "<title>PR 4 (4cpu) — rpc-tiny:") {
+		t.Error("point tooltip with report label missing")
+	}
+	if got, want := strings.Count(svg, "<title>"), strings.Count(svg, "<circle"); got != want {
+		t.Errorf("%d tooltips for %d points — every point must name its report", got, want)
 	}
 }
 
@@ -59,8 +67,23 @@ func TestRenderGapSplitsLine(t *testing.T) {
 	svg := RenderTrajectory(reps, []string{"A", "B", "C"})
 	// Case "c" has a gap at B: no segment spans it, so only case "d"
 	// contributes polylines (one 3-point line per panel).
-	if got := strings.Count(svg, "<polyline"); got != 2 {
-		t.Errorf("expected 2 polylines (only the gapless series draws lines), got %d", got)
+	if got := strings.Count(svg, "<polyline"); got != 3 {
+		t.Errorf("expected 3 polylines (only the gapless series draws lines), got %d", got)
+	}
+}
+
+// TestReportLabelPrefersBenchName pins the BENCH_<n> file naming as the
+// point label for committed trajectory reports.
+func TestReportLabelPrefersBenchName(t *testing.T) {
+	rep := &harness.BenchReport{Label: "PR 5", CPUs: 8}
+	if got := reportLabel("some/dir/BENCH_5.json", rep); got != "BENCH_5 (8cpu)" {
+		t.Errorf("BENCH file label = %q, want BENCH_5 (8cpu)", got)
+	}
+	if got := reportLabel("bench-tiny.json", rep); got != "PR 5 (8cpu)" {
+		t.Errorf("non-BENCH file label = %q, want PR 5 (8cpu)", got)
+	}
+	if got := reportLabel("bench-tiny.json", &harness.BenchReport{Label: "local", CPUs: 4}); got != "bench-tiny (4cpu)" {
+		t.Errorf("local label = %q, want bench-tiny (4cpu)", got)
 	}
 }
 

@@ -17,6 +17,7 @@
 //
 //	ndpsim -bench                                # pinned performance suite
 //	ndpsim -bench -tiny -baseline BENCH_3.json   # CI regression gate
+//	ndpsim -bench -tiny -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments and scenario repeats decompose into independent seed-derived
 // simulation jobs that run on a worker pool sized by -parallel (default:
@@ -30,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ndp"
@@ -61,6 +64,8 @@ func main() {
 		benchLabel = flag.String("benchlabel", "local", "bench: label recorded in the report")
 		baseline   = flag.String("baseline", "", "bench: compare events/sec against this committed report; exit 1 on regression")
 		maxRegress = flag.Float64("maxregress", 20, "bench: events/sec regression tolerance vs -baseline, in percent")
+		cpuProfile = flag.String("cpuprofile", "", "bench: write a CPU profile of the measured runs to this path")
+		memProfile = flag.String("memprofile", "", "bench: write a post-suite heap profile to this path")
 	)
 	flag.Parse()
 
@@ -82,7 +87,8 @@ func main() {
 	validateFlags(*exp, *scen, *transport, *scale, *parallel, *repeats, *bench, explicit)
 
 	if *bench {
-		runBench(*tiny, *benchOut, *benchLabel, *baseline, *maxRegress, *jsonOut)
+		runBench(*tiny, *benchOut, *benchLabel, *baseline, *maxRegress, *jsonOut,
+			*cpuProfile, *memProfile)
 		return
 	}
 
@@ -176,7 +182,8 @@ func validateFlags(exp, scen, transport string, scale float64, parallel, repeats
 			}
 		}
 	} else {
-		for _, f := range []string{"tiny", "benchout", "benchlabel", "baseline", "maxregress"} {
+		for _, f := range []string{"tiny", "benchout", "benchlabel", "baseline", "maxregress",
+			"cpuprofile", "memprofile"} {
 			if explicit[f] {
 				fatalUsage("-%s only applies to -bench mode", f)
 			}
@@ -262,9 +269,12 @@ func runScenario(name, transport string, hosts, degree int, flowsize int64,
 
 // runBench executes the pinned suite (or its -tiny subset), prints the
 // report, optionally persists it, and optionally gates on a committed
-// baseline: any case whose events/sec drops more than maxRegress percent
-// fails the run with exit code 1.
-func runBench(tiny bool, outPath, label, baselinePath string, maxRegress float64, jsonOut bool) {
+// baseline: any case whose events/sec drops — or whose allocs/op grows —
+// more than maxRegress percent fails the run with exit code 1. With
+// -cpuprofile/-memprofile the suite runs under the profiler, so hot paths
+// and allocation sites can be read straight off the pinned workloads.
+func runBench(tiny bool, outPath, label, baselinePath string, maxRegress float64, jsonOut bool,
+	cpuProfile, memProfile string) {
 	cases := scenario.BenchSuite()
 	if tiny {
 		kept := cases[:0]
@@ -275,9 +285,41 @@ func runBench(tiny bool, outPath, label, baselinePath string, maxRegress float64
 		}
 		cases = kept
 	}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Stopped explicitly after the suite: os.Exit on a baseline
+		// regression would skip defers and lose the profile.
+		defer f.Close()
+	}
 	rep := harness.RunBenchSuite(cases, label, func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	})
+	if cpuProfile != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "bench: CPU profile written to %s\n", cpuProfile)
+	}
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC() // flush dead objects so the profile shows live + cumulative allocs cleanly
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "bench: heap profile written to %s\n", memProfile)
+	}
 	if jsonOut {
 		emitJSON(rep)
 	} else {

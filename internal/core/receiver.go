@@ -15,7 +15,10 @@ type Receiver struct {
 	Peer int32 // sender host id
 
 	st *Stack
-	fp *flowPull
+	// fp always points at fpv: the pull-queue entry lives inside the
+	// receiver (same lifetime, one fewer allocation per fresh receiver).
+	fp  *flowPull
+	fpv flowPull
 
 	got      []bool
 	nGot     int64
@@ -26,6 +29,9 @@ type Receiver struct {
 	FirstArrival sim.Time
 	CompletedAt  sim.Time
 	OnComplete   func(*Receiver)
+	// OnCompleteAt is the narrow completion hook (see
+	// FlowOpts.OnReceiverDoneAt); it fires after OnComplete.
+	OnCompleteAt func(sim.Time)
 	// OnData observes each newly received payload byte count (goodput
 	// time-series probes).
 	OnData func(bytes int64)
@@ -38,7 +44,8 @@ func newReceiver(st *Stack, flow uint64, peer int32) *Receiver {
 	r := st.takeRetiredReceiver()
 	if r == nil {
 		r = &Receiver{st: st}
-		r.fp = st.pacer.flowEntry(r, false)
+		r.fp = &r.fpv
+		r.fpv = flowPull{r: r}
 	} else {
 		r.recycle()
 	}
@@ -69,6 +76,20 @@ func (r *Receiver) Receive(p *fabric.Packet) {
 	}
 	r.Arrivals++
 	seq := p.Seq
+	// Batch-grow the arrival bitmap (doubling from a 64-packet floor): the
+	// per-packet append paid log2(N) allocations per fresh receiver.
+	if int64(cap(r.got)) <= seq {
+		c := 2 * cap(r.got)
+		if c < 64 {
+			c = 64
+		}
+		for int64(c) <= seq {
+			c *= 2
+		}
+		got := make([]bool, len(r.got), c)
+		copy(got, r.got)
+		r.got = got
+	}
 	for int64(len(r.got)) <= seq {
 		r.got = append(r.got, false)
 	}
@@ -114,7 +135,7 @@ func (r *Receiver) Receive(p *fabric.Packet) {
 // packet's path id so the sender's scoreboard attributes the feedback to the
 // right path.
 func (r *Receiver) sendAckLike(t fabric.PacketType, p *fabric.Packet) {
-	c := fabric.NewControl(t, r.Flow, r.st.Host.ID, r.Peer)
+	c := r.st.arena.NewControl(t, r.Flow, r.st.Host.ID, r.Peer)
 	c.Seq = p.Seq
 	c.PathID = p.PathID
 	c.TSEcho = p.Sent
@@ -160,6 +181,9 @@ func (r *Receiver) finish() {
 	if r.OnComplete != nil {
 		r.OnComplete(r)
 	}
+	if r.OnCompleteAt != nil {
+		r.OnCompleteAt(r.CompletedAt)
+	}
 	r.st.retireReceiver(r)
 }
 
@@ -200,7 +224,7 @@ type pullPacer struct {
 	spacing sim.Time
 	fifo    bool // serve pulls in arrival order (fairness ablation)
 
-	high, norm []*flowPull
+	high, norm pullRing
 	lastSent   sim.Time
 	scheduled  bool
 	everSent   bool
@@ -211,12 +235,10 @@ type pullPacer struct {
 	OnGap     func(gap sim.Time)
 }
 
-func newPullPacer(st *Stack, spacing sim.Time) *pullPacer {
-	return &pullPacer{st: st, spacing: spacing, fifo: st.cfg.PullFIFO}
-}
-
-func (pp *pullPacer) flowEntry(r *Receiver, prio bool) *flowPull {
-	return &flowPull{r: r, prio: prio}
+func (pp *pullPacer) init(st *Stack, spacing sim.Time) {
+	pp.st = st
+	pp.spacing = spacing
+	pp.fifo = st.cfg.PullFIFO
 }
 
 func (pp *pullPacer) addPull(fp *flowPull) {
@@ -225,16 +247,16 @@ func (pp *pullPacer) addPull(fp *flowPull) {
 		// FIFO ablation: every pull occupies its own queue slot, so one
 		// connection's burst of arrivals monopolizes the pacer.
 		if fp.prio {
-			pp.high = append(pp.high, fp)
+			pp.high.push(fp)
 		} else {
-			pp.norm = append(pp.norm, fp)
+			pp.norm.push(fp)
 		}
 	} else if !fp.queued {
 		fp.queued = true
 		if fp.prio {
-			pp.high = append(pp.high, fp)
+			pp.high.push(fp)
 		} else {
-			pp.norm = append(pp.norm, fp)
+			pp.norm.push(fp)
 		}
 	}
 	pp.schedule()
@@ -245,12 +267,12 @@ func (pp *pullPacer) addPull(fp *flowPull) {
 func (pp *pullPacer) removeFlow(fp *flowPull) { fp.pending = 0 }
 
 func (pp *pullPacer) schedule() {
-	if pp.scheduled || (len(pp.high) == 0 && len(pp.norm) == 0) {
+	if pp.scheduled || (pp.high.n == 0 && pp.norm.n == 0) {
 		return
 	}
 	gap := pp.spacing
 	if pp.st.cfg.PullJitter != nil {
-		gap += pp.st.cfg.PullJitter(pp.st.rand)
+		gap += pp.st.cfg.PullJitter(&pp.st.rand)
 	}
 	at := pp.st.el.Now()
 	if pp.everSent && pp.lastSent+gap > at {
@@ -267,10 +289,9 @@ func (pp *pullPacer) OnEvent(uint64) { pp.fire() }
 // next pops the next flow owed a pull: strict priority first, round-robin
 // within a band, skipping entries whose pulls were cancelled.
 func (pp *pullPacer) next() *flowPull {
-	for _, band := range []*[]*flowPull{&pp.high, &pp.norm} {
-		for len(*band) > 0 {
-			fp := (*band)[0]
-			*band = (*band)[1:]
+	for _, band := range []*pullRing{&pp.high, &pp.norm} {
+		for band.n > 0 {
+			fp := band.pop()
 			if fp.pending <= 0 {
 				fp.queued = false
 				continue
@@ -280,7 +301,7 @@ func (pp *pullPacer) next() *flowPull {
 				return fp // occurrence-queued: no re-append
 			}
 			if fp.pending > 0 {
-				*band = append(*band, fp)
+				band.push(fp)
 			} else {
 				fp.queued = false
 			}
@@ -288,6 +309,46 @@ func (pp *pullPacer) next() *flowPull {
 		}
 	}
 	return nil
+}
+
+// pullRing is the pull queue's FIFO: a power-of-two ring mirroring
+// queueRing. The pacer pops the head and re-pushes round-robin survivors
+// on every transmitted pull, a pattern that makes an advance-the-slice
+// queue reallocate on nearly every push (the freed front capacity is never
+// reused) — in an incast it was the simulator's single largest allocation
+// site. The ring reuses its buffer forever.
+type pullRing struct {
+	buf        []*flowPull
+	head, tail int
+	n          int
+}
+
+func (r *pullRing) push(fp *flowPull) {
+	if r.n == len(r.buf) {
+		size := 64
+		for size < len(r.buf)*2 {
+			size *= 2
+		}
+		nb := make([]*flowPull, size)
+		for i := 0; i < r.n; i++ {
+			nb[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head, r.tail = nb, 0, r.n
+	}
+	r.buf[r.tail] = fp
+	r.tail = (r.tail + 1) & (len(r.buf) - 1)
+	r.n++
+}
+
+func (r *pullRing) pop() *flowPull {
+	if r.n == 0 {
+		return nil
+	}
+	fp := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return fp
 }
 
 func (pp *pullPacer) fire() {
@@ -306,7 +367,7 @@ func (pp *pullPacer) fire() {
 
 	fp.nextSeq++
 	r := fp.r
-	p := fabric.NewControl(fabric.Pull, r.Flow, pp.st.Host.ID, r.Peer)
+	p := pp.st.arena.NewControl(fabric.Pull, r.Flow, pp.st.Host.ID, r.Peer)
 	p.PullSeq = fp.nextSeq
 	pp.st.sendControl(p)
 	pp.schedule()

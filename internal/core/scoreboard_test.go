@@ -13,9 +13,9 @@ func TestPathScoreboardExcludesNackOutliers(t *testing.T) {
 	s := st[0].Connect(st[15], -1, FlowOpts{})
 	// Poison path 0's statistics: heavy NACKs vs clean ACKs elsewhere.
 	for i := 0; i < 40; i++ {
-		s.pathNaks[0]++
+		s.pstats[0].naks++
 		for p := 1; p < len(s.paths); p++ {
-			s.pathAcks[p]++
+			s.pstats[p].acks++
 		}
 	}
 	s.repermute()
@@ -35,9 +35,9 @@ func TestPathScoreboardExclusionIsTemporary(t *testing.T) {
 	_ = net
 	s := st[0].Connect(st[15], -1, FlowOpts{})
 	for i := 0; i < 40; i++ {
-		s.pathNaks[0]++
+		s.pstats[0].naks++
 		for p := 1; p < len(s.paths); p++ {
-			s.pathAcks[p]++
+			s.pstats[p].acks++
 		}
 	}
 	s.repermute()
@@ -63,9 +63,9 @@ func TestPathScoreboardSymmetricNacksNotExcluded(t *testing.T) {
 	s := st[0].Connect(st[15], -1, FlowOpts{})
 	for i := 0; i < 40; i++ {
 		for p := 0; p < len(s.paths); p++ {
-			s.pathNaks[p]++
+			s.pstats[p].naks++
 			if i%3 == 0 {
-				s.pathAcks[p]++
+				s.pstats[p].acks++
 			}
 		}
 	}
@@ -82,9 +82,9 @@ func TestDisablePathPenalty(t *testing.T) {
 	_ = net
 	s := st[0].Connect(st[15], -1, FlowOpts{})
 	for i := 0; i < 40; i++ {
-		s.pathNaks[0]++
+		s.pstats[0].naks++
 		for p := 1; p < len(s.paths); p++ {
-			s.pathAcks[p]++
+			s.pstats[p].acks++
 		}
 	}
 	s.repermute()

@@ -15,6 +15,19 @@ const (
 	psAcked
 )
 
+// pkt is one packet's scoreboard entry.
+type pkt struct {
+	sentAt   sim.Time // last transmission
+	firstTx  sim.Time // first transmission; -1 = never sent
+	lastPath int16
+	state    pktState
+}
+
+// pathStat is one path's feedback scoreboard (§3.2.3).
+type pathStat struct {
+	acks, naks, loss int64
+}
+
 // Sender is the sending half of one NDP connection. It pushes the first
 // window at line rate with SYN on every packet, then becomes purely
 // receiver-driven: each PULL increment releases one packet, retransmissions
@@ -32,25 +45,30 @@ type Sender struct {
 	lastSize int32 // size of the final packet
 	iw       int64
 
-	state    []pktState
-	sentAt   []sim.Time
-	firstTx  []sim.Time
-	lastPath []int16
+	// pkts is the per-packet scoreboard, one struct per sequence number —
+	// a single array so growing a fresh sender costs one allocation, not
+	// one per field.
+	pkts []pkt
 
-	paths    [][]int16
-	perm     []int
-	permPos  int
-	pathAcks []int64
-	pathNaks []int64
-	pathLoss []int64
+	paths   [][]int16
+	perm    []int
+	permPos int
+	// pstats is the per-path scoreboard (acks, nacks, timeouts), again one
+	// array for all three counters.
+	pstats []pathStat
 	// permScratch is the reusable backing array repermute rebuilds perm
 	// into; hoisted here because repermute used to allocate a fresh slice
 	// on every permutation cycle of every flow (about half the remaining
 	// steady-state allocations after the scheduler rewrite).
 	permScratch []int
 
-	nextNew     int64
+	nextNew int64
+	// rtxq is a FIFO of sequence numbers awaiting retransmission credit,
+	// consumed via rtxHead: popping by re-slicing (rtxq = rtxq[1:]) strands
+	// the front capacity and forces an allocation on nearly every later
+	// push. The buffer resets to its full capacity whenever it drains.
 	rtxq        []int64
+	rtxHead     int
 	lastPullSeq int64
 
 	inflight       int64
@@ -68,7 +86,7 @@ type Sender struct {
 	valveThreshold int   // silent windows required before the valve fires
 	probeSeq       int64 // seq of the outstanding bounce probe (-1 none)
 	rto            sim.Time
-	timer          *sim.Timer
+	timer          sim.Timer
 	complete       bool
 	started        sim.Time
 	onDone         func(*Sender)
@@ -89,7 +107,7 @@ func newSender(st *Stack, opts FlowOpts, dst int32, size int64, paths [][]int16)
 	s := st.takeRetiredSender()
 	if s == nil {
 		s = &Sender{st: st}
-		s.timer = sim.NewTimer(st.el, s.onTimeout)
+		s.timer.InitHandler(st.el, s)
 	} else {
 		s.recycle()
 	}
@@ -97,9 +115,7 @@ func newSender(st *Stack, opts FlowOpts, dst int32, size int64, paths [][]int16)
 	s.Dst = dst
 	s.size = size
 	s.paths = paths
-	s.pathAcks = growZeroInt64(s.pathAcks, len(paths))
-	s.pathNaks = growZeroInt64(s.pathNaks, len(paths))
-	s.pathLoss = growZeroInt64(s.pathLoss, len(paths))
+	s.pstats = growZeroPathStats(s.pstats, len(paths))
 	s.onDone = opts.OnSenderDone
 	s.started = st.el.Now()
 	s.probeSeq = -1
@@ -136,26 +152,26 @@ func newSender(st *Stack, opts FlowOpts, dst int32, size int64, paths [][]int16)
 }
 
 // recycle resets a retired sender to the zero state while keeping its
-// identity-bound resources (stack, timer — whose callback closure already
-// points at this object) and the backing arrays of its per-packet and
-// per-path state, truncated to length zero for the next flow to regrow.
+// identity-bound resources (stack, embedded timer — whose expiry handler
+// already points at this object) and the backing arrays of its per-packet
+// and per-path state, truncated to length zero for the next flow to regrow.
 func (s *Sender) recycle() {
 	st, timer := s.st, s.timer
-	state, sentAt, firstTx, lastPath := s.state[:0], s.sentAt[:0], s.firstTx[:0], s.lastPath[:0]
-	rtxq, permScratch := s.rtxq[:0], s.permScratch
-	pathAcks, pathNaks, pathLoss := s.pathAcks, s.pathNaks, s.pathLoss
+	pkts, rtxq, permScratch := s.pkts[:0], s.rtxq[:0], s.permScratch
+	pstats := s.pstats
 	*s = Sender{st: st, timer: timer,
-		state: state, sentAt: sentAt, firstTx: firstTx, lastPath: lastPath,
-		rtxq: rtxq, permScratch: permScratch,
-		pathAcks: pathAcks, pathNaks: pathNaks, pathLoss: pathLoss}
+		pkts: pkts, rtxq: rtxq, permScratch: permScratch, pstats: pstats}
 }
 
-// growZeroInt64 returns s resized to n zeroed entries, reusing its backing
-// array when capacity allows.
-func growZeroInt64(s []int64, n int) []int64 {
-	s = s[:0]
-	for i := 0; i < n; i++ {
-		s = append(s, 0)
+// growZeroPathStats returns s resized to n zeroed entries, reusing its
+// backing array when capacity allows (one exact-size allocation otherwise).
+func growZeroPathStats(s []pathStat, n int) []pathStat {
+	if cap(s) < n {
+		return make([]pathStat, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = pathStat{}
 	}
 	return s
 }
@@ -172,13 +188,30 @@ func (s *Sender) start() {
 	}
 }
 
-// grow ensures per-packet state exists through seq.
+// grow ensures per-packet state exists through seq, regrowing the
+// scoreboard in one step (one allocation, doubling from a 64-packet floor)
+// instead of per-packet appends: a fresh sender for an N-packet flow pays
+// one allocation, not log2(N).
 func (s *Sender) grow(seq int64) {
-	for int64(len(s.state)) <= seq {
-		s.state = append(s.state, psUnsent)
-		s.sentAt = append(s.sentAt, 0)
-		s.firstTx = append(s.firstTx, -1) // -1 = never sent (0 is a valid time)
-		s.lastPath = append(s.lastPath, -1)
+	need := int(seq) + 1
+	if len(s.pkts) >= need {
+		return
+	}
+	if cap(s.pkts) < need {
+		c := 2 * cap(s.pkts)
+		if c < 64 {
+			c = 64
+		}
+		for c < need {
+			c *= 2
+		}
+		pkts := make([]pkt, len(s.pkts), c)
+		copy(pkts, s.pkts)
+		s.pkts = pkts
+	}
+	for len(s.pkts) < need {
+		// firstTx -1 = never sent (0 is a valid time).
+		s.pkts = append(s.pkts, pkt{state: psUnsent, firstTx: -1, lastPath: -1})
 	}
 }
 
@@ -211,26 +244,26 @@ func (s *Sender) repermute() {
 		var fracSum float64
 		var lossSum, qualified int64
 		for i := 0; i < n; i++ {
-			if t := s.pathAcks[i] + s.pathNaks[i]; t >= 4 {
-				fracSum += float64(s.pathNaks[i]) / float64(t)
+			if t := s.pstats[i].acks + s.pstats[i].naks; t >= 4 {
+				fracSum += float64(s.pstats[i].naks) / float64(t)
 				qualified++
 			}
-			lossSum += s.pathLoss[i]
+			lossSum += s.pstats[i].loss
 		}
 		meanFrac, meanLoss := 0.0, float64(lossSum)/float64(n)
 		if qualified > 0 {
 			meanFrac = fracSum / float64(qualified)
 		}
 		for i := 0; i < n; i++ {
-			t := s.pathAcks[i] + s.pathNaks[i]
+			t := s.pstats[i].acks + s.pstats[i].naks
 			if t >= 4 && qualified > 1 {
-				frac := float64(s.pathNaks[i]) / float64(t)
+				frac := float64(s.pstats[i].naks) / float64(t)
 				if frac > 2*meanFrac+0.05 {
 					s.excludedActive++
 					continue
 				}
 			}
-			if float64(s.pathLoss[i]) > 2*meanLoss+2 {
+			if float64(s.pstats[i].loss) > 2*meanLoss+2 {
 				s.excludedActive++
 				continue
 			}
@@ -247,9 +280,9 @@ func (s *Sender) repermute() {
 	// Exponential decay keeps exclusions temporary: a path's bad history
 	// fades, so it is re-probed after a few cycles.
 	for i := 0; i < n; i++ {
-		s.pathAcks[i] -= s.pathAcks[i] / 4
-		s.pathNaks[i] -= s.pathNaks[i] / 4
-		s.pathLoss[i] -= s.pathLoss[i] / 4
+		s.pstats[i].acks -= s.pstats[i].acks / 4
+		s.pstats[i].naks -= s.pstats[i].naks / 4
+		s.pstats[i].loss -= s.pstats[i].loss / 4
 	}
 	s.st.rand.ShuffleInts(include)
 	s.perm = include
@@ -277,7 +310,7 @@ func (s *Sender) sendDataAvoiding(seq int64, rtx bool, avoid int16) {
 	if avoid >= 0 && pid == avoid && len(s.paths) > 1 {
 		pid = s.nextPathID()
 	}
-	p := fabric.NewData(s.Flow, s.st.Host.ID, s.Dst, seq, size)
+	p := s.st.arena.NewData(s.Flow, s.st.Host.ID, s.Dst, seq, size)
 	if s.st.cfg.SwitchLB {
 		pid = -1 // destination-routed: switches spray per packet
 	} else {
@@ -294,15 +327,15 @@ func (s *Sender) sendDataAvoiding(seq int64, rtx bool, avoid int16) {
 	if rtx {
 		p.Flags |= fabric.FlagRTX
 	}
-	if s.state[seq] != psInflight {
+	if s.pkts[seq].state != psInflight {
 		s.inflight++
 	}
-	s.state[seq] = psInflight
-	s.sentAt[seq] = s.st.el.Now()
-	if s.firstTx[seq] < 0 {
-		s.firstTx[seq] = s.st.el.Now()
+	s.pkts[seq].state = psInflight
+	s.pkts[seq].sentAt = s.st.el.Now()
+	if s.pkts[seq].firstTx < 0 {
+		s.pkts[seq].firstTx = s.st.el.Now()
 	}
-	s.lastPath[seq] = pid
+	s.pkts[seq].lastPath = pid
 	s.PacketsSent++
 	if seq < s.iw && !rtx {
 		s.fwSent++
@@ -316,10 +349,13 @@ func (s *Sender) sendDataAvoiding(seq int64, rtx bool, avoid int16) {
 // sendNext releases one packet of pull credit: queued retransmissions first,
 // then new data.
 func (s *Sender) sendNext() {
-	for len(s.rtxq) > 0 {
-		seq := s.rtxq[0]
-		s.rtxq = s.rtxq[1:]
-		if s.state[seq] != psRtxQueued {
+	for s.rtxHead < len(s.rtxq) {
+		seq := s.rtxq[s.rtxHead]
+		s.rtxHead++
+		if s.rtxHead == len(s.rtxq) {
+			s.rtxq, s.rtxHead = s.rtxq[:0], 0
+		}
+		if s.pkts[seq].state != psRtxQueued {
 			continue // ACKed while queued
 		}
 		s.sendData(seq, true)
@@ -367,16 +403,16 @@ func (s *Sender) onAck(p *fabric.Packet) {
 		s.probeSeq = -1 // the bounce probe resolved
 	}
 	seq := p.Seq
-	if seq < 0 || int64(len(s.state)) <= seq || s.state[seq] == psAcked {
+	if seq < 0 || int64(len(s.pkts)) <= seq || s.pkts[seq].state == psAcked {
 		return
 	}
-	if p.PathID >= 0 && int(p.PathID) < len(s.pathAcks) {
-		s.pathAcks[p.PathID]++
+	if p.PathID >= 0 && int(p.PathID) < len(s.pstats) {
+		s.pstats[p.PathID].acks++
 	}
-	if s.state[seq] == psInflight {
+	if s.pkts[seq].state == psInflight {
 		s.inflight--
 	}
-	s.state[seq] = psAcked
+	s.pkts[seq].state = psAcked
 	s.ackedCount++
 	s.ackedOrNacked++
 	s.noteEvent(true)
@@ -385,8 +421,8 @@ func (s *Sender) onAck(p *fabric.Packet) {
 		sz = int64(s.lastSize)
 	}
 	s.ackedBytes += sz
-	if s.OnPacketLatency != nil && s.firstTx[seq] >= 0 {
-		s.OnPacketLatency(s.st.el.Now() - s.firstTx[seq])
+	if s.OnPacketLatency != nil && s.pkts[seq].firstTx >= 0 {
+		s.OnPacketLatency(s.st.el.Now() - s.pkts[seq].firstTx)
 	}
 	if s.total >= 0 && s.ackedCount == s.total && !s.complete {
 		s.complete = true
@@ -406,19 +442,19 @@ func (s *Sender) onNack(p *fabric.Packet) {
 		s.probeSeq = -1 // the bounce probe resolved
 	}
 	seq := p.Seq
-	if seq < 0 || int64(len(s.state)) <= seq {
+	if seq < 0 || int64(len(s.pkts)) <= seq {
 		return
 	}
 	s.NacksSeen++
-	if p.PathID >= 0 && int(p.PathID) < len(s.pathNaks) {
-		s.pathNaks[p.PathID]++
+	if p.PathID >= 0 && int(p.PathID) < len(s.pstats) {
+		s.pstats[p.PathID].naks++
 	}
 	s.noteEvent(false)
-	if s.state[seq] != psInflight {
+	if s.pkts[seq].state != psInflight {
 		return // already ACKed or already queued for rtx
 	}
 	s.inflight--
-	s.state[seq] = psRtxQueued
+	s.pkts[seq].state = psRtxQueued
 	s.ackedOrNacked++
 	s.rtxq = append(s.rtxq, seq)
 	s.RtxFromNack++
@@ -447,7 +483,7 @@ func (s *Sender) onPull(p *fabric.Packet) {
 // that a thousand-flow incast does not re-detonate itself.
 func (s *Sender) onBounce(p *fabric.Packet) {
 	seq := p.Seq
-	if seq < 0 || int64(len(s.state)) <= seq || s.state[seq] != psInflight {
+	if seq < 0 || int64(len(s.pkts)) <= seq || s.pkts[seq].state != psInflight {
 		return
 	}
 	s.rxEvents++
@@ -459,7 +495,7 @@ func (s *Sender) onBounce(p *fabric.Packet) {
 		s.probeSeq = -1 // the probe itself bounced again
 	}
 	s.inflight--
-	s.state[seq] = psRtxQueued
+	s.pkts[seq].state = psRtxQueued
 	s.RtxFromBounce++
 
 	expectMorePulls := s.lastPullSeq < s.ackedOrNacked
@@ -487,28 +523,32 @@ func (s *Sender) onBounce(p *fabric.Packet) {
 // valve then would re-detonate the incast. The silence threshold doubles
 // on every firing (capped) and halves on progress, so a genuinely dead
 // flow recovers within a few RTOs while a patient one stays quiet.
+// OnEvent is the RTO expiry dispatch (the sender's embedded timer fires
+// through the Handler interface, which costs no per-flow allocation).
+func (s *Sender) OnEvent(uint64) { s.onTimeout() }
+
 func (s *Sender) onTimeout() {
 	if s.complete {
 		return
 	}
 	now := s.st.el.Now()
 	resent := 0
-	for seq := int64(0); seq < int64(len(s.state)); seq++ {
-		if s.state[seq] == psInflight && s.sentAt[seq]+s.rto <= now {
-			if pid := s.lastPath[seq]; pid >= 0 {
-				s.pathLoss[pid]++
+	for seq := int64(0); seq < int64(len(s.pkts)); seq++ {
+		if s.pkts[seq].state == psInflight && s.pkts[seq].sentAt+s.rto <= now {
+			if pid := s.pkts[seq].lastPath; pid >= 0 {
+				s.pstats[pid].loss++
 			}
 			s.inflight-- // sendDataAvoiding re-increments
-			s.state[seq] = psRtxQueued
+			s.pkts[seq].state = psRtxQueued
 			s.RtxFromTimeout++
-			s.sendDataAvoiding(seq, true, s.lastPath[seq])
+			s.sendDataAvoiding(seq, true, s.pkts[seq].lastPath)
 			resent++
 		}
 	}
 	if s.valveThreshold == 0 {
 		s.valveThreshold = 1
 	}
-	if resent == 0 && s.rxEvents == s.lastEventSnap && len(s.rtxq) > 0 {
+	if resent == 0 && s.rxEvents == s.lastEventSnap && s.rtxHead < len(s.rtxq) {
 		s.valveSilent++
 		if s.valveSilent >= s.valveThreshold {
 			s.valveSilent = 0

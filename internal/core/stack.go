@@ -79,20 +79,26 @@ type Stack struct {
 
 	cfg     Config
 	el      *sim.EventList
-	rand    *sim.Rand
+	arena   *fabric.Arena
 	pathsTo PathsFunc
-	demux   *fabric.Demux
-	pacer   *pullPacer
+	// rand, demux and pacer live inside the stack (one allocation for all
+	// four objects); code passes &st.rand etc. where a pointer is needed.
+	rand  sim.Rand
+	demux fabric.Demux
+	pacer pullPacer
 
 	// rxq holds packets inside the RxDelay processing window, in arrival
-	// order (the delay is constant, so release order is FIFO).
-	rxq []*fabric.Packet
+	// order (the delay is constant, so release order is FIFO). Consumed via
+	// rxqHead, reset when drained, so the buffer's capacity is reusable.
+	rxq     []*fabric.Packet
+	rxqHead int
 
 	listening  bool
 	onComplete func(*Receiver)
 	prioFlows  map[uint64]bool
-	flowDone   map[uint64]func(*Receiver) // per-flow completion callbacks
-	flowData   map[uint64]func(int64)     // per-flow goodput observers
+	// flowObs holds per-flow observers installed by PreRegister — one map
+	// (and so one insert, lookup and delete per flow) for all three hooks.
+	flowObs map[uint64]flowObs
 
 	// timeWait records recently-closed/seen flow ids with their expiry so
 	// duplicate connections are rejected (at-most-once, §3.2.2). The
@@ -116,8 +122,12 @@ type Stack struct {
 	// exactly as before pooling existed. Closed-loop workloads (the rpc
 	// scenario starts thousands of short flows per host) were allocating
 	// a full Sender/Receiver pair plus packet-state arrays per StartFlow.
-	retiredS []*Sender
-	retiredR []*Receiver
+	// Consumed via head indexes (reset when drained) so popping never
+	// strands buffer capacity.
+	retiredS     []*Sender
+	retiredSHead int
+	retiredR     []*Receiver
+	retiredRHead int
 }
 
 // NewStack installs an NDP endpoint on a host. pathsTo must enumerate source
@@ -128,13 +138,15 @@ func NewStack(host *fabric.Host, pathsTo PathsFunc, cfg Config) *Stack {
 		Host:      host,
 		cfg:       cfg,
 		el:        host.EventList(),
-		rand:      sim.NewRand(cfg.Seed ^ (uint64(host.ID)+1)*0x9e3779b97f4a7c15),
+		arena:     fabric.AttachArena(host.EventList()),
 		pathsTo:   pathsTo,
-		demux:     fabric.NewDemux(),
 		prioFlows: make(map[uint64]bool),
-		flowDone:  make(map[uint64]func(*Receiver)),
-		flowData:  make(map[uint64]func(int64)),
-		timeWait:  make(map[uint64]sim.Time),
+		flowObs:   make(map[uint64]flowObs),
+		// Reclaimed flow ids park in timeWait forever, so the map only
+		// ever grows; presizing skips its incremental bucket doublings.
+		timeWait:  make(map[uint64]sim.Time, 64),
+		retiredS:  make([]*Sender, 0, 64),
+		retiredR:  make([]*Receiver, 0, 64),
 		msl:       sim.Millisecond,
 		senders:   make(map[uint64]*Sender),
 		receivers: make(map[uint64]*Receiver),
@@ -148,11 +160,13 @@ func NewStack(host *fabric.Host, pathsTo PathsFunc, cfg Config) *Stack {
 		// little slack drains the queue between pulls.
 		spacing = sim.TransmissionTime(cfg.MTU+2*fabric.HeaderSize, host.LinkRate())
 	}
-	st.pacer = newPullPacer(st, spacing)
+	st.rand.Init(cfg.Seed ^ (uint64(host.ID)+1)*0x9e3779b97f4a7c15)
+	st.demux.Init()
+	st.pacer.init(st, spacing)
 	if cfg.RxDelay > 0 {
 		host.Stack = fabric.SinkFunc(st.delayRx)
 	} else {
-		host.Stack = st.demux
+		host.Stack = &st.demux
 	}
 	st.demux.Listen = st.listen
 	return st
@@ -169,10 +183,23 @@ func (st *Stack) delayRx(p *fabric.Packet) {
 
 // OnEvent releases the oldest delayed arrival into the demux (sim.Handler).
 func (st *Stack) OnEvent(uint64) {
-	p := st.rxq[0]
-	st.rxq[0] = nil
-	st.rxq = st.rxq[1:]
+	p := st.rxq[st.rxqHead]
+	st.rxq[st.rxqHead] = nil
+	st.rxqHead++
+	if st.rxqHead == len(st.rxq) {
+		st.rxq, st.rxqHead = st.rxq[:0], 0
+	}
 	st.demux.Receive(p)
+}
+
+// Close frees packets the stack still holds — arrivals parked inside the
+// RxDelay processing window. Teardown only; idempotent.
+func (st *Stack) Close() {
+	for i := st.rxqHead; i < len(st.rxq); i++ {
+		fabric.Free(st.rxq[i])
+		st.rxq[i] = nil
+	}
+	st.rxq, st.rxqHead = st.rxq[:0], 0
 }
 
 // Config returns the stack's effective configuration.
@@ -205,14 +232,14 @@ func (st *Stack) listen(p *fabric.Packet) fabric.Sink {
 		return nil
 	}
 	r := newReceiver(st, p.Flow, p.Src)
-	if cb, ok := st.flowDone[p.Flow]; ok {
-		r.OnComplete = cb
+	obs := st.flowObs[p.Flow]
+	if obs.done != nil {
+		r.OnComplete = obs.done
 	} else {
 		r.OnComplete = st.onComplete
 	}
-	if cb, ok := st.flowData[p.Flow]; ok {
-		r.OnData = cb
-	}
+	r.OnCompleteAt = obs.doneAt
+	r.OnData = obs.data
 	st.receivers[p.Flow] = r
 	return r
 }
@@ -243,14 +270,18 @@ func (st *Stack) retireReceiver(r *Receiver) { st.retiredR = append(st.retiredR,
 // no-op on the completed sender anyway. Returns nil when the head is not
 // yet quiescent; the list is FIFO, so the head is always the oldest.
 func (st *Stack) takeRetiredSender() *Sender {
-	if len(st.retiredS) == 0 {
+	if st.retiredSHead == len(st.retiredS) {
 		return nil
 	}
-	s := st.retiredS[0]
+	s := st.retiredS[st.retiredSHead]
 	if s.timer.Pending() || st.el.Now() < s.CompletedAt+2*st.msl {
 		return nil
 	}
-	st.retiredS = st.retiredS[1:]
+	st.retiredS[st.retiredSHead] = nil
+	st.retiredSHead++
+	if st.retiredSHead == len(st.retiredS) {
+		st.retiredS, st.retiredSHead = st.retiredS[:0], 0
+	}
 	st.reclaimFlow(s.Flow)
 	delete(st.senders, s.Flow)
 	return s
@@ -266,8 +297,7 @@ func (st *Stack) takeRetiredSender() *Sender {
 func (st *Stack) reclaimFlow(flow uint64) {
 	st.demux.Unregister(flow)
 	st.timeWait[flow] = sim.Infinity
-	delete(st.flowDone, flow)
-	delete(st.flowData, flow)
+	delete(st.flowObs, flow)
 	delete(st.prioFlows, flow)
 }
 
@@ -276,14 +306,18 @@ func (st *Stack) reclaimFlow(flow uint64) {
 // entry still holds the pointer, and reusing it would release phantom pull
 // credit for the new flow).
 func (st *Stack) takeRetiredReceiver() *Receiver {
-	if len(st.retiredR) == 0 {
+	if st.retiredRHead == len(st.retiredR) {
 		return nil
 	}
-	r := st.retiredR[0]
+	r := st.retiredR[st.retiredRHead]
 	if r.fp.queued || st.el.Now() < r.CompletedAt+2*st.msl {
 		return nil
 	}
-	st.retiredR = st.retiredR[1:]
+	st.retiredR[st.retiredRHead] = nil
+	st.retiredRHead++
+	if st.retiredRHead == len(st.retiredR) {
+		st.retiredR, st.retiredRHead = st.retiredR[:0], 0
+	}
 	st.reclaimFlow(r.Flow)
 	delete(st.receivers, r.Flow)
 	return r
@@ -318,6 +352,11 @@ type FlowOpts struct {
 	// OnReceiverDone fires when the receiver holds all data (the FCT
 	// event used throughout the evaluation).
 	OnReceiverDone func(r *Receiver)
+	// OnReceiverDoneAt is a narrower completion hook: it receives only the
+	// completion time. Callers that need nothing else use it so the
+	// harness never has to wrap their callback in a per-flow adapter
+	// closure. Both hooks fire if both are set.
+	OnReceiverDoneAt func(at sim.Time)
 	// OnReceiverData observes every newly received payload byte count
 	// (goodput time series).
 	OnReceiverData func(bytes int64)
@@ -347,8 +386,16 @@ func (st *Stack) Connect(dst *Stack, size int64, opts FlowOpts) *Sender {
 	if opts.Flow == 0 {
 		opts.Flow = NextFlowID()
 	}
-	dst.PreRegister(opts.Flow, opts.Priority, opts.OnReceiverDone, opts.OnReceiverData)
+	dst.PreRegister(opts.Flow, opts.Priority, opts.OnReceiverDone, opts.OnReceiverDoneAt, opts.OnReceiverData)
 	return st.ConnectLocal(dst.Host.ID, size, opts)
+}
+
+// flowObs bundles the receiver-side observers a caller installs for one
+// flow ahead of its first packet.
+type flowObs struct {
+	done   func(*Receiver)
+	doneAt func(sim.Time)
+	data   func(int64)
 }
 
 // PreRegister installs receiver-side flow state ahead of the first packet:
@@ -357,15 +404,12 @@ func (st *Stack) Connect(dst *Stack, size int64, opts FlowOpts) *Sender {
 // before the first SYN arrives — one link delay is plenty, the first data
 // packet is at least a serialization plus two propagations away); in a
 // single-list run it is simply called inline.
-func (st *Stack) PreRegister(flow uint64, priority bool, onDone func(*Receiver), onData func(int64)) {
+func (st *Stack) PreRegister(flow uint64, priority bool, onDone func(*Receiver), onDoneAt func(sim.Time), onData func(int64)) {
 	if priority {
 		st.SetPriority(flow)
 	}
-	if onDone != nil {
-		st.flowDone[flow] = onDone
-	}
-	if onData != nil {
-		st.flowData[flow] = onData
+	if onDone != nil || onDoneAt != nil || onData != nil {
+		st.flowObs[flow] = flowObs{done: onDone, doneAt: onDoneAt, data: onData}
 	}
 }
 

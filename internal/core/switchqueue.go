@@ -88,7 +88,9 @@ func (r *queueRing) push(p *fabric.Packet) {
 		// The masked indexing below requires a power-of-two buffer;
 		// normalize the new capacity on growth instead of assuming the
 		// doubling always started from one (mirrors fabric's ring guard).
-		size := 16
+		// The 64-entry floor costs no extra allocations (the buffer is
+		// lazy) and spares deep queues two doubling steps.
+		size := 64
 		for size < len(r.buf)*2 {
 			size *= 2
 		}

@@ -64,11 +64,12 @@ func QueueFactory(mtu int) func(name string) fabric.Queue {
 type Sender struct {
 	Flow uint64
 
-	cfg  Config
-	el   *sim.EventList
-	host *fabric.Host
-	dst  int32
-	path []int16
+	cfg   Config
+	el    *sim.EventList
+	host  *fabric.Host
+	arena *fabric.Arena
+	dst   int32
+	path  []int16
 
 	size int64 // bytes; <0 unbounded
 	sent int64 // bytes handed to the NIC
@@ -94,12 +95,26 @@ type Sender struct {
 func NewSender(host *fabric.Host, dst int32, flow uint64, path []int16, size int64, cfg Config) *Sender {
 	s := &Sender{
 		Flow: flow, cfg: cfg, el: host.EventList(), host: host, dst: dst,
-		path: path, size: size,
+		arena: fabric.AttachArena(host.EventList()),
+		path:  path, size: size,
 		rc: float64(cfg.LineRate), rt: float64(cfg.LineRate), alpha: 1,
 	}
 	s.alphaTimer = sim.NewTimer(s.el, s.onAlphaTimer)
 	s.incTimer = sim.NewTimer(s.el, s.onIncTimer)
 	return s
+}
+
+// recycle resets a retired sender for a new transfer, keeping the event
+// list, the two rate-machine timers (their closures point at this object)
+// and the arena.
+func (s *Sender) recycle(host *fabric.Host, dst int32, flow uint64, path []int16, size int64, cfg Config) {
+	el, arena, at, it := s.el, s.arena, s.alphaTimer, s.incTimer
+	*s = Sender{
+		Flow: flow, cfg: cfg, el: el, host: host, dst: dst, arena: arena,
+		path: path, size: size,
+		rc: float64(cfg.LineRate), rt: float64(cfg.LineRate), alpha: 1,
+		alphaTimer: at, incTimer: it,
+	}
 }
 
 // Start begins paced transmission at line rate (RoCE does not probe).
@@ -121,7 +136,7 @@ func (s *Sender) sendLoop() {
 	if s.size >= 0 && s.size-s.sent < n {
 		n = s.size - s.sent
 	}
-	p := fabric.NewData(s.Flow, s.host.ID, s.dst, s.seq, int32(n))
+	p := s.arena.NewData(s.Flow, s.host.ID, s.dst, s.seq, int32(n))
 	p.Path = s.path
 	p.Sent = s.el.Now()
 	s.seq++
@@ -232,10 +247,11 @@ func (s *Sender) Stop() {
 type Receiver struct {
 	Flow uint64
 
-	host *fabric.Host
-	peer int32
-	path []int16
-	cfg  Config
+	host  *fabric.Host
+	arena *fabric.Arena
+	peer  int32
+	path  []int16
+	cfg   Config
 
 	lastCNP  sim.Time
 	everCNP  bool
@@ -253,7 +269,10 @@ type Receiver struct {
 
 // NewReceiver builds the receiving side; path carries CNPs back.
 func NewReceiver(host *fabric.Host, peer int32, flow uint64, revPath []int16, cfg Config) *Receiver {
-	return &Receiver{Flow: flow, host: host, peer: peer, path: revPath, cfg: cfg}
+	return &Receiver{
+		Flow: flow, host: host, peer: peer, path: revPath, cfg: cfg,
+		arena: fabric.AttachArena(host.EventList()),
+	}
 }
 
 // Receive handles data packets.
@@ -275,7 +294,7 @@ func (r *Receiver) Receive(p *fabric.Packet) {
 		if !r.everCNP || now-r.lastCNP >= r.cfg.CNPInterval {
 			r.everCNP = true
 			r.lastCNP = now
-			c := fabric.NewControl(fabric.CNP, r.Flow, r.host.ID, r.peer)
+			c := r.arena.NewControl(fabric.CNP, r.Flow, r.host.ID, r.peer)
 			c.Path = r.path
 			r.host.Send(c)
 		}

@@ -1,0 +1,115 @@
+package fabric
+
+import "ndp/internal/sim"
+
+// AttachArena returns the packet arena owned by el's scheduling domain,
+// creating and attaching one on first use. Topology construction calls it
+// once per shard; components cache the result at construction time (it is
+// a map-free field read, but the hot path should not pay even that).
+func AttachArena(el *sim.EventList) *Arena {
+	if a, ok := el.Allocator().(*Arena); ok {
+		return a
+	}
+	a := NewArena()
+	el.SetAllocator(a)
+	return a
+}
+
+// Arena is a shard-local packet allocator: a chunked slab feeding a plain
+// free-list stack. Each shard's event list owns exactly one Arena
+// (AttachArena), and every component scheduled on that list allocates from
+// it, so packets are freed by the same goroutine that allocated them —
+// after a cross-shard handoff, by the goroutine the ownership was
+// transferred to at the window barrier. That single-owner discipline is
+// what lets Get/Free run without locks, without sync.Pool's per-P caches,
+// and without the GC draining the pool between runs.
+//
+// Unlike the old global pool, an Arena never re-zeroes a recycled struct on
+// the generic Get path and then sets fields again: NewData/NewControl write
+// the whole packet once. The InUse counter tracks outstanding packets; a
+// simulation that ends with InUse() != 0 has leaked, and the golden suite
+// asserts this for every registry scenario.
+type Arena struct {
+	free  []*Packet
+	inUse int64
+}
+
+// arenaChunk is how many packets one slab growth adds. Chunks amortize both
+// the allocation and the GC scan cost (one backing array per 256 packets).
+const arenaChunk = 256
+
+// NewArena returns an empty arena; the first Get grows the initial chunk.
+func NewArena() *Arena { return &Arena{} }
+
+// take pops a recycled packet (growing a fresh slab when empty) without
+// initializing it. Callers must overwrite every field before releasing the
+// packet into the simulation.
+func (a *Arena) take() *Packet {
+	n := len(a.free)
+	if n == 0 {
+		chunk := make([]Packet, arenaChunk)
+		for i := range chunk {
+			chunk[i].freed = true
+			a.free = append(a.free, &chunk[i])
+		}
+		n = len(a.free)
+	}
+	p := a.free[n-1]
+	a.free[n-1] = nil
+	a.free = a.free[:n-1]
+	a.inUse++
+	return p
+}
+
+// Get returns a zeroed packet owned by this arena.
+func (a *Arena) Get() *Packet {
+	p := a.take()
+	*p = Packet{owner: a}
+	return p
+}
+
+// NewControl builds a control packet (ACK/NACK/PULL/CNP) from this arena,
+// sized at HeaderSize. One whole-struct store: no zero-then-set.
+func (a *Arena) NewControl(t PacketType, flow uint64, src, dst int32) *Packet {
+	p := a.take()
+	*p = Packet{owner: a, Type: t, Flow: flow, Src: src, Dst: dst, Size: HeaderSize}
+	return p
+}
+
+// NewData builds a payload packet of the given total wire size from this
+// arena. One whole-struct store: no zero-then-set.
+func (a *Arena) NewData(flow uint64, src, dst int32, seq int64, size int32) *Packet {
+	p := a.take()
+	*p = Packet{owner: a, Type: Data, Flow: flow, Src: src, Dst: dst, Seq: seq, Size: size, DataSize: size}
+	return p
+}
+
+// put returns a packet to the free-list. Double frees corrupt a free-list
+// silently (the same packet handed to two future allocations), so they
+// panic here instead.
+func (a *Arena) put(p *Packet) {
+	if p.freed {
+		panic("fabric: double free of packet " + p.String())
+	}
+	p.freed = true
+	p.Path = nil
+	a.inUse--
+	a.free = append(a.free, p)
+}
+
+// InUse reports the packets allocated from this arena and not yet freed.
+// Zero after a completed run means no packet leaked.
+func (a *Arena) InUse() int64 { return a.inUse }
+
+// transferTo moves the packet's ownership to another arena: the packet will
+// be freed into dst's free-list by dst's goroutine. Called only at window
+// barriers (CrossBox.Drain), where the coordinator is the sole runner, so
+// the counter updates need no atomics.
+func (p *Packet) transferTo(dst *Arena) {
+	if p.owner == dst || p.owner == nil || dst == nil {
+		return
+	}
+	p.owner.inUse--
+	dst.inUse++
+	p.owner = dst
+}

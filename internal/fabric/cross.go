@@ -49,6 +49,13 @@ func (b *CrossBox) Drain(dst *Inbox) {
 		if e.At < dst.el.Now() {
 			panic("fabric: cross-shard entry timed before the destination clock (lookahead contract violated)")
 		}
+		if e.Pkt != nil {
+			// Ownership transfer: from here on the destination shard's
+			// goroutine delivers and frees the packet, so it must free
+			// into the destination arena. The barrier is single-threaded,
+			// which is what makes the two counter updates safe.
+			e.Pkt.transferTo(dst.arena)
+		}
 		dst.inject(e)
 	}
 	b.entries = b.entries[:0]
@@ -57,6 +64,16 @@ func (b *CrossBox) Drain(dst *Inbox) {
 // Len reports pending entries (tests and telemetry).
 func (b *CrossBox) Len() int { return len(b.entries) }
 
+// ReleasePackets frees any packets still waiting in the box (a run stopped
+// mid-traffic before the next barrier) and empties it.
+func (b *CrossBox) ReleasePackets() {
+	for i := range b.entries {
+		Free(b.entries[i].Pkt)
+		b.entries[i] = CrossEntry{}
+	}
+	b.entries = b.entries[:0]
+}
+
 // Inbox is one shard's receiving side of the cross-shard exchange: a slot
 // arena plus a typed event per injected entry, so packet deliveries cross
 // the boundary without allocating a closure each (the command variant
@@ -64,12 +81,15 @@ func (b *CrossBox) Len() int { return len(b.entries) }
 // entries fire, so steady-state crossings allocate nothing.
 type Inbox struct {
 	el      *sim.EventList
+	arena   *Arena
 	entries []CrossEntry
 	free    []int32
 }
 
-// NewInbox builds the inbox feeding one shard's event list.
-func NewInbox(el *sim.EventList) *Inbox { return &Inbox{el: el} }
+// NewInbox builds the inbox feeding one shard's event list. It attaches the
+// shard's packet arena, the destination of every ownership transfer drained
+// into this inbox.
+func NewInbox(el *sim.EventList) *Inbox { return &Inbox{el: el, arena: AttachArena(el)} }
 
 // inject stores the entry in a slot and schedules its keyed firing.
 func (ib *Inbox) inject(e CrossEntry) {
@@ -97,5 +117,17 @@ func (ib *Inbox) OnEvent(arg uint64) {
 		e.Sink.Receive(e.Pkt)
 	default:
 		Free(e.Pkt)
+	}
+}
+
+// ReleasePackets frees any injected packet deliveries that have not fired
+// yet (a run stopped mid-traffic). Slots are zeroed, not recycled — the
+// inbox is being torn down.
+func (ib *Inbox) ReleasePackets() {
+	for i := range ib.entries {
+		if ib.entries[i].Sink != nil || ib.entries[i].Pkt != nil {
+			Free(ib.entries[i].Pkt)
+		}
+		ib.entries[i] = CrossEntry{}
 	}
 }

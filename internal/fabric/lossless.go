@@ -126,6 +126,17 @@ func (iq *IngressQueue) popForward() {
 // Backlog returns the bytes currently held at this ingress.
 func (iq *IngressQueue) Backlog() int { return iq.bytes }
 
+// releasePackets frees the held backlog at teardown.
+func (iq *IngressQueue) releasePackets() {
+	for ; iq.head < len(iq.held); iq.head++ {
+		Free(iq.held[iq.head].p)
+		iq.held[iq.head] = heldEntry{}
+	}
+	iq.held = iq.held[:0]
+	iq.head = 0
+	iq.bytes = 0
+}
+
 // IngressQueue event kinds: a PAUSE/RESUME signal arriving at the upstream
 // transmitter one link propagation delay after the watermark crossing.
 const (

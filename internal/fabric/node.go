@@ -69,6 +69,20 @@ func (s *Switch) ForwardBounced(p *Packet) {
 	s.Receive(p)
 }
 
+// ReleasePackets frees every packet the switch still holds at teardown:
+// each egress port's pipeline and, in lossless mode, the held ingress
+// backlog.
+func (s *Switch) ReleasePackets() {
+	for _, p := range s.Ports {
+		p.ReleasePackets()
+	}
+	if s.lossless != nil {
+		for _, iq := range s.lossless.ingresses {
+			iq.releasePackets()
+		}
+	}
+}
+
 // String identifies the switch in traces.
 func (s *Switch) String() string { return fmt.Sprintf("switch(%s)", s.Name) }
 
@@ -126,7 +140,19 @@ type Demux struct {
 }
 
 // NewDemux returns an empty demultiplexer.
-func NewDemux() *Demux { return &Demux{handlers: make(map[uint64]Sink)} }
+func NewDemux() *Demux {
+	d := &Demux{}
+	d.Init()
+	return d
+}
+
+// Init readies a zero Demux in place, for embedding by value.
+func (d *Demux) Init() {
+	// Presized for a typical working set of concurrent flows: the map
+	// churns constantly under closed-loop workloads, and the hint skips
+	// its first few incremental bucket doublings.
+	d.handlers = make(map[uint64]Sink, 64)
+}
 
 // Register installs a handler for a flow.
 func (d *Demux) Register(flow uint64, s Sink) { d.handlers[flow] = s }

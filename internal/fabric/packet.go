@@ -108,6 +108,13 @@ type Packet struct {
 	Sent     sim.Time // when the packet (or its first incarnation) left the sender
 	TSEcho   sim.Time // timestamp echoed for RTT measurement
 	QueueOcc int32    // queue occupancy snapshot (DCQCN-style telemetry)
+
+	// owner is the Arena the packet was allocated from (nil for packets
+	// from the legacy global pool). Free routes through it, so the ~25
+	// call sites that release packets never need to know which shard
+	// allocated one. freed guards against double frees.
+	owner *Arena
+	freed bool
 }
 
 // IsControl reports whether the packet gets control-plane priority at NDP
@@ -156,9 +163,14 @@ func GetPacket() *Packet {
 	return p
 }
 
-// Free returns a packet to the pool. The caller must not retain references.
+// Free returns a packet to its owning arena (or, for packets from the
+// legacy global pool, to that pool). The caller must not retain references.
 func Free(p *Packet) {
 	if p == nil {
+		return
+	}
+	if p.owner != nil {
+		p.owner.put(p)
 		return
 	}
 	p.Path = nil

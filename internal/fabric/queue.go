@@ -111,7 +111,7 @@ func (r *ring) grow() {
 	// buffer. Doubling preserves that invariant, but a buffer installed by
 	// any other path (or a future refactor) would silently corrupt the
 	// queue, so normalize the new capacity instead of assuming it.
-	size := nextPow2(len(r.buf)*2, 16)
+	size := nextPow2(len(r.buf)*2, 64)
 	nb := make([]*Packet, size)
 	for i := 0; i < r.n; i++ {
 		nb[i] = r.buf[(r.head+i)%len(r.buf)]

@@ -169,10 +169,14 @@ func (r *BenchReport) String() string {
 }
 
 // CompareBench checks current against baseline and returns one message per
-// case whose events/sec regressed by more than maxRegressPct. Cases present
-// in only one report are ignored (the tiny CI subset compares against the
-// full committed trajectory), but comparing zero common cases is reported
-// as a failure — a silently-empty gate is worse than none.
+// case whose events/sec dropped — or whose allocs/op grew — by more than
+// maxRegressPct. When the two reports disagree on a case's event count the
+// simulations did different amounts of bookkeeping per run, so the gate
+// falls back to comparing wall time. Cases present in only one report are
+// ignored (the tiny CI
+// subset compares against the full committed trajectory), but comparing
+// zero common cases is reported as a failure — a silently-empty gate is
+// worse than none.
 func CompareBench(baseline, current *BenchReport, maxRegressPct float64) []string {
 	base := make(map[string]BenchResult, len(baseline.Results))
 	for _, r := range baseline.Results {
@@ -186,11 +190,38 @@ func CompareBench(baseline, current *BenchReport, maxRegressPct float64) []strin
 			continue
 		}
 		compared++
-		drop := 100 * (b.EventsPerSec - cur.EventsPerSec) / b.EventsPerSec
-		if drop > maxRegressPct {
-			msgs = append(msgs, fmt.Sprintf(
-				"%s: events/sec regressed %.1f%% (baseline %.0f -> current %.0f, limit %.0f%%)",
-				cur.Name, drop, b.EventsPerSec, cur.EventsPerSec, maxRegressPct))
+		if cur.Events == b.Events {
+			drop := 100 * (b.EventsPerSec - cur.EventsPerSec) / b.EventsPerSec
+			if drop > maxRegressPct {
+				msgs = append(msgs, fmt.Sprintf(
+					"%s: events/sec regressed %.1f%% (baseline %.0f -> current %.0f, limit %.0f%%)",
+					cur.Name, drop, b.EventsPerSec, cur.EventsPerSec, maxRegressPct))
+			}
+		} else if b.WallMs > 0 {
+			// The event count changed, so events/sec compares different units
+			// of work: a change that elides bookkeeping events (timer
+			// coalescing, batched wakeups) shrinks the denominator and makes
+			// events/sec collapse even when the run got faster. Wall time per
+			// run is the quantity the user actually waits for, so gate on
+			// that instead.
+			drop := 100 * (cur.WallMs - b.WallMs) / b.WallMs
+			if drop > maxRegressPct {
+				msgs = append(msgs, fmt.Sprintf(
+					"%s: wall time regressed %.1f%% (baseline %.2fms -> current %.2fms, limit %.0f%%; event count changed %d -> %d so events/sec is not comparable)",
+					cur.Name, drop, b.WallMs, cur.WallMs, maxRegressPct, b.Events, cur.Events))
+			}
+		}
+		// Allocation discipline is a separate budget: an alloc-heavy change
+		// can hide inside run-to-run throughput noise, then surface as GC
+		// pressure only at scale. Baselines predating the allocs_per_op
+		// field carry zero and are skipped.
+		if b.AllocsPerOp > 0 {
+			grow := 100 * float64(cur.AllocsPerOp-b.AllocsPerOp) / float64(b.AllocsPerOp)
+			if grow > maxRegressPct {
+				msgs = append(msgs, fmt.Sprintf(
+					"%s: allocs/op regressed %.1f%% (baseline %d -> current %d, limit %.0f%%)",
+					cur.Name, grow, b.AllocsPerOp, cur.AllocsPerOp, maxRegressPct))
+			}
 		}
 	}
 	if compared == 0 {

@@ -33,6 +33,46 @@ func TestCompareBench(t *testing.T) {
 	if len(msgs) != 1 || !strings.Contains(msgs[0], "a:") {
 		t.Errorf("30%% regression on a not flagged correctly: %v", msgs)
 	}
+	// Allocation growth beyond tolerance is flagged even when throughput
+	// held; baselines without alloc counts (zero) are skipped.
+	allocBase := report(
+		BenchResult{Name: "a", EventsPerSec: 1000, AllocsPerOp: 1000},
+		BenchResult{Name: "b", EventsPerSec: 2000},
+	)
+	allocBad := report(
+		BenchResult{Name: "a", EventsPerSec: 1000, AllocsPerOp: 1500},
+		BenchResult{Name: "b", EventsPerSec: 2000, AllocsPerOp: 999999},
+	)
+	msgs = CompareBench(allocBase, allocBad, 20)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "allocs/op") || !strings.Contains(msgs[0], "a:") {
+		t.Errorf("50%% alloc regression on a not flagged correctly: %v", msgs)
+	}
+	allocOK := report(
+		BenchResult{Name: "a", EventsPerSec: 1000, AllocsPerOp: 1100},
+	)
+	if msgs := CompareBench(allocBase, allocOK, 20); len(msgs) != 0 {
+		t.Errorf("within-tolerance alloc growth flagged: %v", msgs)
+	}
+	// When the event count changes, events/sec compares different work per
+	// run; the gate must fall back to wall time. Here events/sec collapsed
+	// 4x but the run got faster — no regression.
+	elideBase := report(
+		BenchResult{Name: "a", Events: 8000, EventsPerSec: 20_000_000, WallMs: 0.40},
+	)
+	elideFast := report(
+		BenchResult{Name: "a", Events: 2000, EventsPerSec: 5_000_000, WallMs: 0.30},
+	)
+	if msgs := CompareBench(elideBase, elideFast, 20); len(msgs) != 0 {
+		t.Errorf("faster run with elided events flagged: %v", msgs)
+	}
+	// Same elision, but wall time genuinely regressed beyond tolerance.
+	elideSlow := report(
+		BenchResult{Name: "a", Events: 2000, EventsPerSec: 3_000_000, WallMs: 0.60},
+	)
+	msgs = CompareBench(elideBase, elideSlow, 20)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "wall time") {
+		t.Errorf("wall-time regression under event elision not flagged: %v", msgs)
+	}
 	// New cases absent from the baseline are not compared.
 	fresh := report(BenchResult{Name: "new-case", EventsPerSec: 1})
 	fresh.Results = append(fresh.Results, BenchResult{Name: "a", EventsPerSec: 1000})

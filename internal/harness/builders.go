@@ -115,6 +115,12 @@ type TCPNet struct {
 	// shared Rand/nextFlow.
 	srcSeq  []uint64
 	srcRand []*sim.Rand
+
+	// pools recycles completed flow state, one pool per scheduling domain.
+	// The map is built up front and read-only at runtime: flows may start
+	// from any shard's goroutine, and each shard only ever touches the pool
+	// of its own event list.
+	pools map[*sim.EventList]*tcp.Pool
 }
 
 // srcFlowID allocates `stride` consecutive flow ids from the source host's
@@ -145,8 +151,17 @@ func newTCPNet(c topo.Cluster, cfg tcp.Config, seed uint64) *TCPNet {
 		h.Stack = d
 		n.Demux = append(n.Demux, d)
 	}
+	n.pools = make(map[*sim.EventList]*tcp.Pool)
+	for _, h := range c.HostList() {
+		if _, ok := n.pools[h.EventList()]; !ok {
+			n.pools[h.EventList()] = tcp.NewPool()
+		}
+	}
 	return n
 }
+
+// pool returns the flow-state recycling pool of one scheduling domain.
+func (t *TCPNet) pool(el *sim.EventList) *tcp.Pool { return t.pools[el] }
 
 // BuildTCPFamily constructs a topology with the given switch queues and a
 // demux on every host; cfg is the flow configuration the uniform StartFlow
@@ -187,11 +202,9 @@ func (t *TCPNet) Flow(src, dst int, size int64, cfg tcp.Config, onDone func(*tcp
 	} else {
 		source = tcp.NewFixedSource(size, cfg.MSS)
 	}
-	snd := tcp.NewSender(hs, hd.ID, flow, t.randPath(hs.ID, hd.ID), source, cfg)
-	rcv := tcp.NewReceiver(hd, hs.ID, flow, t.randPath(hd.ID, hs.ID))
+	snd := t.pool(hs.EventList()).NewSender(hs, t.Demux[src], hd.ID, flow, t.randPath(hs.ID, hd.ID), source, cfg)
+	rcv := t.pool(hd.EventList()).NewReceiver(hd, t.Demux[dst], hs.ID, flow, t.randPath(hd.ID, hs.ID))
 	rcv.OnComplete = onDone
-	t.Demux[src].Register(flow, snd)
-	t.Demux[dst].Register(flow, rcv)
 	snd.Start()
 	return snd, rcv
 }
@@ -222,6 +235,7 @@ type DCQCNNet struct {
 
 	nextFlow uint64
 	senders  []*dcqcn.Sender
+	pool     *dcqcn.Pool
 }
 
 // BuildDCQCN constructs a PFC-enabled topology with DCQCN ECN queues. It is
@@ -245,9 +259,21 @@ func (d *DCQCNNet) Flow(src, dst int, size int64, onDone func(*dcqcn.Receiver)) 
 	fwd := d.C.Paths(hs.ID, hd.ID)
 	rev := d.C.Paths(hd.ID, hs.ID)
 	r := sim.NewRand(flow * 2654435761)
-	s := dcqcn.NewSender(hs, hd.ID, flow, fwd[r.Intn(len(fwd))], size, d.Cfg)
-	rc := dcqcn.NewReceiver(hd, hs.ID, flow, rev[r.Intn(len(rev))], d.Cfg)
-	rc.OnComplete = onDone
+	s := d.pool.NewSender(hs, hd.ID, flow, fwd[r.Intn(len(fwd))], size, d.Cfg)
+	rc := d.pool.NewReceiver(hd, hs.ID, flow, rev[r.Intn(len(rev))], d.Cfg)
+	// On a lossless fixed path nothing arrives after the FIN, so both
+	// endpoints retire as soon as the receiver completes — after stopping
+	// the sender's rate timers, which otherwise tick forever.
+	rc.OnComplete = func(rc *dcqcn.Receiver) {
+		if onDone != nil {
+			onDone(rc)
+		}
+		d.Demux[src].Unregister(flow)
+		d.Demux[dst].Unregister(flow)
+		s.Stop()
+		d.pool.RetireSender(s)
+		d.pool.RetireReceiver(rc)
+	}
 	d.Demux[src].Register(flow, s)
 	d.Demux[dst].Register(flow, rc)
 	d.senders = append(d.senders, s)
@@ -341,14 +367,15 @@ func utilization(gbps []float64, linkRate int64) float64 {
 // switch-service-model experiment: it emits MTU-sized packets on a fixed
 // one-hop route forever, ignoring all feedback.
 type Blaster struct {
-	host *fabric.Host
-	dst  int32
-	flow uint64
-	path []int16
-	mtu  int
-	gap  sim.Time
-	el   *sim.EventList
-	stop bool
+	host  *fabric.Host
+	arena *fabric.Arena
+	dst   int32
+	flow  uint64
+	path  []int16
+	mtu   int
+	gap   sim.Time
+	el    *sim.EventList
+	stop  bool
 }
 
 // StartBlast begins blasting from src toward dst on the first enumerated
@@ -359,13 +386,14 @@ type Blaster struct {
 func StartBlast(c topo.Cluster, src, dst int, flow uint64, mtu int, offset sim.Time) *Blaster {
 	h := c.HostList()[src]
 	b := &Blaster{
-		host: h,
-		dst:  c.HostList()[dst].ID,
-		flow: flow,
-		path: c.Paths(h.ID, c.HostList()[dst].ID)[0],
-		mtu:  mtu,
-		gap:  sim.TransmissionTime(mtu, c.LinkRate()),
-		el:   c.EventList(),
+		host:  h,
+		arena: fabric.AttachArena(h.EventList()),
+		dst:   c.HostList()[dst].ID,
+		flow:  flow,
+		path:  c.Paths(h.ID, c.HostList()[dst].ID)[0],
+		mtu:   mtu,
+		gap:   sim.TransmissionTime(mtu, c.LinkRate()),
+		el:    c.EventList(),
 	}
 	b.el.After(offset, b.tick)
 	return b
@@ -376,7 +404,7 @@ func (b *Blaster) tick() {
 		return
 	}
 	seq := int64(0)
-	p := fabric.NewData(b.flow, b.host.ID, b.dst, seq, int32(b.mtu))
+	p := b.arena.NewData(b.flow, b.host.ID, b.dst, seq, int32(b.mtu))
 	p.Path = b.path
 	b.host.Send(p)
 	b.el.After(b.gap, b.tick)

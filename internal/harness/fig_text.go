@@ -52,7 +52,7 @@ func fig23(o Options, r *Result) {
 					Seed:          seed + 7,
 					NotifyLatency: n.C.LinkDelay(),
 					Defer:         n.C.Defer,
-					Start: func(src, dst int, size int64, done func(at sim.Time)) {
+					Start: func(_, src, dst int, size int64, done func(at sim.Time)) {
 						start := n.EL().Now()
 						n.Transfer(src, dst, size, core.FlowOpts{OnReceiverDone: func(rcv *core.Receiver) {
 							fcts.Add((rcv.CompletedAt - start).Millis())
@@ -82,7 +82,7 @@ func fig23(o Options, r *Result) {
 					Seed:          seed + 7,
 					NotifyLatency: tn.C.LinkDelay(),
 					Defer:         tn.C.Defer,
-					Start: func(src, dst int, size int64, done func(at sim.Time)) {
+					Start: func(_, src, dst int, size int64, done func(at sim.Time)) {
 						start := tn.EL().Now()
 						tn.Flow(src, dst, size, cfg, func(rcv *tcp.Receiver) {
 							fcts.Add((rcv.CompletedAt - start).Millis())

@@ -118,8 +118,14 @@ func (t NDPTransport) Build(build BuildFunc, base topo.Config) Net {
 // Cluster implements Net.
 func (n *NDPNet) Cluster() topo.Cluster { return n.C }
 
-// Close implements Net (no transport timers to stop).
-func (n *NDPNet) Close() { n.C.Close() }
+// Close implements Net: releases packets parked in the stacks' RxDelay
+// windows, then the cluster's fabric and engine resources.
+func (n *NDPNet) Close() {
+	for _, st := range n.Stacks {
+		st.Close()
+	}
+	n.C.Close()
+}
 
 // DoneHost implements Net: NDP completion fires at the receiver.
 func (n *NDPNet) DoneHost(src, dst int) int { return dst }
@@ -134,17 +140,13 @@ func (n *NDPNet) DoneHost(src, dst int) int { return dst }
 // before the first SYN, which is at least a serialization plus two
 // propagation delays behind it.
 func (n *NDPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
-	fo := core.FlowOpts{Flow: core.NextFlowID(), Priority: opts.Priority, OnReceiverData: opts.OnData}
-	if opts.OnDone != nil {
-		done := opts.OnDone
-		fo.OnReceiverDone = func(r *core.Receiver) { done(r.CompletedAt) }
-	}
+	fo := core.FlowOpts{Flow: core.NextFlowID(), Priority: opts.Priority, OnReceiverDoneAt: opts.OnDone, OnReceiverData: opts.OnData}
 	c := n.C
 	dstStack := n.Stacks[dst]
-	flow, prio, onDone, onData := fo.Flow, fo.Priority, fo.OnReceiverDone, fo.OnReceiverData
+	flow, prio, onDoneAt, onData := fo.Flow, fo.Priority, fo.OnReceiverDoneAt, fo.OnReceiverData
 	at := n.Stacks[src].Host.EventList().Now() + c.LinkDelay()
 	c.Defer(src, dst, at, func() {
-		dstStack.PreRegister(flow, prio, onDone, onData)
+		dstStack.PreRegister(flow, prio, nil, onDoneAt, onData)
 	})
 	return n.Stacks[src].ConnectLocal(dstStack.Host.ID, size, fo)
 }
@@ -220,19 +222,17 @@ func (t *TCPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
 	}
 	r := t.srcRand[src]
 	fwd := t.C.Paths(hs.ID, hd.ID)
-	snd := tcp.NewSender(hs, hd.ID, flow, fwd[r.Intn(len(fwd))], source, t.Cfg)
-	t.Demux[src].Register(flow, snd)
+	snd := t.pool(hs.EventList()).NewSender(hs, t.Demux[src], hd.ID, flow, fwd[r.Intn(len(fwd))], source, t.Cfg)
 	revPick := r.Uint64()
 	onDone, onData := opts.OnDone, opts.OnData
 	c := t.C
 	c.Defer(src, dst, hs.EventList().Now()+c.LinkDelay(), func() {
 		revs := c.Paths(hd.ID, hs.ID)
-		rcv := tcp.NewReceiver(hd, hs.ID, flow, revs[revPick%uint64(len(revs))])
+		rcv := t.pool(hd.EventList()).NewReceiver(hd, t.Demux[dst], hs.ID, flow, revs[revPick%uint64(len(revs))])
 		rcv.OnData = onData
 		if onDone != nil {
 			rcv.OnComplete = func(r *tcp.Receiver) { onDone(r.CompletedAt) }
 		}
-		t.Demux[dst].Register(flow, rcv)
 	})
 	snd.Start()
 	return tcpFlow{snd}
@@ -294,7 +294,7 @@ func (m *MPTCPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
 	flow := m.srcFlowID(src, uint64(subflows)+1)
 	hs, hd := m.C.HostList()[src], m.C.HostList()[dst]
 	r := m.srcRand[src]
-	f := mptcp.NewSenderHalf(hs, hd.ID, m.Demux[src], flow, size, m.C.Paths(hs.ID, hd.ID), r, m.Cfg)
+	f := mptcp.NewSenderHalf(hs, hd.ID, m.Demux[src], flow, size, m.C.Paths(hs.ID, hd.ID), r, m.Cfg, m.pool(hs.EventList()))
 	if opts.OnDone != nil {
 		done := opts.OnDone
 		f.OnComplete = func(fl *mptcp.Flow) { done(fl.CompletedAt) }
@@ -303,7 +303,7 @@ func (m *MPTCPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
 	onData := opts.OnData
 	c := m.C
 	c.Defer(src, dst, hs.EventList().Now()+c.LinkDelay(), func() {
-		f.AttachReceivers(hd, m.Demux[dst], c.Paths(hd.ID, hs.ID), sim.NewRand(revSeed), onData)
+		f.AttachReceivers(hd, m.Demux[dst], c.Paths(hd.ID, hs.ID), sim.NewRand(revSeed), onData, m.pool(hd.EventList()))
 	})
 	f.Start()
 	return f
@@ -341,7 +341,7 @@ func (t DCQCNTransport) Build(build BuildFunc, base topo.Config) Net {
 	cfg := dcqcn.DefaultConfig()
 	cfg.MTU = mtu
 	cfg.LineRate = c.LinkRate()
-	d := &DCQCNNet{C: c, Cfg: cfg, nextFlow: 1}
+	d := &DCQCNNet{C: c, Cfg: cfg, nextFlow: 1, pool: dcqcn.NewPool()}
 	for _, h := range c.HostList() {
 		dm := fabric.NewDemux()
 		h.Stack = dm

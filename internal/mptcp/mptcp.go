@@ -75,8 +75,8 @@ func (s *unboundedSource) Exhausted() bool { return false }
 // destination's.
 func New(src, dst *fabric.Host, srcDemux, dstDemux *fabric.Demux, flow uint64,
 	size int64, paths, revPaths [][]int16, rand *sim.Rand, cfg Config) *Flow {
-	f := NewSenderHalf(src, dst.ID, srcDemux, flow, size, paths, rand, cfg)
-	f.AttachReceivers(dst, dstDemux, revPaths, rand, nil)
+	f := NewSenderHalf(src, dst.ID, srcDemux, flow, size, paths, rand, cfg, nil)
+	f.AttachReceivers(dst, dstDemux, revPaths, rand, nil, nil)
 	return f
 }
 
@@ -87,8 +87,13 @@ func New(src, dst *fabric.Host, srcDemux, dstDemux *fabric.Demux, flow uint64,
 // in the source's scheduling domain of a sharded engine; complete the flow
 // with AttachReceivers in the destination's domain before the first data
 // packet arrives.
+//
+// pool, when non-nil, recycles completed subflow sender state; it must
+// belong to the source's scheduling domain. Subflows are group-retired only
+// once every one of them has completed, because LIA reads sibling windows
+// for as long as any subflow is still growing.
 func NewSenderHalf(src *fabric.Host, dst int32, srcDemux *fabric.Demux, flow uint64,
-	size int64, paths [][]int16, rand *sim.Rand, cfg Config) *Flow {
+	size int64, paths [][]int16, rand *sim.Rand, cfg Config, pool *tcp.Pool) *Flow {
 	if cfg.Subflows <= 0 {
 		cfg.Subflows = 8
 	}
@@ -105,13 +110,31 @@ func NewSenderHalf(src *fabric.Host, dst int32, srcDemux *fabric.Demux, flow uin
 	for i := 0; i < cfg.Subflows; i++ {
 		id := flow + uint64(i)
 		fwd := paths[fwdPerm[i%len(fwdPerm)]]
-		snd := tcp.NewSender(src, dst, id, fwd, source, cfg.TCP)
-		srcDemux.Register(id, snd)
+		var snd *tcp.Sender
+		if pool != nil {
+			snd = pool.NewGroupSender(src, srcDemux, dst, id, fwd, source, cfg.TCP)
+		} else {
+			snd = tcp.NewSender(src, dst, id, fwd, source, cfg.TCP)
+			srcDemux.Register(id, snd)
+		}
 		f.Senders = append(f.Senders, snd)
 	}
 	// Couple congestion avoidance across the subflows (LIA).
 	for _, snd := range f.Senders {
 		snd.SetIncrease(f.liaIncrease)
+	}
+	if pool != nil {
+		remaining := len(f.Senders)
+		for _, snd := range f.Senders {
+			snd.OnComplete = func(*tcp.Sender) {
+				remaining--
+				if remaining == 0 {
+					for _, sb := range f.Senders {
+						pool.RetireSender(sb)
+					}
+				}
+			}
+		}
 	}
 	return f
 }
@@ -124,13 +147,20 @@ func NewSenderHalf(src *fabric.Host, dst int32, srcDemux *fabric.Demux, flow uin
 // with a rand seeded from a value drawn in the source's domain, which
 // keeps the reverse-path choice deterministic without sharing a stream
 // across shards.
+// pool, when non-nil, recycles completed subflow receiver state; it must
+// belong to the destination's scheduling domain.
 func (f *Flow) AttachReceivers(dst *fabric.Host, dstDemux *fabric.Demux,
-	revPaths [][]int16, rand *sim.Rand, onData func(n int64)) {
+	revPaths [][]int16, rand *sim.Rand, onData func(n int64), pool *tcp.Pool) {
 	revPerm := rand.Perm(len(revPaths))
 	for i := 0; i < f.subflows; i++ {
 		id := f.Flow + uint64(i)
 		rev := revPaths[revPerm[i%len(revPerm)]]
-		rcv := tcp.NewReceiver(dst, f.Senders[i].Host().ID, id, rev)
+		var rcv *tcp.Receiver
+		if pool != nil {
+			rcv = pool.NewReceiver(dst, dstDemux, f.Senders[i].Host().ID, id, rev)
+		} else {
+			rcv = tcp.NewReceiver(dst, f.Senders[i].Host().ID, id, rev)
+		}
 		rcv.OnData = func(n int64) {
 			f.received += n
 			if f.Size >= 0 && f.received >= f.Size && !f.complete {

@@ -30,6 +30,7 @@ func DefaultConfig() Config {
 type Host struct {
 	host    *fabric.Host
 	el      *sim.EventList
+	arena   *fabric.Arena
 	demux   *fabric.Demux
 	spacing sim.Time
 	cfg     Config
@@ -38,7 +39,16 @@ type Host struct {
 	scheduled bool
 	lastSent  sim.Time
 	everSent  bool
+
+	// Free lists of completed flow state (see internal/tcp.Pool for the
+	// reuse rules); msl mirrors internal/core's segment-lifetime bound.
+	retiredS []*Sender
+	retiredR []*Receiver
 }
+
+// msl bounds how long a completed flow's packets can stay in flight;
+// retired state is reusable 2*msl after completion.
+const msl = sim.Millisecond
 
 // NewHost installs a pHost agent on a host.
 func NewHost(h *fabric.Host, cfg Config) *Host {
@@ -55,7 +65,10 @@ func NewHost(h *fabric.Host, cfg Config) *Host {
 	if spacing == 0 {
 		spacing = sim.TransmissionTime(cfg.MTU+fabric.HeaderSize, h.LinkRate())
 	}
-	ph := &Host{host: h, el: h.EventList(), demux: fabric.NewDemux(), spacing: spacing, cfg: cfg}
+	ph := &Host{
+		host: h, el: h.EventList(), arena: fabric.AttachArena(h.EventList()),
+		demux: fabric.NewDemux(), spacing: spacing, cfg: cfg,
+	}
 	h.Stack = ph.demux
 	return ph
 }
@@ -66,17 +79,86 @@ func (ph *Host) Listen(onComplete func(r *Receiver)) {
 		if p.Type != fabric.Data {
 			return nil
 		}
-		r := &Receiver{ph: ph, Flow: p.Flow, Peer: p.Src, total: -1, OnComplete: onComplete}
+		r := ph.takeReceiver()
+		if r == nil {
+			r = &Receiver{ph: ph}
+		} else {
+			got := r.got[:0]
+			*r = Receiver{ph: ph, got: got}
+		}
+		r.Flow, r.Peer, r.total, r.OnComplete = p.Flow, p.Src, -1, onComplete
 		return r
 	}
+}
+
+// takeReceiver pops the oldest retired receiver if it is quiescent: out of
+// the token round-robin and 2*msl past completion. Its demux slot (the
+// registration Listen created) is replaced with a tombstone that keeps
+// re-ACKing late retransmissions exactly as the live completed receiver
+// would, so a sender whose ACKs were dropped still recovers.
+func (ph *Host) takeReceiver() *Receiver {
+	if len(ph.retiredR) == 0 {
+		return nil
+	}
+	r := ph.retiredR[0]
+	if r.queued || ph.el.Now() < r.CompletedAt+2*msl {
+		return nil
+	}
+	ph.retiredR = ph.retiredR[1:]
+	ph.demux.Register(r.Flow, &tombstone{ph: ph, flow: r.Flow, peer: r.Peer})
+	return r
+}
+
+// takeSender pops the oldest retired sender if its RTO timer is disarmed
+// and 2*msl has passed since completion; late ACKs or tokens for the old
+// flow are freed unclaimed after the demux slot is released here, which a
+// completed sender would have ignored anyway.
+func (ph *Host) takeSender() *Sender {
+	if len(ph.retiredS) == 0 {
+		return nil
+	}
+	s := ph.retiredS[0]
+	if s.timer.Pending() || ph.el.Now() < s.CompletedAt+2*msl {
+		return nil
+	}
+	ph.retiredS = ph.retiredS[1:]
+	ph.demux.Unregister(s.Flow)
+	return s
+}
+
+// tombstone answers late retransmissions for a completed, recycled receiver
+// with the per-packet ACK the live receiver would have sent.
+type tombstone struct {
+	ph   *Host
+	flow uint64
+	peer int32
+}
+
+// Receive mirrors a completed Receiver.Receive exactly.
+func (t *tombstone) Receive(p *fabric.Packet) {
+	if p.Type != fabric.Data {
+		fabric.Free(p)
+		return
+	}
+	a := t.ph.arena.NewControl(fabric.Ack, t.flow, t.ph.host.ID, t.peer)
+	a.Seq = p.Seq
+	t.ph.host.Send(a)
+	fabric.Free(p)
 }
 
 // Connect starts a transfer of size bytes toward the destination host.
 // Packets are destination-routed (per-packet ECMP spraying by switches).
 func (ph *Host) Connect(dst int32, flow uint64, size int64, onDone func(s *Sender)) *Sender {
-	s := &Sender{
-		ph: ph, Flow: flow, Dst: dst, size: size,
-		onDone: onDone,
+	s := ph.takeSender()
+	if s == nil {
+		s = &Sender{ph: ph, Flow: flow, Dst: dst, size: size, onDone: onDone}
+		s.timer = sim.NewTimer(ph.el, s.onTimeout)
+	} else {
+		timer, acked, sentAt := s.timer, s.acked[:0], s.sentAt[:0]
+		*s = Sender{
+			ph: ph, Flow: flow, Dst: dst, size: size, onDone: onDone,
+			timer: timer, acked: acked, sentAt: sentAt,
+		}
 	}
 	mtu := int64(ph.cfg.MTU)
 	s.total = (size + mtu - 1) / mtu
@@ -87,7 +169,6 @@ func (ph *Host) Connect(dst int32, flow uint64, size int64, onDone func(s *Sende
 	if s.lastSize <= 0 {
 		s.lastSize = int32(mtu)
 	}
-	s.timer = sim.NewTimer(ph.el, s.onTimeout)
 	ph.demux.Register(flow, s)
 	burst := int64(ph.cfg.IW)
 	if s.total < burst {
@@ -137,7 +218,7 @@ func (s *Sender) send(seq int64, rtx bool) {
 	if seq == s.total-1 {
 		size = s.lastSize
 	}
-	p := fabric.NewData(s.Flow, s.ph.host.ID, s.Dst, seq, size)
+	p := s.ph.arena.NewData(s.Flow, s.ph.host.ID, s.Dst, seq, size)
 	p.Sent = s.ph.el.Now()
 	if seq == s.total-1 {
 		p.Flags |= fabric.FlagFIN
@@ -184,6 +265,7 @@ func (s *Sender) Receive(p *fabric.Packet) {
 			if s.onDone != nil {
 				s.onDone(s)
 			}
+			s.ph.retiredS = append(s.ph.retiredS, s)
 		}
 	case fabric.Pull: // token
 		delta := p.PullSeq - s.lastToken
@@ -233,6 +315,7 @@ type Receiver struct {
 	tokSeq int64
 
 	complete    bool
+	queued      bool // present in the host's token round-robin queue
 	CompletedAt sim.Time
 	OnComplete  func(r *Receiver)
 }
@@ -256,7 +339,7 @@ func (r *Receiver) Receive(p *fabric.Packet) {
 		r.nGot++
 		r.bytes += int64(p.DataSize)
 	}
-	a := fabric.NewControl(fabric.Ack, r.Flow, r.ph.host.ID, r.Peer)
+	a := r.ph.arena.NewControl(fabric.Ack, r.Flow, r.ph.host.ID, r.Peer)
 	a.Seq = seq
 	r.ph.host.Send(a)
 	if r.total >= 0 && r.nGot == r.total && !r.complete {
@@ -265,6 +348,7 @@ func (r *Receiver) Receive(p *fabric.Packet) {
 		if r.OnComplete != nil {
 			r.OnComplete(r)
 		}
+		r.ph.retiredR = append(r.ph.retiredR, r)
 	} else if !dup && !r.complete {
 		r.addToken()
 	}
@@ -283,6 +367,7 @@ func (r *Receiver) addToken() {
 	}
 	r.tokens++
 	if r.tokens == 1 {
+		r.queued = true
 		r.ph.queue = append(r.ph.queue, r)
 	}
 	r.ph.schedule()
@@ -311,14 +396,17 @@ func (ph *Host) fire() {
 		ph.queue = ph.queue[1:]
 		if r.tokens <= 0 || r.complete {
 			r.tokens = 0
+			r.queued = false
 			continue
 		}
 		r.tokens--
 		if r.tokens > 0 {
 			ph.queue = append(ph.queue, r)
+		} else {
+			r.queued = false
 		}
 		r.tokSeq++
-		p := fabric.NewControl(fabric.Pull, r.Flow, ph.host.ID, r.Peer)
+		p := ph.arena.NewControl(fabric.Pull, r.Flow, ph.host.ID, r.Peer)
 		p.PullSeq = r.tokSeq
 		ph.lastSent = ph.el.Now()
 		ph.everSent = true

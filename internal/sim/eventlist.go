@@ -42,7 +42,18 @@ type EventList struct {
 	free     []int32 // recycled EventIDs
 	executed uint64
 	halted   bool
+
+	// allocator is an opaque slot for the resource allocator owned by this
+	// list's scheduling domain (the per-shard packet arena in practice).
+	// sim stays allocator-agnostic: fabric attaches and retrieves it.
+	allocator any
 }
+
+// SetAllocator attaches the domain allocator owned by this list.
+func (el *EventList) SetAllocator(a any) { el.allocator = a }
+
+// Allocator returns the attached domain allocator, or nil.
+func (el *EventList) Allocator() any { return el.allocator }
 
 // Handler is the typed, allocation-free way to receive events: components
 // implement OnEvent once and schedule themselves with Schedule or
@@ -493,19 +504,39 @@ func (el *EventList) down(i int) bool {
 type Timer struct {
 	el      *EventList
 	fn      func()
+	h       Handler
 	id      EventID
 	expires Time
 }
 
 // NewTimer returns a stopped timer that will invoke fn on expiry.
 func NewTimer(el *EventList, fn func()) *Timer {
-	return &Timer{el: el, fn: fn, id: NoEvent, expires: Infinity}
+	t := &Timer{}
+	t.Init(el, fn)
+	return t
+}
+
+// Init readies a timer in place: the allocation-free NewTimer, for a Timer
+// embedded by value in a larger struct.
+func (t *Timer) Init(el *EventList, fn func()) {
+	*t = Timer{el: el, fn: fn, id: NoEvent, expires: Infinity}
+}
+
+// InitHandler is Init with a Handler expiry instead of a closure — storing
+// a pointer in an interface field does not allocate, where binding a
+// method value does.
+func (t *Timer) InitHandler(el *EventList, h Handler) {
+	*t = Timer{el: el, h: h, id: NoEvent, expires: Infinity}
 }
 
 // OnEvent is the timer's expiry; it is public only to satisfy Handler.
 func (t *Timer) OnEvent(uint64) {
 	t.id = NoEvent
 	t.expires = Infinity
+	if t.h != nil {
+		t.h.OnEvent(0)
+		return
+	}
 	t.fn()
 }
 

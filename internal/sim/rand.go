@@ -14,6 +14,13 @@ type Rand struct {
 // guarantees a well-mixed internal state even for small seeds.
 func NewRand(seed uint64) *Rand {
 	r := &Rand{}
+	r.Init(seed)
+	return r
+}
+
+// Init seeds a generator in place: the allocation-free NewRand, for a Rand
+// embedded by value in a larger struct or slice.
+func (r *Rand) Init(seed uint64) {
 	sm := seed
 	next := func() uint64 {
 		sm += 0x9e3779b97f4a7c15
@@ -25,7 +32,6 @@ func NewRand(seed uint64) *Rand {
 	for i := range r.s {
 		r.s[i] = next()
 	}
-	return r
 }
 
 // Uint64 returns a uniformly distributed 64-bit value.

@@ -111,12 +111,22 @@ type IncreaseFunc func(s *Sender) float64
 
 // Sender is one TCP connection's sending side.
 type Sender struct {
-	Flow uint64
-	cfg  Config
-	el   *sim.EventList
-	host *fabric.Host
-	dst  int32
-	path []int16 // fixed source route (per-flow "ECMP" path)
+	Flow  uint64
+	cfg   Config
+	el    *sim.EventList
+	host  *fabric.Host
+	dst   int32
+	path  []int16 // fixed source route (per-flow "ECMP" path)
+	arena *fabric.Arena
+
+	// Pool plumbing (nil for unpooled senders): the pool the sender returns
+	// to at completion, the demux it is registered on (unregistered when the
+	// pool hands the state to a new flow), and whether retirement is
+	// automatic or group-managed (MPTCP couples subflows via LIA, so no
+	// subflow may be reused while a sibling still reads its window).
+	pool       *Pool
+	demux      *fabric.Demux
+	groupOwned bool
 
 	source DataSource
 
@@ -164,6 +174,7 @@ func NewSender(host *fabric.Host, dst int32, flow uint64, path []int16, source D
 		host:     host,
 		dst:      dst,
 		path:     path,
+		arena:    fabric.AttachArena(host.EventList()),
 		source:   source,
 		cwnd:     cfg.InitialCwnd,
 		ssthresh: cfg.MaxCwnd,
@@ -171,6 +182,21 @@ func NewSender(host *fabric.Host, dst int32, flow uint64, path []int16, source D
 	}
 	s.timer = sim.NewTimer(s.el, s.onTimeout)
 	return s
+}
+
+// recycle resets a retired sender for a new connection, keeping the
+// identity-bound resources: the event list, the timer (its closure points at
+// this object), the arena, and the truncated per-packet bookkeeping arrays.
+func (s *Sender) recycle(host *fabric.Host, dst int32, flow uint64, path []int16, source DataSource, cfg Config) {
+	cfg = cfg.withDefaults()
+	el, timer, pool, arena := s.el, s.timer, s.pool, s.arena
+	sizes, sentAt, rtxed := s.sizes[:0], s.sentAt[:0], s.rtxed[:0]
+	*s = Sender{
+		Flow: flow, cfg: cfg, el: el, host: host, dst: dst, path: path,
+		arena: arena, pool: pool, source: source,
+		cwnd: cfg.InitialCwnd, ssthresh: cfg.MaxCwnd, rto: cfg.MinRTO,
+		timer: timer, sizes: sizes, sentAt: sentAt, rtxed: rtxed,
+	}
 }
 
 // SetIncrease overrides congestion-avoidance growth (MPTCP's LIA).
@@ -198,7 +224,7 @@ func (s *Sender) Start() {
 func (s *Sender) sendSyn() {
 
 	s.SynSentAt = s.el.Now()
-	p := fabric.GetPacket()
+	p := s.arena.Get()
 	p.Type = fabric.Data
 	p.Flags = fabric.FlagSYN
 	p.Flow = s.Flow
@@ -236,7 +262,7 @@ func (s *Sender) trySend() {
 }
 
 func (s *Sender) transmit(seq int64, rtx bool) {
-	p := fabric.NewData(s.Flow, s.host.ID, s.dst, seq, s.sizes[seq])
+	p := s.arena.NewData(s.Flow, s.host.ID, s.dst, seq, s.sizes[seq])
 	p.Path = s.path
 	p.Sent = s.el.Now()
 	if rtx {
@@ -349,6 +375,9 @@ func (s *Sender) onNewAck(p *fabric.Packet, ack int64) {
 			s.CompletedAt = s.el.Now()
 			if s.OnComplete != nil {
 				s.OnComplete(s)
+			}
+			if s.pool != nil && !s.groupOwned {
+				s.pool.retireSender(s)
 			}
 		}
 	} else {
@@ -481,10 +510,15 @@ func (s *Sender) Complete() bool { return s.complete }
 // Receiver is one TCP connection's receiving side: cumulative ACK per data
 // packet, per-packet ECN echo, SYN-ACK generation.
 type Receiver struct {
-	Flow uint64
-	host *fabric.Host
-	peer int32
-	path []int16 // fixed reverse route for ACKs
+	Flow  uint64
+	host  *fabric.Host
+	peer  int32
+	path  []int16 // fixed reverse route for ACKs
+	arena *fabric.Arena
+
+	// Pool plumbing (nil for unpooled receivers); see Sender.
+	pool  *Pool
+	demux *fabric.Demux
 
 	got    []bool
 	cumAck int64
@@ -504,7 +538,20 @@ type Receiver struct {
 
 // NewReceiver builds the receiving side; path routes ACKs back.
 func NewReceiver(host *fabric.Host, peer int32, flow uint64, path []int16) *Receiver {
-	return &Receiver{Flow: flow, host: host, peer: peer, path: path, finSeq: -1}
+	return &Receiver{
+		Flow: flow, host: host, peer: peer, path: path, finSeq: -1,
+		arena: fabric.AttachArena(host.EventList()),
+	}
+}
+
+// recycle resets a retired receiver for a new connection, keeping the arena
+// and the truncated arrival bitmap's backing array.
+func (r *Receiver) recycle(host *fabric.Host, peer int32, flow uint64, path []int16) {
+	pool, arena, got := r.pool, r.arena, r.got[:0]
+	*r = Receiver{
+		Flow: flow, host: host, peer: peer, path: path, finSeq: -1,
+		arena: arena, pool: pool, got: got,
+	}
 }
 
 // Receive handles data and SYN packets.
@@ -519,7 +566,7 @@ func (r *Receiver) Receive(p *fabric.Packet) {
 	}
 	if p.Flags&fabric.FlagSYN != 0 && p.Seq < 0 {
 		// SYN: reply SYN-ACK.
-		a := fabric.NewControl(fabric.Ack, r.Flow, r.host.ID, r.peer)
+		a := r.arena.NewControl(fabric.Ack, r.Flow, r.host.ID, r.peer)
 		a.Flags |= fabric.FlagSYN
 		a.AckNo = 0
 		a.Path = r.path
@@ -544,7 +591,7 @@ func (r *Receiver) Receive(p *fabric.Packet) {
 	for r.cumAck < int64(len(r.got)) && r.got[r.cumAck] {
 		r.cumAck++
 	}
-	a := fabric.NewControl(fabric.Ack, r.Flow, r.host.ID, r.peer)
+	a := r.arena.NewControl(fabric.Ack, r.Flow, r.host.ID, r.peer)
 	a.AckNo = r.cumAck
 	a.TSEcho = p.Sent
 	if p.Flags&fabric.FlagCE != 0 {
@@ -557,6 +604,9 @@ func (r *Receiver) Receive(p *fabric.Packet) {
 		r.CompletedAt = r.host.EventList().Now()
 		if r.OnComplete != nil {
 			r.OnComplete(r)
+		}
+		if r.pool != nil {
+			r.pool.retireReceiver(r)
 		}
 	}
 	fabric.Free(p)

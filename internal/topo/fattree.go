@@ -281,28 +281,30 @@ func (ft *FatTree) Paths(src, dst int32) [][]int16 {
 	spod, stor, _ := ft.locate(src)
 	dpod, dtor, doff := ft.locate(dst)
 	half := ft.K / 2
+	slab := &ft.pathSlab[ft.hostShard[src]]
 	var paths [][]int16
 	switch {
 	case spod == dpod && stor == dtor:
-		paths = [][]int16{{int16(doff)}}
+		paths = slab.alloc(1, 1)
+		paths[0][0] = int16(doff)
 	case spod == dpod:
+		paths = slab.alloc(half, 3)
 		for a := 0; a < half; a++ {
-			paths = append(paths, []int16{
-				int16(ft.HostsPerTor + a), // ToR up to agg a
-				int16(dtor),               // agg down to dst ToR
-				int16(doff),               // ToR down to host
-			})
+			p := paths[a]
+			p[0] = int16(ft.HostsPerTor + a) // ToR up to agg a
+			p[1] = int16(dtor)               // agg down to dst ToR
+			p[2] = int16(doff)               // ToR down to host
 		}
 	default:
+		paths = slab.alloc(half*half, 5)
 		for a := 0; a < half; a++ {
 			for j := 0; j < half; j++ {
-				paths = append(paths, []int16{
-					int16(ft.HostsPerTor + a), // ToR up to agg a
-					int16(half + j),           // agg up to its j-th core
-					int16(dpod),               // core down to dst pod
-					int16(dtor),               // agg down to dst ToR
-					int16(doff),               // ToR down to host
-				})
+				p := paths[a*half+j]
+				p[0] = int16(ft.HostsPerTor + a) // ToR up to agg a
+				p[1] = int16(half + j)           // agg up to its j-th core
+				p[2] = int16(dpod)               // core down to dst pod
+				p[3] = int16(dtor)               // agg down to dst ToR
+				p[4] = int16(doff)               // ToR down to host
 			}
 		}
 	}

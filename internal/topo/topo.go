@@ -95,8 +95,12 @@ type Cluster interface {
 	LinkRate() int64
 	CollectStats() SwitchStats
 	PacketHops() int64
+	// PacketsInUse sums the outstanding packets of every shard arena: the
+	// leak counter the golden suite asserts returns to zero after Close.
+	PacketsInUse() int64
 	// Close releases engine resources (the sharded runner's persistent
-	// shard workers); a no-op for single-list topologies.
+	// shard workers) and frees every packet the fabric still holds, so the
+	// arena leak counters settle. Idempotent.
 	Close()
 }
 
@@ -120,6 +124,7 @@ type Network struct {
 	lookahead sim.Time
 	hostShard []int
 	swShard   []int
+	released  bool        // Close already freed the fabric's held packets
 	swRand    []*sim.Rand // per-switch ECMP stream, index = switch ID
 	portUID   uint32
 	cmdSeq    []uint64 // per-host command emission counters (Defer ord)
@@ -127,9 +132,52 @@ type Network struct {
 	// a map; the cached route slices themselves are identical read-only
 	// values in every shard.
 	pathCache []map[pairKey][][]int16
+	// pathSlab backs the cached routes: hop arrays and route headers are
+	// carved from large shared chunks, so a cold cache entry costs
+	// amortized-zero allocations instead of one per route (or per pair).
+	// Sharded like pathCache — a slab is only ever appended to by its own
+	// shard.
+	pathSlab []pathSlab
 }
 
 type pairKey struct{ src, dst int32 }
+
+// pathSlab carves route storage out of chunked arrays. Entries are written
+// once when a (src,dst) pair is first enumerated and are immutable after
+// publication in the path cache; a chunk's unused tail is abandoned (not
+// reused) when a request does not fit, so published slices never alias new
+// ones.
+type pathSlab struct {
+	hops []int16
+	hdrs [][]int16
+}
+
+// alloc returns n route headers of hopLen hops each, zeroed, as one
+// contiguous capacity-clamped slice. The caller fills in the hops.
+func (s *pathSlab) alloc(n, hopLen int) [][]int16 {
+	need := n * hopLen
+	if cap(s.hops)-len(s.hops) < need {
+		c := 4096
+		if c < need {
+			c = need
+		}
+		s.hops = make([]int16, 0, c)
+	}
+	if cap(s.hdrs)-len(s.hdrs) < n {
+		c := 512
+		if c < n {
+			c = n
+		}
+		s.hdrs = make([][]int16, 0, c)
+	}
+	base := len(s.hdrs)
+	for i := 0; i < n; i++ {
+		h := len(s.hops)
+		s.hops = s.hops[:h+hopLen]
+		s.hdrs = append(s.hdrs, s.hops[h:h+hopLen:h+hopLen])
+	}
+	return s.hdrs[base : base+n : base+n]
+}
 
 // EventList returns shard 0's scheduler — the simulation scheduler for
 // unsharded topologies. Pre-run setup code may use it; mid-run components
@@ -175,12 +223,46 @@ func (n *Network) init(cfg Config) {
 	n.initShards(cfg, 1)
 }
 
-// Close stops the sharded runner's persistent shard workers; single-list
-// networks have nothing to release.
+// Close stops the sharded runner's persistent shard workers and frees every
+// packet the fabric still holds (port pipelines, queues, lossless ingress
+// backlogs, cross-shard mailboxes) back into the shard arenas. A run that
+// hits its deadline mid-traffic still ends with PacketsInUse() == 0 unless
+// something truly leaked. Idempotent.
 func (n *Network) Close() {
 	if mr, ok := n.runner.(*sim.MultiRunner); ok {
 		mr.Close()
 	}
+	if n.released {
+		return
+	}
+	n.released = true
+	for _, h := range n.Hosts {
+		if h.NIC != nil {
+			h.NIC.ReleasePackets()
+		}
+	}
+	for _, sw := range n.Switches {
+		sw.ReleasePackets()
+	}
+	for i := range n.boxes {
+		for j := range n.boxes[i] {
+			n.boxes[i][j].ReleasePackets()
+		}
+	}
+	for _, ib := range n.inboxes {
+		ib.ReleasePackets()
+	}
+}
+
+// PacketsInUse implements Cluster: outstanding packets across shard arenas.
+func (n *Network) PacketsInUse() int64 {
+	var total int64
+	for _, el := range n.els {
+		if a, ok := el.Allocator().(*fabric.Arena); ok {
+			total += a.InUse()
+		}
+	}
+	return total
 }
 
 // initShards sets up the common state for a topology split into shards
@@ -197,6 +279,9 @@ func (n *Network) initShards(cfg Config, shards int) {
 	n.els = make([]*sim.EventList, shards)
 	for i := range n.els {
 		n.els[i] = sim.NewEventList()
+		// Every shard owns one packet arena; components scheduled on this
+		// list allocate from it and free into it.
+		fabric.AttachArena(n.els[i])
 	}
 	n.EL = n.els[0]
 	n.Rand = sim.NewRand(cfg.Seed ^ 0x9e3779b97f4a7c15)
@@ -204,6 +289,7 @@ func (n *Network) initShards(cfg Config, shards int) {
 	for i := range n.pathCache {
 		n.pathCache[i] = make(map[pairKey][][]int16)
 	}
+	n.pathSlab = make([]pathSlab, shards)
 	n.lookahead = sim.Infinity
 	if shards > 1 {
 		n.boxes = make([][]fabric.CrossBox, shards)

@@ -166,16 +166,18 @@ func (tt *TwoTier) Paths(src, dst int32) [][]int16 {
 	}
 	stor, _ := tt.locate(src)
 	dtor, doff := tt.locate(dst)
+	slab := &tt.pathSlab[tt.hostShard[src]]
 	var paths [][]int16
 	if stor == dtor {
-		paths = [][]int16{{int16(doff)}}
+		paths = slab.alloc(1, 1)
+		paths[0][0] = int16(doff)
 	} else {
+		paths = slab.alloc(tt.NSpines, 3)
 		for s := 0; s < tt.NSpines; s++ {
-			paths = append(paths, []int16{
-				int16(tt.HostsPerTor + s),
-				int16(dtor),
-				int16(doff),
-			})
+			p := paths[s]
+			p[0] = int16(tt.HostsPerTor + s)
+			p[1] = int16(dtor)
+			p[2] = int16(doff)
 		}
 	}
 	cache[key] = paths

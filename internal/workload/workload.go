@@ -152,8 +152,12 @@ type ClosedLoop struct {
 
 	// Start launches a flow of size bytes from src to dst; it must call
 	// the provided completion callback with the completion time. It runs
-	// in the source host's scheduling domain.
-	Start func(src, dst int, size int64, done func(at sim.Time))
+	// in the source host's scheduling domain. slot identifies the
+	// connection slot (0..Hosts*Conns-1) launching the flow: a slot's
+	// flows are strictly sequential (the next starts only after done has
+	// run), so a caller may keep per-slot rather than per-flow state —
+	// including the callbacks it wires up — without allocating per flow.
+	Start func(slot, src, dst int, size int64, done func(at sim.Time))
 	// Defer schedules fn at absolute time at in host to's scheduling
 	// domain, emitted by host from (wire it to topo's Cluster.Defer).
 	Defer func(from, to int, at sim.Time, fn func())
@@ -165,21 +169,27 @@ type ClosedLoop struct {
 	// sharded engine would mutate another shard's emission counters.
 	DoneHost func(src, dst int) int
 
-	rands    []*sim.Rand
+	rands    []sim.Rand
 	launched []int64
+	slots    []connSlot
 }
 
 // Run primes Conns flows per host; completions keep the loop going until
 // the caller's deadline bounds the simulation.
 func (c *ClosedLoop) Run() {
-	c.rands = make([]*sim.Rand, c.Hosts)
+	c.rands = make([]sim.Rand, c.Hosts)
 	c.launched = make([]int64, c.Hosts)
 	for h := 0; h < c.Hosts; h++ {
-		c.rands[h] = sim.NewRand(c.Seed ^ (uint64(h)+1)*0x9e3779b97f4a7c15)
+		c.rands[h].Init(c.Seed ^ (uint64(h)+1)*0x9e3779b97f4a7c15)
 	}
+	c.slots = make([]connSlot, c.Hosts*c.Conns)
+	i := 0
 	for h := 0; h < c.Hosts; h++ {
-		for i := 0; i < c.Conns; i++ {
-			c.launch(h)
+		for k := 0; k < c.Conns; k++ {
+			s := &c.slots[i]
+			i++
+			s.init(c, i-1, h)
+			s.launch()
 		}
 	}
 }
@@ -193,26 +203,69 @@ func (c *ClosedLoop) Launched() int64 {
 	return n
 }
 
-func (c *ClosedLoop) launch(src int) {
-	r := c.rands[src]
+// connSlot is one of a source's Conns connection slots. A slot's flows are
+// strictly sequential — launch, complete, hop back, gap, relaunch — so the
+// per-flight fields (doneHost, notify) are single-occupancy, and the three
+// callbacks in the completion chain can be built once per slot instead of
+// once per flow (per-flow closures were a top allocation site of a whole
+// closed-loop benchmark run).
+type connSlot struct {
+	c        *ClosedLoop
+	idx      int
+	src      int
+	doneHost int
+	notify   sim.Time
+
+	// relaunching reports which half of the completion chain step runs
+	// next: false = hop back just fired (draw the gap), true = gap elapsed
+	// (launch the next flow). One stepping callback covers both, since
+	// both halves run in the source's domain.
+	relaunching bool
+
+	done func(at sim.Time)
+	step func()
+}
+
+func (s *connSlot) init(c *ClosedLoop, idx, src int) {
+	s.c = c
+	s.idx = idx
+	s.src = src
+	s.done = s.onDone
+	s.step = s.onStep
+}
+
+func (s *connSlot) launch() {
+	c := s.c
+	r := &c.rands[s.src]
 	dst := r.Intn(c.Hosts - 1)
-	if dst >= src {
+	if dst >= s.src {
 		dst++
 	}
 	size := c.Sizes.Sample(r)
-	c.launched[src]++
-	doneHost := dst
+	c.launched[s.src]++
+	s.doneHost = dst
 	if c.DoneHost != nil {
-		doneHost = c.DoneHost(src, dst)
+		s.doneHost = c.DoneHost(s.src, dst)
 	}
-	c.Start(src, dst, size, func(at sim.Time) {
-		// Runs in doneHost's domain: hop back to the source's domain, then
-		// draw the gap there (so the source's RNG is only ever touched in
-		// its own domain, in its own deterministic order).
-		notify := at + c.NotifyLatency
-		c.Defer(doneHost, src, notify, func() {
-			gap := c.Gap/2 + c.rands[src].Duration(c.Gap) // median ~= Gap
-			c.Defer(src, src, notify+gap, func() { c.launch(src) })
-		})
-	})
+	c.Start(s.idx, s.src, dst, size, s.done)
+}
+
+// onDone runs in doneHost's domain: hop back to the source's domain, then
+// draw the gap there (so the source's RNG is only ever touched in its own
+// domain, in its own deterministic order).
+func (s *connSlot) onDone(at sim.Time) {
+	s.notify = at + s.c.NotifyLatency
+	s.relaunching = false
+	s.c.Defer(s.doneHost, s.src, s.notify, s.step)
+}
+
+func (s *connSlot) onStep() {
+	c := s.c
+	if !s.relaunching {
+		s.relaunching = true
+		gap := c.Gap/2 + c.rands[s.src].Duration(c.Gap) // median ~= Gap
+		c.Defer(s.src, s.src, s.notify+gap, s.step)
+		return
+	}
+	s.launch()
 }

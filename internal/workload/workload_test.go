@@ -111,7 +111,7 @@ func TestClosedLoopKeepsConnsRunning(t *testing.T) {
 		Defer:         func(from, to int, at sim.Time, fn func()) { el.At(at, fn) },
 	}
 	completions := 0
-	cl.Start = func(src, dst int, size int64, done func(at sim.Time)) {
+	cl.Start = func(_, src, dst int, size int64, done func(at sim.Time)) {
 		if src == dst {
 			t.Fatal("closed loop generated self-flow")
 		}

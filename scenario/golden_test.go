@@ -57,9 +57,16 @@ func TestGoldenMetrics(t *testing.T) {
 		name, spec := name, spec
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
-			m, err := Run(spec)
+			m, rs, err := RunWithStats(spec)
 			if err != nil {
 				t.Fatal(err)
+			}
+			// Every packet allocated from a shard arena must have been freed
+			// by the time the network closed: a nonzero count means some
+			// component lost track of a packet (the allocator would never
+			// reclaim it).
+			if rs.PacketsLeaked != 0 {
+				t.Errorf("%s leaked %d packets (arena InUse != 0 after Close)", name, rs.PacketsLeaked)
 			}
 			got, err := json.MarshalIndent(m, "", "  ")
 			if err != nil {

@@ -32,6 +32,11 @@ type RunStats struct {
 	Events int64
 	// PacketHops is the total packet wire-traversals across repeats.
 	PacketHops int64
+	// PacketsLeaked is the arena leak counter summed across repeats: packets
+	// still outstanding after each network's Close released everything the
+	// fabric and endpoints held. Always zero unless a component lost track
+	// of a packet; the golden suite asserts it.
+	PacketsLeaked int64
 }
 
 // RunWithStats is Run plus the engine observables the bench harness
@@ -65,6 +70,7 @@ func RunWithStats(spec Spec) (m *Metrics, stats RunStats, err error) {
 	for _, o := range outs {
 		stats.Events += o.events
 		stats.PacketHops += o.hops
+		stats.PacketsLeaked += o.leaked
 	}
 	return merge(spec, outs), stats, nil
 }
@@ -81,6 +87,7 @@ type runOut struct {
 	linkRate  int64
 	events    int64 // scheduler events executed
 	hops      int64 // packet wire-traversals
+	leaked    int64 // arena packets still outstanding after Close
 }
 
 // runOnce builds the network for one derived seed and drives the workload.
@@ -90,6 +97,8 @@ type runOut struct {
 // partitions in parallel without perturbing them either.
 func runOnce(spec Spec, seed uint64) *runOut {
 	net := spec.harnessTransport().Build(spec.Topology.builder(), topo.Config{Seed: seed, Shards: spec.Shards})
+	// Close is idempotent; the deferred call only matters if a panic
+	// unwinds past the explicit one below.
 	defer net.Close()
 	for _, f := range spec.Failures {
 		net.Cluster().(*topo.FatTree).DegradeLink(f.Agg, f.CoreOff, f.RateBps)
@@ -106,6 +115,10 @@ func runOnce(spec Spec, seed uint64) *runOut {
 	out.counters = net.Cluster().CollectStats()
 	out.events = int64(net.Runner().Executed())
 	out.hops = net.Cluster().PacketHops()
+	// Close releases every packet the fabric and endpoints still hold;
+	// whatever the arenas then report outstanding has truly been lost.
+	net.Close()
+	out.leaked = net.Cluster().PacketsInUse()
 	return out
 }
 
@@ -208,6 +221,20 @@ func runRPC(spec Spec, seed uint64, net harness.Net, out *runOut) {
 	}
 	c := net.Cluster()
 	recs := make([][]rpcDone, c.Shards())
+	// Completion callbacks run in the transport's DoneHost domain (receiver
+	// for NDP/TCP-family, sender for pHost); buffer each record on that
+	// host's shard so concurrent shards never share a slice. The recording
+	// wrapper and its state live per connection slot, not per flow: a
+	// slot's flows are strictly sequential (ClosedLoop.Start's contract),
+	// so the fields are dead by the time the slot relaunches.
+	type rpcSlot struct {
+		start    sim.Time
+		shard    int
+		src, dst int
+		inner    func(at sim.Time)
+		onDone   func(at sim.Time)
+	}
+	var slots []rpcSlot
 	cl := &workload.ClosedLoop{
 		Hosts:         c.NumHosts(),
 		Conns:         w.Degree,
@@ -217,19 +244,22 @@ func runRPC(spec Spec, seed uint64, net harness.Net, out *runOut) {
 		NotifyLatency: c.LinkDelay(),
 		Defer:         c.Defer,
 		DoneHost:      net.DoneHost,
-		Start: func(src, dst int, size int64, done func(at sim.Time)) {
-			start := c.HostList()[src].EventList().Now()
-			// Completion callbacks run in the transport's DoneHost domain
-			// (receiver for NDP/TCP-family, sender for pHost); buffer each
-			// record on that host's shard so concurrent shards never share
-			// a slice.
-			shard := c.ShardOfHost(net.DoneHost(src, dst))
-			net.StartFlow(src, dst, size, harness.StartOpts{OnDone: func(at sim.Time) {
-				recs[shard] = append(recs[shard], rpcDone{at: at, us: (at - start).Micros(), src: src, dst: dst})
-				done(at)
-			}})
+		Start: func(slot, src, dst int, size int64, done func(at sim.Time)) {
+			sl := &slots[slot]
+			if sl.onDone == nil {
+				sl.onDone = func(at sim.Time) {
+					recs[sl.shard] = append(recs[sl.shard], rpcDone{at: at, us: (at - sl.start).Micros(), src: sl.src, dst: sl.dst})
+					sl.inner(at)
+				}
+			}
+			sl.start = c.HostList()[src].EventList().Now()
+			sl.shard = c.ShardOfHost(net.DoneHost(src, dst))
+			sl.src, sl.dst = src, dst
+			sl.inner = done
+			net.StartFlow(src, dst, size, harness.StartOpts{OnDone: sl.onDone})
 		},
 	}
+	slots = make([]rpcSlot, c.NumHosts()*w.Degree)
 	cl.Run()
 	deadline := spec.Deadline
 	if deadline == 0 {

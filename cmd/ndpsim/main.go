@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	ndpsim -list
+//	ndpsim -list                 # experiments + scenario catalog
+//	ndpsim -list -json           # the same catalog, machine-readable
 //	ndpsim -exp fig14            # one experiment at paper scale
 //	ndpsim -exp all -scale 0.3   # everything, shrunk for a quick pass
 //	ndpsim -exp fig20 -full      # unlock the 8192-host FatTree
@@ -33,6 +34,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"ndp"
@@ -93,7 +95,7 @@ func main() {
 	}
 
 	if *list || (*exp == "" && *scen == "") {
-		printCatalog()
+		printCatalog(*jsonOut)
 		if *exp == "" && *scen == "" && !*list {
 			os.Exit(2)
 		}
@@ -222,14 +224,40 @@ func fatalUsage(format string, args ...any) {
 	os.Exit(2)
 }
 
-func printCatalog() {
+// experimentEntry is one experiment row in the -list -json document.
+type experimentEntry struct {
+	ID          string `json:"id"`
+	Description string `json:"description"`
+}
+
+// printCatalog lists everything ndpsim can run. The JSON form is the same
+// catalog the ndpsimd daemon serves at /api/catalog, plus the experiment
+// registry; the text form adds each scenario's accepted params and the
+// fully-defaulted Spec it builds from zero params.
+func printCatalog(jsonOut bool) {
+	entries := scenario.CatalogEntries()
+	if jsonOut {
+		exps := make([]experimentEntry, 0)
+		for _, id := range ndp.Experiments() {
+			exps = append(exps, experimentEntry{ID: id, Description: ndp.Describe(id)})
+		}
+		emitJSON(struct {
+			Experiments []experimentEntry       `json:"experiments"`
+			Scenarios   []scenario.CatalogEntry `json:"scenarios"`
+		}{exps, entries})
+		return
+	}
 	fmt.Println("experiments:")
 	for _, id := range ndp.Experiments() {
 		fmt.Printf("  %-8s  %s\n", id, ndp.Describe(id))
 	}
 	fmt.Println("scenarios (compose with -transport/-hosts/-degree/-flowsize):")
-	for _, n := range scenario.Catalog() {
-		fmt.Printf("  %-12s  %s\n", n.Name, n.Description)
+	for _, e := range entries {
+		d := e.Defaults
+		fmt.Printf("  %-12s  %s\n", e.Name, e.Description)
+		fmt.Printf("  %-12s    params: %s\n", "", strings.Join(e.Params, ", "))
+		fmt.Printf("  %-12s    defaults: %s, %s, transport %s, mtu %d\n",
+			"", d.Topology, d.Workload, d.Transport, d.MTU)
 	}
 }
 
@@ -249,7 +277,9 @@ func runScenario(name, transport string, hosts, degree int, flowsize int64,
 	}
 	// Spec-level validation failures (e.g. an incast degree larger than
 	// the topology) are usage errors too: reject before running anything.
-	if err := spec.Validate(); err != nil {
+	// scenario.Validate is the same gate the ndpsimd daemon answers 400
+	// with, so CLI and service refuse identical Specs with identical text.
+	if err := scenario.Validate(spec); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}

@@ -35,6 +35,12 @@ type Options struct {
 	// this many goroutines. 0 means runtime.GOMAXPROCS; 1 runs serially.
 	// Results are bit-identical for every value with the same Seed.
 	Workers int
+	// Progress, when set, is called by RunJobs after each sweep job
+	// completes with the count of jobs finished so far and the total.
+	// Calls are serialized (done is strictly increasing) but arrive from
+	// worker goroutines; the callback must be fast and must not touch the
+	// pool. Purely observational: results are identical with or without.
+	Progress func(done, total int)
 }
 
 func (o Options) withDefaults() Options {

@@ -76,9 +76,24 @@ func RunJobs[T any](o Options, jobs []Job[T]) []T {
 	}
 	out := make([]T, len(jobs))
 	failures := make([]error, len(jobs))
+	// progress serializes the o.Progress callback across workers so its
+	// done argument is strictly increasing even when jobs finish
+	// concurrently.
+	var progressMu sync.Mutex
+	var progressDone int
+	progress := func() {
+		if o.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		progressDone++
+		o.Progress(progressDone, len(jobs))
+		progressMu.Unlock()
+	}
 	if workers <= 1 {
 		for i, j := range jobs {
 			capture(j, &out[i], &failures[i])
+			progress()
 		}
 	} else {
 		idx := make(chan int)
@@ -89,6 +104,7 @@ func RunJobs[T any](o Options, jobs []Job[T]) []T {
 				defer wg.Done()
 				for i := range idx {
 					capture(jobs[i], &out[i], &failures[i])
+					progress()
 				}
 			}()
 		}

@@ -1,0 +1,93 @@
+package simd
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"ndp/scenario"
+)
+
+// cacheKey is the content address of one job's result. Spec.Hash covers
+// the normalized Spec minus the execution knobs (seed, workers, shards);
+// the seed then picks the point in the scenario's seed space, and the
+// registry name rides along because it flows into Metrics.Scenario —
+// differently-named twins must not share an entry. Because workers and
+// shards are outside the key, a result computed with `"shards": 4` serves
+// a later `"shards": 1` query verbatim: that is the determinism guarantee
+// (Metrics bit-identical for any execution configuration) turned into
+// cache capacity.
+func cacheKey(spec scenario.Spec) string {
+	return fmt.Sprintf("%s:%d:%s", spec.Hash(), spec.Seed, spec.Name())
+}
+
+// resultCache is a bounded LRU over finished Metrics with hit/miss
+// counters. Entries are immutable once inserted — a Metrics is never
+// mutated after its run merges — so get hands out the shared pointer and
+// every reader marshals the same bytes.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	key string
+	m   *scenario.Metrics
+}
+
+// newResultCache builds a cache bounded to capEntries results; capEntries
+// <= 0 disables caching (every get misses, put is a no-op).
+func newResultCache(capEntries int) *resultCache {
+	return &resultCache{cap: capEntries, ll: list.New(), entries: map[string]*list.Element{}}
+}
+
+func (c *resultCache) get(key string) (*scenario.Metrics, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEntry).m, true
+}
+
+func (c *resultCache) put(key string, m *scenario.Metrics) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		// Concurrent identical jobs race to insert; results are
+		// bit-identical, so first-writer-wins and refresh recency.
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, m: m})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats is the /api/workers view of the result cache.
+type CacheStats struct {
+	Entries int   `json:"entries"`
+	Cap     int   `json:"cap"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.ll.Len(), Cap: c.cap, Hits: c.hits, Misses: c.misses}
+}

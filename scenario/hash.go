@@ -1,0 +1,43 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Hash returns the canonical content address of the simulation the Spec
+// describes: the hex SHA-256 of a normalized JSON encoding. Normalization
+// fills defaults (so a hand-assembled partial Spec and its fully-defaulted
+// twin hash equal) and zeroes the knobs that provably do not perturb
+// Metrics or are keyed separately:
+//
+//   - Workers and Shards only choose how the same events execute — the
+//     determinism suites pin Metrics bit-identical for every value — so
+//     two Specs differing only there are the same scenario;
+//   - Seed is excluded so caches can key by (Hash, Seed) and enumerate
+//     seeds under one scenario identity, as the ndpsimd result cache does.
+//
+// The registry name is unexported and therefore also outside the hash
+// (it survives neither a JSON round-trip nor re-assembly by hand); it does
+// flow into Metrics.Scenario, so cache keys must append Name alongside
+// the seed. Hash is stable across option order, default filling, and a
+// JSON round-trip of the Spec.
+func (s Spec) Hash() string {
+	n := s.withDefaults()
+	n.Seed = 0
+	n.Workers = 0
+	n.Shards = 0
+	n.name = ""
+	n.progress = nil
+	// encoding/json emits struct fields in declaration order and the Spec
+	// tree is plain data (no maps, no floats), so the encoding — and hence
+	// the hash — is canonical.
+	b, err := json.Marshal(n)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: Spec not marshalable: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"encoding/json"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHashStability pins the canonicalization contract of Spec.Hash: the
+// hash depends only on what the simulation would do, never on how the Spec
+// was assembled, which execution knobs ride along, or whether it crossed a
+// JSON boundary on the way.
+func TestHashStability(t *testing.T) {
+	a := New(WithTransport(TCP), WithMTU(1500), WithRepeats(3), WithWindow(5*time.Millisecond))
+	b := New(WithWindow(5*time.Millisecond), WithRepeats(3), WithMTU(1500), WithTransport(TCP))
+	if a.Hash() != b.Hash() {
+		t.Errorf("option order changed the hash:\n%s\n%s", a.Hash(), b.Hash())
+	}
+	if len(a.Hash()) != 64 {
+		t.Errorf("hash is not hex SHA-256: %q", a.Hash())
+	}
+
+	// Default filling: a hand-assembled partial Spec hashes like its
+	// fully-defaulted twin. New's only extra over withDefaults is the 3ms
+	// warmup and seed 1 — and seeds are outside the hash.
+	partial := Spec{Warmup: 3 * time.Millisecond}
+	if partial.Hash() != New().Hash() {
+		t.Errorf("default filling changed the hash:\npartial %s\nNew()   %s", partial.Hash(), New().Hash())
+	}
+
+	// Execution knobs (Seed, Workers, Shards) are keyed separately or
+	// proven not to perturb Metrics; they must not split the cache.
+	knobs := New(WithSeed(99), WithWorkers(8), WithShards(4))
+	if knobs.Hash() != New().Hash() {
+		t.Error("seed/workers/shards changed the hash")
+	}
+
+	// JSON round-trip: the daemon decodes Specs off the wire; the decoded
+	// Spec must address the same cache entry. The registry name is
+	// unexported (lost in transit) and is excluded from the hash for
+	// exactly this reason.
+	spec, err := Build("incast", Params{Hosts: 16, Degree: 8, FlowSize: 45_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != spec.Hash() {
+		t.Errorf("JSON round-trip changed the hash:\nbefore %s\nafter  %s", spec.Hash(), back.Hash())
+	}
+	if spec.Name() != "incast" || back.Name() != "" {
+		t.Errorf("Name should survive Build (%q) and not the wire (%q)", spec.Name(), back.Name())
+	}
+	if named("renamed", spec).Hash() != spec.Hash() {
+		t.Error("registry name leaked into the hash")
+	}
+
+	// And the hash must actually separate different scenarios.
+	if New(WithWorkload(Incast(8, 45_000))).Hash() == New().Hash() {
+		t.Error("different workloads hash equal")
+	}
+	if New(WithMTU(1500)).Hash() == New().Hash() {
+		t.Error("different MTUs hash equal")
+	}
+}
+
+// TestValidateFunction pins the exported package-level gate the CLI and
+// the ndpsimd daemon share: defaults are filled before judging, and the
+// refusal messages match the method's.
+func TestValidateFunction(t *testing.T) {
+	if err := Validate(Spec{}); err != nil {
+		t.Errorf("zero Spec should validate after default filling: %v", err)
+	}
+	refusals := []struct {
+		label string
+		spec  Spec
+	}{
+		{"dcqcn+shards", New(WithTransport(DCQCN), WithShards(2))},
+		{"hosts<2", New(WithTopology(TwoTier(1, 1, 1)))},
+		{"shards<1", New(WithShards(-1))},
+	}
+	for _, r := range refusals {
+		err := Validate(r.spec)
+		if err == nil {
+			t.Errorf("%s: not refused", r.label)
+			continue
+		}
+		if method := r.spec.withDefaults().Validate(); method == nil || method.Error() != err.Error() {
+			t.Errorf("%s: function and method disagree:\nfunc   %v\nmethod %v", r.label, err, method)
+		}
+	}
+}
+
+// TestCatalogSorted pins Catalog (and CatalogEntries) to sorted name
+// order — the CLI listing, the JSON listing and /api/catalog all promise
+// a stable enumeration.
+func TestCatalogSorted(t *testing.T) {
+	var names []string
+	for _, n := range Catalog() {
+		names = append(names, n.Name)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Catalog not sorted: %v", names)
+	}
+	want := []string{"failure", "incast", "permutation", "random", "rpc"}
+	if len(names) != len(want) {
+		t.Fatalf("catalog is %v, want %v", names, want)
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Fatalf("catalog is %v, want %v", names, want)
+		}
+	}
+	entries := CatalogEntries()
+	for i, e := range entries {
+		if e.Name != names[i] {
+			t.Errorf("CatalogEntries order diverges at %d: %q vs %q", i, e.Name, names[i])
+		}
+		if err := Validate(e.Defaults); err != nil {
+			t.Errorf("%s: default Spec invalid: %v", e.Name, err)
+		}
+		if e.SpecHash != e.Defaults.Hash() {
+			t.Errorf("%s: SpecHash does not address Defaults", e.Name)
+		}
+		if len(e.Params) == 0 || e.Description == "" {
+			t.Errorf("%s: entry missing params/description: %+v", e.Name, e)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package scenario
+
+// Progress is one coarse observation of a running Spec, delivered to the
+// hook installed with WithProgress. Two kinds of observations arrive:
+//
+//   - per-repetition advances (Repeat >= 0): the repetition has covered
+//     Frac of its simulated-time horizon;
+//   - pool-level completions (Repeat == -1): Done of Repeats repetitions
+//     have fully finished on the sweep-job pool.
+//
+// Observations are deliberately coarse — a handful per repetition — so a
+// hook can forward them over a network stream without throttling.
+type Progress struct {
+	// Repeat is the 0-based repetition the observation came from, or -1
+	// for a pool-level completion event.
+	Repeat int
+	// Repeats is Spec.Repeats after default filling.
+	Repeats int
+	// Done counts fully completed repetitions (pool-level events only).
+	Done int
+	// Frac is the fraction of the repetition's simulated horizon covered,
+	// in [0, 1] (per-repetition events only).
+	Frac float64
+}
+
+// Overall folds the observation into a single monotonic-ish fraction of
+// the whole run: completed repetitions plus the current repetition's
+// fraction, over Repeats. With concurrent repetitions observations from
+// different workers interleave, so callers wanting a strictly monotonic
+// gauge should keep a running max.
+func (p Progress) Overall() float64 {
+	if p.Repeats <= 0 {
+		return 0
+	}
+	if p.Repeat < 0 {
+		return float64(p.Done) / float64(p.Repeats)
+	}
+	return (float64(p.Done) + p.Frac) / float64(p.Repeats)
+}
+
+// WithProgress installs a coarse progress hook on the Spec. The hook is
+// called from the sweep-job worker goroutines — concurrently when Workers
+// > 1 — so it must be safe for concurrent use and must return quickly (it
+// runs on the simulation's critical path). The hook observes the run; it
+// cannot perturb it: Metrics and engine event counts are bit-identical
+// with and without a hook installed (pinned by TestProgressDoesNotPerturb).
+// The hook never marshals: it is invisible to JSON, Hash and the daemon.
+func WithProgress(fn func(Progress)) Option {
+	return func(s *Spec) { s.progress = fn }
+}
+
+// progressSlices is how many RunUntil segments a hooked run is cut into
+// per workload phase: enough for a live gauge, few enough to be free.
+const progressSlices = 16

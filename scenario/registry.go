@@ -86,6 +86,38 @@ func Catalog() []Named {
 	return out
 }
 
+// CatalogEntry is the machine-readable view of one registered scenario:
+// its name, the Params it consumes, and the fully-defaulted Spec it builds
+// from zero Params — what `ndpsim -list -json` prints and the ndpsimd
+// daemon serves at /api/catalog.
+type CatalogEntry struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Params      []string `json:"params"`
+	Defaults    Spec     `json:"defaults"`
+	// SpecHash is the canonical content address of Defaults — the cache
+	// key prefix a zero-Params submission of this scenario would use.
+	SpecHash string `json:"spec_hash"`
+}
+
+// CatalogEntries renders the registry as JSON-marshalable entries, in
+// Catalog's sorted order.
+func CatalogEntries() []CatalogEntry {
+	cat := Catalog()
+	out := make([]CatalogEntry, 0, len(cat))
+	for _, n := range cat {
+		def := n.Spec(Params{}).withDefaults()
+		out = append(out, CatalogEntry{
+			Name:        n.Name,
+			Description: n.Description,
+			Params:      n.Uses,
+			Defaults:    def,
+			SpecHash:    def.Hash(),
+		})
+	}
+	return out
+}
+
 // Build instantiates a named scenario with the given params and extra
 // options; it errors on unknown names (listing what exists).
 func Build(name string, p Params, opts ...Option) (Spec, error) {

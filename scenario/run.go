@@ -61,12 +61,20 @@ func RunWithStats(spec Spec) (m *Metrics, stats RunStats, err error) {
 	seeds := harness.SweepSeeds(spec.Seed, spec.Repeats)
 	jobs := make([]harness.Job[*runOut], spec.Repeats)
 	for i := range jobs {
+		i := i
 		jobs[i] = harness.NewJob(
 			fmt.Sprintf("scenario/%s/%s/rep%d", name, spec.Transport, i),
 			seeds[i],
-			func(seed uint64) *runOut { return runOnce(spec, seed) })
+			func(seed uint64) *runOut { return runOnce(spec, seed, i) })
 	}
-	outs := harness.RunJobs(harness.Options{Workers: spec.Workers}, jobs)
+	opts := harness.Options{Workers: spec.Workers}
+	if hook := spec.progress; hook != nil {
+		repeats := spec.Repeats
+		opts.Progress = func(done, total int) {
+			hook(Progress{Repeat: -1, Repeats: repeats, Done: done})
+		}
+	}
+	outs := harness.RunJobs(opts, jobs)
 	for _, o := range outs {
 		stats.Events += o.events
 		stats.PacketHops += o.hops
@@ -95,7 +103,7 @@ type runOut struct {
 // job pool schedule repetitions on any worker without perturbing results —
 // and, with Shards > 1, lets the windowed multi-list runner advance the
 // partitions in parallel without perturbing them either.
-func runOnce(spec Spec, seed uint64) *runOut {
+func runOnce(spec Spec, seed uint64, rep int) *runOut {
 	net := spec.harnessTransport().Build(spec.Topology.builder(), topo.Config{Seed: seed, Shards: spec.Shards})
 	// Close is idempotent; the deferred call only matters if a panic
 	// unwinds past the explicit one below.
@@ -106,11 +114,11 @@ func runOnce(spec Spec, seed uint64) *runOut {
 	out := &runOut{linkRate: net.Cluster().LinkRate()}
 	switch spec.Workload.Kind {
 	case "incast":
-		runIncast(spec, net, out)
+		runIncast(spec, rep, net, out)
 	case "rpc":
-		runRPC(spec, seed, net, out)
+		runRPC(spec, seed, rep, net, out)
 	default: // permutation, random
-		runMatrix(spec, seed, net, out)
+		runMatrix(spec, seed, rep, net, out)
 	}
 	out.counters = net.Cluster().CollectStats()
 	out.events = int64(net.Runner().Executed())
@@ -126,7 +134,7 @@ func runOnce(spec Spec, seed uint64) *runOut {
 // Validate already bounded the degree by the host count, so the launched
 // flow count always matches the Spec. Completions write into per-flow
 // slots (never a shared counter), so shards may finish flows concurrently.
-func runIncast(spec Spec, net harness.Net, out *runOut) {
+func runIncast(spec Spec, rep int, net harness.Net, out *runOut) {
 	w := spec.Workload
 	hosts := net.Cluster().NumHosts()
 	degree := w.Degree
@@ -142,7 +150,8 @@ func runIncast(spec Spec, net harness.Net, out *runOut) {
 	}
 	out.launched = len(senders)
 	optimal := sim.FromSeconds(float64(degree) * float64(w.FlowSize) * 8 / float64(out.linkRate))
-	net.Runner().RunUntil(fctDeadline(spec.Deadline, optimal))
+	deadline := fctDeadline(spec.Deadline, optimal)
+	runTo(spec, rep, net.Runner(), deadline, deadline)
 	collectFCTs(out, done)
 	out.excluded = countExcludedPaths(flows)
 }
@@ -150,7 +159,7 @@ func runIncast(spec Spec, net harness.Net, out *runOut) {
 // runMatrix drives a permutation or random traffic matrix: unbounded flows
 // are metered for goodput over Warmup/Window; sized flows are measured by
 // completion time.
-func runMatrix(spec Spec, seed uint64, net harness.Net, out *runOut) {
+func runMatrix(spec Spec, seed uint64, rep int, net harness.Net, out *runOut) {
 	w := spec.Workload
 	hosts := net.Cluster().NumHosts()
 	var dst []int
@@ -168,12 +177,12 @@ func runMatrix(spec Spec, seed uint64, net harness.Net, out *runOut) {
 		}
 		warm, window := simDur(spec.Warmup), simDur(spec.Window)
 		runner := net.Runner()
-		runner.RunUntil(warm)
+		runTo(spec, rep, runner, warm, warm+window)
 		base := make([]int64, len(flows))
 		for i, f := range flows {
 			base[i] = f.AckedBytes()
 		}
-		runner.RunUntil(warm + window)
+		runTo(spec, rep, runner, warm+window, warm+window)
 		out.goodput = make([]float64, len(flows))
 		for i, f := range flows {
 			out.goodput[i] = stats.Gbps(f.AckedBytes()-base[i], window)
@@ -191,7 +200,8 @@ func runMatrix(spec Spec, seed uint64, net harness.Net, out *runOut) {
 		})
 	}
 	optimal := sim.FromSeconds(float64(w.FlowSize) * 8 / float64(out.linkRate))
-	net.Runner().RunUntil(fctDeadline(spec.Deadline, optimal*100))
+	deadline := fctDeadline(spec.Deadline, optimal*100)
+	runTo(spec, rep, net.Runner(), deadline, deadline)
 	collectFCTs(out, done)
 	out.excluded = countExcludedPaths(flows)
 }
@@ -209,7 +219,7 @@ type rpcDone struct {
 
 // runRPC keeps Degree closed-loop request flows per host in flight until
 // the deadline, recording every completion.
-func runRPC(spec Spec, seed uint64, net harness.Net, out *runOut) {
+func runRPC(spec Spec, seed uint64, rep int, net harness.Net, out *runOut) {
 	w := spec.Workload
 	sizes := workload.FacebookWeb()
 	if w.FlowSize > 0 {
@@ -265,7 +275,7 @@ func runRPC(spec Spec, seed uint64, net harness.Net, out *runOut) {
 	if deadline == 0 {
 		deadline = 20 * time.Millisecond
 	}
-	net.Runner().RunUntil(simDur(deadline))
+	runTo(spec, rep, net.Runner(), simDur(deadline), simDur(deadline))
 	out.launched = int(cl.Launched())
 
 	// Merge the per-shard completion buffers into one canonical order:
@@ -405,6 +415,30 @@ func (s Spec) harnessTransport() harness.Transport {
 		hcfg.MTU = s.MTU
 		hcfg.DisablePathPenalty = s.DisablePathPenalty
 		return harness.NDPTransport{Switch: core.DefaultSwitchConfig(s.MTU), Host: hcfg}
+	}
+}
+
+// runTo advances the runner to deadline. With a progress hook installed
+// the advance is cut into progressSlices RunUntil segments, reporting the
+// covered fraction of horizon (the run's final deadline) after each.
+// Slicing is invisible to the simulation: event execution order is a pure
+// function of timestamps and ord keys, never of RunUntil call boundaries
+// — the clock merely parks at intermediate deadlines with no events in
+// between, and the sharded runner's window horizons derive from pending
+// event times, not from the requested deadline. Hooked and unhooked runs
+// are therefore bit-identical, Metrics and engine stats both (pinned by
+// TestProgressDoesNotPerturb).
+func runTo(spec Spec, rep int, r sim.Runner, deadline, horizon sim.Time) {
+	from := r.Now()
+	if spec.progress == nil || deadline <= from {
+		r.RunUntil(deadline)
+		return
+	}
+	span := deadline - from
+	for i := sim.Time(1); i <= progressSlices; i++ {
+		t := from + span*i/progressSlices
+		r.RunUntil(t)
+		spec.progress(Progress{Repeat: rep, Repeats: spec.Repeats, Frac: float64(t) / float64(horizon)})
 	}
 }
 

@@ -107,7 +107,17 @@ type Spec struct {
 
 	// name is set when the Spec came from the named-scenario registry.
 	name string
+	// progress is the optional coarse progress hook installed by
+	// WithProgress. Being unexported it never marshals, so it is invisible
+	// to Hash and to the daemon's wire encoding.
+	progress func(Progress)
 }
+
+// Name returns the registry name the Spec was built from ("" for
+// hand-assembled Specs). It rides into Metrics.Scenario, so two otherwise
+// identical Specs with different names produce different Metrics — cache
+// keys must include it alongside Hash.
+func (s Spec) Name() string { return s.name }
 
 // Option mutates a Spec under construction.
 type Option func(*Spec)
@@ -213,6 +223,13 @@ func (s Spec) withDefaults() Spec {
 	}
 	return s
 }
+
+// Validate reports why the Spec cannot run, or nil. It fills defaults
+// first, so a partially-specified Spec (e.g. one decoded from JSON) is
+// judged exactly as Run would judge it. The CLI and the ndpsimd daemon
+// both reject unsupported Specs through this single gate, so an HTTP 400
+// carries the same supported-matrix message as a CLI exit 2.
+func Validate(s Spec) error { return s.withDefaults().Validate() }
 
 // Validate reports why the Spec cannot run, or nil.
 func (s Spec) Validate() error {

@@ -10,7 +10,8 @@ import (
 )
 
 // This file renders the trajectory SVG with nothing but the standard
-// library: three stacked panels (events/sec, ns/event, allocs per run)
+// library: stacked panels (events/sec, ns/event, allocs per run, and —
+// when any report carries scaling-* cases — shard-scaling speedup)
 // sharing one x-axis of report positions, one polyline per benchmark case,
 // with a legend keyed by color. Every point carries a <title> tooltip with
 // its BENCH_<n> PR label, case name and value, so the SVG is
@@ -45,8 +46,13 @@ func RenderTrajectory(reports []*harness.BenchReport, labels []string) string {
 	events := collect(reports, func(r harness.BenchResult) float64 { return r.EventsPerSec })
 	nsPerEv := collect(reports, func(r harness.BenchResult) float64 { return r.NsPerEvent })
 	allocs := collect(reports, func(r harness.BenchResult) float64 { return float64(r.AllocsPerOp) })
+	speedup := collectSpeedup(reports)
 
-	height := marginT + 3*(panelH+panelGap)
+	panels := 3
+	if len(speedup) > 0 {
+		panels = 4
+	}
+	height := marginT + panels*(panelH+panelGap)
 	var b strings.Builder
 	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n",
 		plotW, height)
@@ -54,8 +60,58 @@ func RenderTrajectory(reports []*harness.BenchReport, labels []string) string {
 	renderPanel(&b, marginT, "events/sec (higher is better)", events, labels, false)
 	renderPanel(&b, marginT+panelH+panelGap, "ns/event (lower is better)", nsPerEv, labels, false)
 	renderPanel(&b, marginT+2*(panelH+panelGap), "allocations per run (lower is better)", allocs, labels, true)
+	if len(speedup) > 0 {
+		renderPanel(&b, marginT+3*(panelH+panelGap), "shard-scaling speedup vs 1 shard (higher is better)", speedup, labels, false)
+	}
 	b.WriteString("</svg>\n")
 	return b.String()
+}
+
+// collectSpeedup derives the shard-scaling panel from the -scaling curve
+// cases: for every scaling-<family>-shards<n> case with n > 1 whose
+// shards1 sibling is present in the same report, the series value is
+// events/sec(n) / events/sec(1) — the engine speedup the extra shards
+// bought on that report's machine. Reports without scaling cases (the
+// trajectory predating `-bench -scaling`) contribute gaps, and when no
+// report carries any the panel is omitted entirely.
+func collectSpeedup(reports []*harness.BenchReport) []series {
+	byName := map[string][]float64{}
+	for ri, rep := range reports {
+		base := map[string]float64{}
+		for _, res := range rep.Results {
+			if strings.HasPrefix(res.Name, "scaling-") && strings.HasSuffix(res.Name, "-shards1") {
+				base[strings.TrimSuffix(res.Name, "-shards1")] = res.EventsPerSec
+			}
+		}
+		for _, res := range rep.Results {
+			if !strings.HasPrefix(res.Name, "scaling-") || strings.HasSuffix(res.Name, "-shards1") {
+				continue
+			}
+			fam := res.Name[:strings.LastIndex(res.Name, "-shards")]
+			if base[fam] <= 0 {
+				continue
+			}
+			vals, ok := byName[res.Name]
+			if !ok {
+				vals = make([]float64, len(reports))
+				for i := range vals {
+					vals[i] = math.NaN()
+				}
+				byName[res.Name] = vals
+			}
+			vals[ri] = res.EventsPerSec / base[fam]
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]series, 0, len(names))
+	for _, n := range names {
+		out = append(out, series{name: n, vals: byName[n]})
+	}
+	return out
 }
 
 // collect extracts one metric into per-case series ordered by case name.

@@ -72,6 +72,47 @@ func TestRenderGapSplitsLine(t *testing.T) {
 	}
 }
 
+// TestRenderScalingPanel checks the shard-scaling panel: it only appears
+// when some report carries scaling-* cases, plots events/sec ratios
+// against the family's shards1 point, and leaves gaps for reports
+// predating `-bench -scaling`.
+func TestRenderScalingPanel(t *testing.T) {
+	plain := report("OLD", map[string]harness.BenchResult{
+		"rpc-tiny": {EventsPerSec: 5e6, AllocsPerOp: 10},
+	})
+	withScaling := report("NEW", map[string]harness.BenchResult{
+		"rpc-tiny":                 {EventsPerSec: 5e6, AllocsPerOp: 10},
+		"scaling-incast-shards1":   {EventsPerSec: 2e6, AllocsPerOp: 10},
+		"scaling-incast-shards2":   {EventsPerSec: 3e6, AllocsPerOp: 10},
+		"scaling-incast-shards4":   {EventsPerSec: 5e6, AllocsPerOp: 10},
+		"scaling-incast-shards8":   {EventsPerSec: 6e6, AllocsPerOp: 10},
+		"scaling-lossless-shards1": {EventsPerSec: 1e6, AllocsPerOp: 10},
+		"scaling-lossless-shards4": {EventsPerSec: 2e6, AllocsPerOp: 10},
+	})
+
+	svg := RenderTrajectory([]*harness.BenchReport{plain}, []string{"OLD"})
+	if strings.Contains(svg, "shard-scaling speedup") {
+		t.Error("scaling panel rendered with no scaling cases in any report")
+	}
+
+	svg = RenderTrajectory([]*harness.BenchReport{plain, withScaling}, []string{"OLD", "NEW"})
+	if !strings.Contains(svg, "shard-scaling speedup") {
+		t.Fatal("scaling panel missing")
+	}
+	// The ratio series are named by the non-baseline cases; shards1 is the
+	// divisor, never a series of its own (it would be a flat 1.0 line).
+	for _, want := range []string{"scaling-incast-shards2", "scaling-incast-shards8", "scaling-lossless-shards4"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("scaling panel missing series %q", want)
+		}
+	}
+	// 2.5x speedup for scaling-incast-shards4 (5e6 / 2e6) shows up as a
+	// tooltip value in the fourth panel.
+	if !strings.Contains(svg, "<title>NEW — scaling-incast-shards4:") {
+		t.Error("scaling point tooltip missing")
+	}
+}
+
 // TestReportLabelPrefersBenchName pins the BENCH_<n> file naming as the
 // point label for committed trajectory reports.
 func TestReportLabelPrefersBenchName(t *testing.T) {

@@ -18,6 +18,7 @@
 //
 //	ndpsim -bench                                # pinned performance suite
 //	ndpsim -bench -tiny -baseline BENCH_3.json   # CI regression gate
+//	ndpsim -bench -scaling                       # + 1/2/4/8-shard scaling curves
 //	ndpsim -bench -tiny -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments and scenario repeats decompose into independent seed-derived
@@ -58,10 +59,11 @@ func main() {
 		degree    = flag.Int("degree", 0, "scenario incast fan-in / rpc conns per host (0 = default)")
 		flowsize  = flag.Int64("flowsize", 0, "scenario flow size in bytes (0 = default)")
 		repeats   = flag.Int("repeats", 1, "scenario repetitions aggregated into one result")
-		shards    = flag.Int("shards", 1, "scenario: shard each simulation across this many cores (every transport except dcqcn, on fattree/twotier/jellyfish; results identical for any value)")
+		shards    = flag.Int("shards", 1, "scenario: shard each simulation across this many cores (every transport, on fattree/twotier/jellyfish; results identical for any value)")
 
 		bench      = flag.Bool("bench", false, "run the pinned benchmark suite, then exit")
 		tiny       = flag.Bool("tiny", false, "bench: run only the seconds-fast -tiny cases (the CI subset)")
+		scaling    = flag.Bool("scaling", false, "bench: additionally run the shard-scaling curves (1/2/4/8 shards at pinned GOMAXPROCS)")
 		benchOut   = flag.String("benchout", "", "bench: also write the report JSON to this path (e.g. BENCH_3.json)")
 		benchLabel = flag.String("benchlabel", "local", "bench: label recorded in the report")
 		baseline   = flag.String("baseline", "", "bench: compare events/sec against this committed report; exit 1 on regression")
@@ -89,7 +91,7 @@ func main() {
 	validateFlags(*exp, *scen, *transport, *scale, *parallel, *repeats, *bench, explicit)
 
 	if *bench {
-		runBench(*tiny, *benchOut, *benchLabel, *baseline, *maxRegress, *jsonOut,
+		runBench(*tiny, *scaling, *benchOut, *benchLabel, *baseline, *maxRegress, *jsonOut,
 			*cpuProfile, *memProfile)
 		return
 	}
@@ -184,7 +186,7 @@ func validateFlags(exp, scen, transport string, scale float64, parallel, repeats
 			}
 		}
 	} else {
-		for _, f := range []string{"tiny", "benchout", "benchlabel", "baseline", "maxregress",
+		for _, f := range []string{"tiny", "scaling", "benchout", "benchlabel", "baseline", "maxregress",
 			"cpuprofile", "memprofile"} {
 			if explicit[f] {
 				fatalUsage("-%s only applies to -bench mode", f)
@@ -301,9 +303,11 @@ func runScenario(name, transport string, hosts, degree int, flowsize int64,
 // report, optionally persists it, and optionally gates on a committed
 // baseline: any case whose events/sec drops — or whose allocs/op grows —
 // more than maxRegress percent fails the run with exit code 1. With
-// -cpuprofile/-memprofile the suite runs under the profiler, so hot paths
-// and allocation sites can be read straight off the pinned workloads.
-func runBench(tiny bool, outPath, label, baselinePath string, maxRegress float64, jsonOut bool,
+// -scaling the shard-scaling curves (1/2/4/8 shards at pinned GOMAXPROCS)
+// are appended to the selected set. With -cpuprofile/-memprofile the
+// suite runs under the profiler, so hot paths and allocation sites can be
+// read straight off the pinned workloads.
+func runBench(tiny, scaling bool, outPath, label, baselinePath string, maxRegress float64, jsonOut bool,
 	cpuProfile, memProfile string) {
 	cases := scenario.BenchSuite()
 	if tiny {
@@ -314,6 +318,9 @@ func runBench(tiny bool, outPath, label, baselinePath string, maxRegress float64
 			}
 		}
 		cases = kept
+	}
+	if scaling {
+		cases = append(cases, scenario.BenchScalingSuite()...)
 	}
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)

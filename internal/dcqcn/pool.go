@@ -4,9 +4,10 @@ import (
 	"ndp/internal/fabric"
 )
 
-// Pool recycles completed DCQCN flow state. Lossless fabrics never sharded
-// (PFC correctness requires one scheduling domain), so one pool per network
-// suffices. Retirement is explicit: the fabric is lossless and paths are
+// Pool recycles completed DCQCN flow state. Lossless fabrics shard like
+// any other (PFC pause crosses the cut as a keyed mailbox entry), so the
+// network layer keeps one pool per scheduling domain and each shard only
+// touches its own. Retirement is explicit: the fabric is lossless and paths are
 // fixed, so once a receiver sees the FIN nothing more can arrive for the
 // flow and the network layer retires both endpoints — after stopping the
 // sender's rate-machine timers, which otherwise tick forever.

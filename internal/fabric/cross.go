@@ -14,15 +14,19 @@ type CrossBox struct {
 	entries []CrossEntry
 }
 
-// CrossEntry is one boundary crossing: a packet delivery into a Sink, or a
-// deferred command (Fn non-nil). At and Ord carry the exact timestamp and
-// canonical equal-time key the event would have had on a single list.
+// CrossEntry is one boundary crossing: a packet delivery into a Sink, a
+// deferred command (Fn non-nil), or a PFC pause/resume transition for an
+// upstream port living on the destination shard (PFC non-nil). At and Ord
+// carry the exact timestamp and canonical equal-time key the event would
+// have had on a single list.
 type CrossEntry struct {
-	At   sim.Time
-	Ord  uint64
-	Pkt  *Packet
-	Sink Sink
-	Fn   func()
+	At    sim.Time
+	Ord   uint64
+	Pkt   *Packet
+	Sink  Sink
+	Fn    func()
+	PFC   *Port
+	Pause bool
 }
 
 // AddDelivery appends a packet delivery crossing the shard boundary.
@@ -33,6 +37,16 @@ func (b *CrossBox) AddDelivery(at sim.Time, ord uint64, pkt *Packet, sink Sink) 
 // AddCommand appends a deferred cross-shard command.
 func (b *CrossBox) AddCommand(at sim.Time, ord uint64, fn func()) {
 	b.entries = append(b.entries, CrossEntry{At: at, Ord: ord, Fn: fn})
+}
+
+// AddPFC appends a PFC pause/resume transition crossing the shard boundary
+// toward the upstream transmitter port. The transition applies at exactly
+// emission + link delay, the same instant it would on a single list — the
+// link delay is at least the pair lookahead because the PFC reverse
+// channel is itself registered as a cross link, so the conservative
+// window never needs to be narrowed for pause state.
+func (b *CrossBox) AddPFC(at sim.Time, ord uint64, upstream *Port, pause bool) {
+	b.entries = append(b.entries, CrossEntry{At: at, Ord: ord, PFC: upstream, Pause: pause})
 }
 
 // Drain moves every pending entry into the destination shard's inbox and
@@ -113,6 +127,8 @@ func (ib *Inbox) OnEvent(arg uint64) {
 	switch {
 	case e.Fn != nil:
 		e.Fn()
+	case e.PFC != nil:
+		e.PFC.SetPaused(e.Pause)
 	case e.Sink != nil:
 		e.Sink.Receive(e.Pkt)
 	default:

@@ -1,5 +1,7 @@
 package fabric
 
+import "ndp/internal/sim"
+
 // Lossless Ethernet (IEEE 802.1Qbb priority flow control) support.
 //
 // In lossless mode a switch gates admission from each input link through an
@@ -77,12 +79,21 @@ type IngressQueue struct {
 	sw       *Switch
 	upstream *Port
 
+	// Cross, when non-nil, is the mailbox toward the upstream
+	// transmitter's shard: the upstream port lives on the other side of a
+	// shard cut, so pause/resume transitions travel as keyed cross-shard
+	// entries instead of locally scheduled events. The topology layer
+	// registers the reverse channel with noteCrossLink, so the link delay
+	// the signal travels is itself part of the pair lookahead.
+	Cross *CrossBox
+
 	held  []heldEntry
 	head  int
 	bytes int
 
 	pausedUpstream bool
-	PauseEvents    int64 // number of XOFF transitions signalled
+	pfcSeq         uint64 // emission counter for canonical PFC ord keys
+	PauseEvents    int64  // number of XOFF transitions signalled
 }
 
 // Receive routes the packet; if its egress is at budget, the packet is held
@@ -151,14 +162,35 @@ func (iq *IngressQueue) OnEvent(arg uint64) {
 	iq.upstream.SetPaused(arg == pfcPause)
 }
 
+// signal emits one PFC transition toward the upstream transmitter, keyed
+// on (upstream port uid, ingress emission seq) so pause application order
+// at equal timestamps is canonical — independent of scheduling history and
+// of which side of a shard boundary the transition crossed. Resume can
+// never overtake pause: both travel the same fixed delay and the seq
+// strictly increases.
+func (iq *IngressQueue) signal(pause bool) {
+	at := iq.sw.el.Now() + iq.upstream.Delay
+	iq.pfcSeq++
+	ord := sim.PFCOrd(iq.upstream.UID, iq.pfcSeq)
+	if iq.Cross != nil {
+		iq.Cross.AddPFC(at, ord, iq.upstream, pause)
+		return
+	}
+	arg := uint64(pfcResume)
+	if pause {
+		arg = pfcPause
+	}
+	iq.sw.el.ScheduleKeyed(at, ord, iq, arg)
+}
+
 func (iq *IngressQueue) updatePause() {
 	ls := iq.sw.lossless
 	if !iq.pausedUpstream && iq.bytes > ls.xoff {
 		iq.pausedUpstream = true
 		iq.PauseEvents++
-		iq.sw.el.ScheduleAfter(iq.upstream.Delay, iq, pfcPause)
+		iq.signal(true)
 	} else if iq.pausedUpstream && iq.bytes <= ls.xon {
 		iq.pausedUpstream = false
-		iq.sw.el.ScheduleAfter(iq.upstream.Delay, iq, pfcResume)
+		iq.signal(false)
 	}
 }

@@ -93,6 +93,41 @@ func TestLosslessHeadOfLineBlocking(t *testing.T) {
 	}
 }
 
+// A port added after EnableLossless must still drain held ingress packets
+// when its queue empties: the OnDequeue hook has to be installed at port
+// attach, not only on the ports present when lossless mode was enabled.
+// Without it, packets held for the late port strand forever — a silent
+// deadlock only the arena leak accounting would catch.
+func TestLosslessEnableThenAddPort(t *testing.T) {
+	el := sim.NewEventList()
+	sw := NewSwitch(el, 0, "s0")
+	sw.Route = func(s *Switch, p *Packet) int { return 0 }
+
+	const mtu = 1500
+	// Lossless mode first, egress port second: the enable-then-add order
+	// under test.
+	sw.EnableLossless(2*mtu, 2*mtu, mtu)
+	sink := NewCountingSink(el)
+	egress := NewPort(el, "sw->dst", NewFIFOQueue(0), 1e9, 0)
+	egress.Connect(sink)
+	sw.AddPort(egress)
+
+	src := NewPort(el, "src->sw", NewFIFOQueue(0), 10e9, 500*sim.Nanosecond)
+	sw.NewIngress(src)
+
+	// 10G in, 1G out: the tiny egress budget fills and the overflow is
+	// held at the ingress; only the dequeue hook can release it.
+	const n = 50
+	for i := 0; i < n; i++ {
+		src.Enqueue(NewData(1, 0, 0, int64(i), mtu))
+	}
+	el.Run()
+
+	if sink.Packets != n {
+		t.Fatalf("delivered %d packets, want %d (held packets stranded: no OnDequeue hook on late-added port)", sink.Packets, n)
+	}
+}
+
 // Pause must propagate transitively: a long chain with a slow sink must not
 // drop anything anywhere even with tiny egress budgets.
 func TestLosslessCascade(t *testing.T) {

@@ -29,11 +29,15 @@ type BenchCounts struct {
 // BenchCase is one pinned benchmark: a stable name (the unit of comparison
 // across BENCH_*.json files — never rename without a migration note), a
 // Tiny marker for the CI subset, and a Run function executing one full
-// deterministic simulation.
+// deterministic simulation. Procs, when non-zero, pins GOMAXPROCS around
+// every run of the case (warmup included) so parallel-engine curves keep
+// a comparable shape across recording machines; zero leaves the runtime
+// default untouched.
 type BenchCase struct {
-	Name string
-	Tiny bool
-	Run  func() BenchCounts
+	Name  string
+	Tiny  bool
+	Procs int
+	Run   func() BenchCounts
 }
 
 // BenchResult is one case's measurement.
@@ -86,6 +90,11 @@ func RunBenchSuite(cases []BenchCase, label string, logf func(format string, arg
 		Date:      time.Now().UTC().Format(time.RFC3339),
 	}
 	for _, c := range cases {
+		restoreProcs := func() {}
+		if c.Procs > 0 {
+			old := runtime.GOMAXPROCS(c.Procs)
+			restoreProcs = func() { runtime.GOMAXPROCS(old) }
+		}
 		if logf != nil {
 			logf("bench: %s (warmup)", c.Name)
 		}
@@ -110,6 +119,7 @@ func RunBenchSuite(cases []BenchCase, label string, logf func(format string, arg
 				bytes = int64(after.TotalAlloc - before.TotalAlloc)
 			}
 		}
+		restoreProcs()
 
 		r := BenchResult{
 			Name:        c.Name,

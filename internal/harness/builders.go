@@ -233,9 +233,24 @@ type DCQCNNet struct {
 	Demux []*fabric.Demux
 	Cfg   dcqcn.Config
 
+	// Legacy single-domain surface (the Flow method used by the figure
+	// runners): a net-wide flow-id counter and synchronous two-sided
+	// registration.
 	nextFlow uint64
 	senders  []*dcqcn.Sender
-	pool     *dcqcn.Pool
+
+	// Shard-safe StartFlow state, owned per source host / per scheduling
+	// domain exactly like TCPNet's (see TCPNet.srcSeq for the hazard a
+	// net-wide counter or stream would reintroduce).
+	srcSeq  []uint64
+	srcRand []*sim.Rand
+	// srcSenders[src] lists every sender started from src, for StopAll:
+	// per-source slices so mid-run appends stay within one shard.
+	srcSenders [][]*dcqcn.Sender
+
+	// pools recycles completed flow state, one pool per scheduling domain
+	// (map built up front, read-only at runtime).
+	pools map[*sim.EventList]*dcqcn.Pool
 }
 
 // BuildDCQCN constructs a PFC-enabled topology with DCQCN ECN queues. It is
@@ -251,7 +266,13 @@ func (d *DCQCNNet) EL() *sim.EventList { return d.C.EventList() }
 // Runner returns the cluster's engine driver.
 func (d *DCQCNNet) Runner() sim.Runner { return d.C.Runner() }
 
-// Flow starts a DCQCN transfer on a fixed path (RoCE is single-path).
+// pool returns the flow-state recycling pool of one scheduling domain.
+func (d *DCQCNNet) pool(el *sim.EventList) *dcqcn.Pool { return d.pools[el] }
+
+// Flow starts a DCQCN transfer on a fixed path (RoCE is single-path). It
+// is the legacy single-domain surface: both endpoints register
+// synchronously, so it must only be used on unsharded networks (the
+// figure runners); sharded drivers go through StartFlow.
 func (d *DCQCNNet) Flow(src, dst int, size int64, onDone func(*dcqcn.Receiver)) (*dcqcn.Sender, *dcqcn.Receiver) {
 	flow := d.nextFlow
 	d.nextFlow++
@@ -259,8 +280,8 @@ func (d *DCQCNNet) Flow(src, dst int, size int64, onDone func(*dcqcn.Receiver)) 
 	fwd := d.C.Paths(hs.ID, hd.ID)
 	rev := d.C.Paths(hd.ID, hs.ID)
 	r := sim.NewRand(flow * 2654435761)
-	s := d.pool.NewSender(hs, hd.ID, flow, fwd[r.Intn(len(fwd))], size, d.Cfg)
-	rc := d.pool.NewReceiver(hd, hs.ID, flow, rev[r.Intn(len(rev))], d.Cfg)
+	s := d.pool(hs.EventList()).NewSender(hs, hd.ID, flow, fwd[r.Intn(len(fwd))], size, d.Cfg)
+	rc := d.pool(hd.EventList()).NewReceiver(hd, hs.ID, flow, rev[r.Intn(len(rev))], d.Cfg)
 	// On a lossless fixed path nothing arrives after the FIN, so both
 	// endpoints retire as soon as the receiver completes — after stopping
 	// the sender's rate timers, which otherwise tick forever.
@@ -271,8 +292,8 @@ func (d *DCQCNNet) Flow(src, dst int, size int64, onDone func(*dcqcn.Receiver)) 
 		d.Demux[src].Unregister(flow)
 		d.Demux[dst].Unregister(flow)
 		s.Stop()
-		d.pool.RetireSender(s)
-		d.pool.RetireReceiver(rc)
+		d.pool(hs.EventList()).RetireSender(s)
+		d.pool(hd.EventList()).RetireReceiver(rc)
 	}
 	d.Demux[src].Register(flow, s)
 	d.Demux[dst].Register(flow, rc)
@@ -282,9 +303,16 @@ func (d *DCQCNNet) Flow(src, dst int, size int64, onDone func(*dcqcn.Receiver)) 
 }
 
 // StopAll halts every sender's timers (cleanup for unbounded flows).
+// Stopping an already-retired sender is a harmless no-op; it runs after
+// the simulation, so cross-shard reads are barrier-published.
 func (d *DCQCNNet) StopAll() {
 	for _, s := range d.senders {
 		s.Stop()
+	}
+	for _, list := range d.srcSenders {
+		for _, s := range list {
+			s.Stop()
+		}
 	}
 }
 

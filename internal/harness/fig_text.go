@@ -50,7 +50,7 @@ func fig23(o Options, r *Result) {
 					Gap:           sim.Millisecond,
 					Sizes:         workload.FacebookWeb(),
 					Seed:          seed + 7,
-					NotifyLatency: n.C.LinkDelay(),
+					NotifyLatency: func(int, int) sim.Time { return n.C.LinkDelay() },
 					Defer:         n.C.Defer,
 					Start: func(_, src, dst int, size int64, done func(at sim.Time)) {
 						start := n.EL().Now()
@@ -80,7 +80,7 @@ func fig23(o Options, r *Result) {
 					Gap:           sim.Millisecond,
 					Sizes:         workload.FacebookWeb(),
 					Seed:          seed + 7,
-					NotifyLatency: tn.C.LinkDelay(),
+					NotifyLatency: func(int, int) sim.Time { return tn.C.LinkDelay() },
 					Defer:         tn.C.Defer,
 					Start: func(_, src, dst int, size int64, done func(at sim.Time)) {
 						start := tn.EL().Now()

@@ -58,11 +58,11 @@ type Net interface {
 	// StartFlow begins a transfer of size bytes from host src to host
 	// dst; size < 0 runs an unbounded (permutation-style) flow.
 	//
-	// StartFlow is shard-safe for every transport except DCQCN: called
-	// mid-run in the source host's scheduling domain, it touches only
-	// source-shard state inline and delivers receiver-side setup through
-	// the cluster's deferred command channel, so closed-loop workloads
-	// run bit-identically on any shard layout.
+	// StartFlow is shard-safe for every transport: called mid-run in
+	// the source host's scheduling domain, it touches only source-shard
+	// state inline and delivers receiver-side setup through the
+	// cluster's deferred command channel, so closed-loop workloads run
+	// bit-identically on any shard layout.
 	StartFlow(src, dst int, size int64, opts StartOpts) Flow
 	// DoneHost reports the host (src or dst) in whose scheduling domain
 	// StartOpts.OnDone runs for a src->dst flow: the receiver for
@@ -132,19 +132,22 @@ func (n *NDPNet) DoneHost(src, dst int) int { return dst }
 
 // StartFlow implements Net. The sender half starts immediately on the
 // source host; the receiver-side observers (pull priority, completion and
-// goodput hooks) are delivered to the destination stack one link delay
-// later via the cluster's command channel. That deferral is what lets a
-// mid-run flow start (closed-loop RPC) work when source and destination
-// live on different shards — and it runs identically when they don't, so
-// results never depend on the shard layout. The registration always lands
-// before the first SYN, which is at least a serialization plus two
-// propagation delays behind it.
+// goodput hooks) are delivered to the destination stack the minimum
+// src->dst path delay later via the cluster's command channel. That
+// deferral is what lets a mid-run flow start (closed-loop RPC) work when
+// source and destination live on different shards — and it runs
+// identically when they don't, so results never depend on the shard
+// layout. The offset must be the pairwise MinPathDelay, not one link
+// delay: the command channel's lookahead contract is per shard pair, and
+// non-adjacent shards can be several cut crossings apart. The
+// registration still lands before the first SYN, which trails it by at
+// least a serialization time (same minimum path, plus transmission).
 func (n *NDPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
 	fo := core.FlowOpts{Flow: core.NextFlowID(), Priority: opts.Priority, OnReceiverDoneAt: opts.OnDone, OnReceiverData: opts.OnData}
 	c := n.C
 	dstStack := n.Stacks[dst]
 	flow, prio, onDoneAt, onData := fo.Flow, fo.Priority, fo.OnReceiverDoneAt, fo.OnReceiverData
-	at := n.Stacks[src].Host.EventList().Now() + c.LinkDelay()
+	at := n.Stacks[src].Host.EventList().Now() + c.MinPathDelay(src, dst)
 	c.Defer(src, dst, at, func() {
 		dstStack.PreRegister(flow, prio, nil, onDoneAt, onData)
 	})
@@ -204,13 +207,15 @@ func (t *TCPNet) DoneHost(src, dst int) int { return dst }
 // StartFlow implements Net. The sender half starts immediately on the
 // source host, drawing its flow id and both path choices from the source's
 // private stream; the receiver half (state, reverse route, observers) is
-// created on the destination's scheduling domain one link delay later via
-// the cluster's command channel — always before the first SYN, which is at
-// least a serialization plus two propagation delays behind it. The reverse
-// route is fixed by a raw value drawn at the source and reduced modulo the
-// destination's path count inside the deferred command, because the path
-// enumeration cache is per source-host shard and must only be touched from
-// its own domain.
+// created on the destination's scheduling domain the minimum src->dst
+// path delay later via the cluster's command channel — always before the
+// first SYN, which trails by at least a serialization time. The offset is
+// the pairwise MinPathDelay because the command channel's lookahead
+// contract is per shard pair (one link delay is not enough between
+// non-adjacent shards). The reverse route is fixed by a raw value drawn
+// at the source and reduced modulo the destination's path count inside
+// the deferred command, because the path enumeration cache is per
+// source-host shard and must only be touched from its own domain.
 func (t *TCPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
 	flow := t.srcFlowID(src, 1)
 	hs, hd := t.C.HostList()[src], t.C.HostList()[dst]
@@ -226,7 +231,7 @@ func (t *TCPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
 	revPick := r.Uint64()
 	onDone, onData := opts.OnDone, opts.OnData
 	c := t.C
-	c.Defer(src, dst, hs.EventList().Now()+c.LinkDelay(), func() {
+	c.Defer(src, dst, hs.EventList().Now()+c.MinPathDelay(src, dst), func() {
 		revs := c.Paths(hd.ID, hs.ID)
 		rcv := t.pool(hd.EventList()).NewReceiver(hd, t.Demux[dst], hs.ID, flow, revs[revPick%uint64(len(revs))])
 		rcv.OnData = onData
@@ -279,10 +284,11 @@ type MPTCPNet struct {
 // StartFlow implements Net. Construction is split across the shard cut:
 // the subflow senders (forward-path permutation from the source's stream)
 // start on the source host's domain, and the receivers attach on the
-// destination's domain one link delay later — before any subflow's SYN
-// arrives — permuting reverse paths with a generator seeded from a value
-// drawn at the source, so the choice is deterministic without sharing a
-// stream across shards.
+// destination's domain the minimum src->dst path delay later (the
+// per-pair lookahead bound; see TCPNet.StartFlow) — before any subflow's
+// SYN arrives — permuting reverse paths with a generator seeded from a
+// value drawn at the source, so the choice is deterministic without
+// sharing a stream across shards.
 func (m *MPTCPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
 	// Reserve the same stride NewSenderHalf will register: a zero-value
 	// Config defaults to 8 subflows there, and under-reserving would let
@@ -302,7 +308,7 @@ func (m *MPTCPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
 	revSeed := r.Uint64()
 	onData := opts.OnData
 	c := m.C
-	c.Defer(src, dst, hs.EventList().Now()+c.LinkDelay(), func() {
+	c.Defer(src, dst, hs.EventList().Now()+c.MinPathDelay(src, dst), func() {
 		f.AttachReceivers(hd, m.Demux[dst], c.Paths(hd.ID, hs.ID), sim.NewRand(revSeed), onData, m.pool(hd.EventList()))
 	})
 	f.Start()
@@ -341,11 +347,25 @@ func (t DCQCNTransport) Build(build BuildFunc, base topo.Config) Net {
 	cfg := dcqcn.DefaultConfig()
 	cfg.MTU = mtu
 	cfg.LineRate = c.LinkRate()
-	d := &DCQCNNet{C: c, Cfg: cfg, nextFlow: 1, pool: dcqcn.NewPool()}
+	d := &DCQCNNet{C: c, Cfg: cfg, nextFlow: 1}
+	d.srcSeq = make([]uint64, c.NumHosts())
+	d.srcRand = make([]*sim.Rand, c.NumHosts())
+	for i := range d.srcRand {
+		// One connect-time stream per source host, created up front
+		// (mid-run creation would race across shard goroutines).
+		d.srcRand[i] = sim.NewRand(base.Seed*48271 + 5 + (uint64(i)+1)*0x9e3779b97f4a7c15)
+	}
+	d.srcSenders = make([][]*dcqcn.Sender, c.NumHosts())
 	for _, h := range c.HostList() {
 		dm := fabric.NewDemux()
 		h.Stack = dm
 		d.Demux = append(d.Demux, dm)
+	}
+	d.pools = make(map[*sim.EventList]*dcqcn.Pool)
+	for _, h := range c.HostList() {
+		if _, ok := d.pools[h.EventList()]; !ok {
+			d.pools[h.EventList()] = dcqcn.NewPool()
+		}
 	}
 	return d
 }
@@ -359,30 +379,76 @@ func (d *DCQCNNet) Close() {
 	d.C.Close()
 }
 
-// DoneHost implements Net: DCQCN completion fires at the receiver. (The
-// lossless fabric cannot shard — PFC pause has zero lookahead — so this
-// only ever matters for single-domain bookkeeping.)
+// DoneHost implements Net: DCQCN completion fires at the receiver (the
+// FIN's arrival over the lossless fabric is the last byte delivered).
 func (d *DCQCNNet) DoneHost(src, dst int) int { return dst }
 
-// StartFlow implements Net.
+// StartFlow implements Net. Like the TCP family, construction is split
+// across the shard cut: the sender starts immediately on the source
+// host's domain (flow id and path picks drawn from the source's private
+// stream) and the receiver attaches on the destination's domain the
+// minimum src->dst path delay later — before the first data packet,
+// which trails by at least a serialization time. Teardown crosses back
+// the other way: the receiver retires at completion in its own domain
+// and defers the sender's rate-timer stop to the source's, so neither
+// endpoint's state is ever touched from a foreign shard. The same path
+// runs at every shard count, so results never depend on the layout.
 func (d *DCQCNNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
-	var onDone func(*dcqcn.Receiver)
-	if opts.OnDone != nil {
-		done := opts.OnDone
-		onDone = func(r *dcqcn.Receiver) { done(r.CompletedAt) }
-	}
-	_, rcv := d.Flow(src, dst, size, onDone)
-	if opts.OnData != nil {
-		rcv.OnData = opts.OnData
-	}
-	return dcqcnFlow{rcv}
+	d.srcSeq[src]++
+	flow := uint64(src+1)<<32 | d.srcSeq[src]
+	c := d.C
+	hs, hd := c.HostList()[src], c.HostList()[dst]
+	r := d.srcRand[src]
+	fwd := c.Paths(hs.ID, hd.ID)
+	s := d.pool(hs.EventList()).NewSender(hs, hd.ID, flow, fwd[r.Intn(len(fwd))], size, d.Cfg)
+	revPick := r.Uint64()
+	d.Demux[src].Register(flow, s)
+	d.srcSenders[src] = append(d.srcSenders[src], s)
+	f := &dcqcnFlow{}
+	onDone, onData := opts.OnDone, opts.OnData
+	c.Defer(src, dst, hs.EventList().Now()+c.MinPathDelay(src, dst), func() {
+		revs := c.Paths(hd.ID, hs.ID)
+		rc := d.pool(hd.EventList()).NewReceiver(hd, hs.ID, flow, revs[revPick%uint64(len(revs))], d.Cfg)
+		rc.OnData = onData
+		// The fabric is lossless and the path fixed, so nothing
+		// addressed to this flow reaches the receiver after the FIN:
+		// it retires immediately. The sender may still see a stale CNP
+		// until its deferred stop lands; after the unregister the demux
+		// drops it, and flow ids are never reused.
+		rc.OnComplete = func(rc *dcqcn.Receiver) {
+			if onDone != nil {
+				onDone(rc.CompletedAt)
+			}
+			d.Demux[dst].Unregister(flow)
+			d.pool(hd.EventList()).RetireReceiver(rc)
+			at := hd.EventList().Now() + c.MinPathDelay(dst, src)
+			c.Defer(dst, src, at, func() {
+				d.Demux[src].Unregister(flow)
+				s.Stop()
+				d.pool(hs.EventList()).RetireSender(s)
+			})
+		}
+		f.rcv = rc
+		d.Demux[dst].Register(flow, rc)
+	})
+	s.Start()
+	return f
 }
 
 // dcqcnFlow adapts a DCQCN receiver to the Flow interface. The fabric is
-// lossless, so received bytes are the delivered-goodput counter.
+// lossless, so received bytes are the delivered-goodput counter. The
+// receiver only attaches on the destination's domain shortly after
+// StartFlow returns; until then no byte has been delivered and
+// AckedBytes reports 0. Sharded drivers read it only at window barriers,
+// after the attach has been published.
 type dcqcnFlow struct{ rcv *dcqcn.Receiver }
 
-func (f dcqcnFlow) AckedBytes() int64 { return f.rcv.Bytes }
+func (f *dcqcnFlow) AckedBytes() int64 {
+	if f.rcv == nil {
+		return 0
+	}
+	return f.rcv.Bytes
+}
 
 // ---------------------------------------------------------------- pHost ----
 

@@ -87,11 +87,13 @@ func (a *eventKey) less(b *eventKey) bool {
 
 // Ord classes, highest bits of the ord word. Lower ord fires first at equal
 // timestamps: link deliveries, then cross-shard commands, then everything
-// scheduled plainly (whose FIFO order the sequence counter preserves).
+// scheduled plainly (whose FIFO order the sequence counter preserves), then
+// PFC pause/resume transitions.
 const (
 	ordDeliveryClass uint64 = 0
 	ordCommandClass  uint64 = 1 << 62
 	ordNormal        uint64 = 1 << 63
+	ordPFCClass      uint64 = 3 << 62
 
 	ordSeqBits = 40
 	ordUIDMax  = 1 << 22 // uid field width above the 40-bit sequence
@@ -118,6 +120,19 @@ func CommandOrd(uid uint32, seq uint64) uint64 {
 		panic("sim: CommandOrd uid out of range")
 	}
 	return ordCommandClass | uint64(uid)<<ordSeqBits | seq&(1<<ordSeqBits-1)
+}
+
+// PFCOrd builds the canonical ord for a PFC pause/resume transition: at
+// equal timestamps PFC state changes apply after every other event class,
+// ordered by the paused port's uid and then the ingress's emission
+// sequence. Keying the transition on the (port, seq) pair makes pause
+// application order independent of scheduling history — and of which side
+// of a shard boundary the transition crossed.
+func PFCOrd(uid uint32, seq uint64) uint64 {
+	if uint64(uid) >= ordUIDMax {
+		panic("sim: PFCOrd uid out of range")
+	}
+	return ordPFCClass | uint64(uid)<<ordSeqBits | seq&(1<<ordSeqBits-1)
 }
 
 // eventVal is the heap payload: what to call and, for cancellable events,

@@ -49,7 +49,9 @@ type MultiRunner struct {
 	// Lists are the per-shard schedulers, index = shard id.
 	Lists []*EventList
 	// Lookahead bounds each window; it must not exceed the minimum
-	// latency of any cross-shard interaction.
+	// latency of any cross-shard interaction. When a lookahead matrix is
+	// installed (SetLookaheadMatrix) the matrix governs the windows and
+	// this scalar is only a lower-bound summary for callers.
 	Lookahead Time
 	// Exchange drains all cross-shard mailboxes into the destination
 	// lists. It runs single-threaded between windows.
@@ -58,6 +60,17 @@ type MultiRunner struct {
 	// execution is bit-identical (behavior is fixed by event keys, not by
 	// the execution schedule); parallel is the point of sharding.
 	Parallel bool
+
+	// matrix is the optional per-pair lookahead: matrix[j][i] is the
+	// minimum latency of any interaction emitted by shard j that reaches
+	// shard i (Infinity when nothing j does can ever reach i). nil means
+	// the scalar Lookahead governs every pair.
+	matrix [][]Time
+	// react[i] is the minimum round-trip lookahead out of and back into
+	// shard i: min over j != i of matrix[i][j] + matrix[j][i]. It bounds
+	// how soon a *reaction* to shard i's own emissions can return, the
+	// per-pair generalization of the scalar engine's 2L widening.
+	react []Time
 
 	// limits is the per-shard window horizon scratch, recomputed each
 	// window by windowLimits.
@@ -80,6 +93,41 @@ func NewMultiRunner(lists []*EventList, lookahead Time, exchange func()) *MultiR
 	}
 	return &MultiRunner{Lists: lists, Lookahead: lookahead, Exchange: exchange,
 		Parallel: runtime.GOMAXPROCS(0) > 1}
+}
+
+// SetLookaheadMatrix installs the per-pair lookahead: L[j][i] is the
+// minimum latency of any interaction shard j can emit toward shard i —
+// the minimum total path delay across the actual cut edges from j to i,
+// Infinity when no path crosses. Off-diagonal entries must be positive
+// and at least the scalar Lookahead; diagonal entries are ignored. The
+// matrix must be the metric closure of the shard quotient graph (L[j][i]
+// <= L[j][k] + L[k][i] for all k), which the topology layer guarantees by
+// computing it as an all-pairs shortest path; windowLimits relies on the
+// triangle inequality to bound multi-hop reaction chains by round trips.
+func (mr *MultiRunner) SetLookaheadMatrix(L [][]Time) {
+	n := len(mr.Lists)
+	if len(L) != n {
+		panic("sim: lookahead matrix must be shards x shards")
+	}
+	react := make([]Time, n)
+	for i := range L {
+		if len(L[i]) != n {
+			panic("sim: lookahead matrix must be shards x shards")
+		}
+		react[i] = Infinity
+		for j, l := range L[i] {
+			if i == j {
+				continue
+			}
+			if l < mr.Lookahead {
+				panic("sim: lookahead matrix entry below the scalar lookahead")
+			}
+			if rt := satAdd(l, L[j][i]); rt < react[i] {
+				react[i] = rt
+			}
+		}
+	}
+	mr.matrix, mr.react = L, react
 }
 
 // Close stops the persistent shard workers (if any were started). The
@@ -137,26 +185,43 @@ func satAdd(t, d Time) Time {
 // snapshot of next-event times. Shard i may safely run every event with a
 // timestamp strictly below
 //
-//	limit_i = min( min_{j != i}(N_j + L),  N_i + 2L )
+//	limit_i = min( min_{j != i}(N_j + L[j][i]),  N_i + R_i )
 //
-// where N_j is shard j's earliest pending event and L the lookahead:
+// where N_j is shard j's earliest pending event, L[j][i] the pair
+// lookahead from j to i (the scalar Lookahead for every pair when no
+// matrix is installed, making R_i = 2L):
 //   - any message another shard j emits this window comes from an event at
-//     time >= N_j, so it arrives at >= N_j + L >= limit_i;
-//   - any *future* message toward i is a reaction to something emitted this
-//     window — a chain i -> j -> i costs at least 2L (each hop is one
-//     lookahead), and chains through more shards cost more — so it arrives
-//     at >= N_i + 2L >= limit_i.
+//     time >= N_j and needs at least L[j][i] to reach i, so it arrives at
+//     >= N_j + L[j][i] >= limit_i;
+//   - any *future* message toward i is a reaction to something i itself
+//     emitted this window — a chain i -> j -> ... -> i costs at least the
+//     round trip R_i = min_j(L[i][j] + L[j][i]), because the matrix is a
+//     metric closure and longer chains only add hops — so it arrives at
+//     >= N_i + R_i >= limit_i.
 //
 // Nothing injected at this or any later barrier can therefore land in
 // shard i's past. When peer shards are idle (N_j far ahead or Infinity),
 // limit_i widens well beyond the fixed lookahead — this is the adaptive
 // widening that makes empty-mailbox phases cheap — and when every shard is
-// equally busy it degrades exactly to the classic min(N)+L window.
+// equally busy with a uniform matrix it degrades exactly to the classic
+// min(N)+L window. With a real matrix, distant shard pairs (multi-hop
+// cuts, or no connecting path at all: L = Infinity) stop constraining
+// each other, so non-adjacent shards run far ahead of the global minimum.
 func (mr *MultiRunner) windowLimits(deadline Time) {
 	if mr.limits == nil {
 		mr.limits = make([]Time, len(mr.Lists))
 	}
-	// min and second-min of N_j + L give min_{j != i} in O(shards).
+	// The +1 makes the exclusive window bound inclusive of events at
+	// exactly the deadline, still within the conservative limit. Saturate:
+	// a deadline at or near Infinity must clamp, not wrap every horizon
+	// to 0 and livelock RunUntil.
+	bound := satAdd(deadline, 1)
+	if mr.matrix != nil {
+		mr.matrixLimits(bound)
+		return
+	}
+	// Scalar fast path: min and second-min of N_j + L give min_{j != i}
+	// in O(shards).
 	min1, min2 := Infinity, Infinity
 	argmin := -1
 	for i, el := range mr.Lists {
@@ -167,9 +232,6 @@ func (mr *MultiRunner) windowLimits(deadline Time) {
 			min2 = h
 		}
 	}
-	// The +1 makes the exclusive window bound inclusive of events at
-	// exactly the deadline, still within the conservative limit.
-	bound := deadline + 1
 	for i, el := range mr.Lists {
 		peers := min1
 		if i == argmin {
@@ -178,6 +240,30 @@ func (mr *MultiRunner) windowLimits(deadline Time) {
 		limit := satAdd(satAdd(el.NextAt(), mr.Lookahead), mr.Lookahead)
 		if peers < limit {
 			limit = peers
+		}
+		if bound < limit {
+			limit = bound
+		}
+		mr.limits[i] = limit
+	}
+}
+
+// matrixLimits is the per-pair O(shards^2) horizon computation used when a
+// lookahead matrix is installed; see windowLimits for the bound it
+// implements. Progress is guaranteed: the globally-earliest shard's
+// horizon exceeds its own next event (every N_j + L[j][i] term is at
+// least N_i plus a positive lookahead), so every window fires at least
+// one event.
+func (mr *MultiRunner) matrixLimits(bound Time) {
+	for i := range mr.Lists {
+		limit := satAdd(mr.Lists[i].NextAt(), mr.react[i])
+		for j, el := range mr.Lists {
+			if j == i {
+				continue
+			}
+			if h := satAdd(el.NextAt(), mr.matrix[j][i]); h < limit {
+				limit = h
+			}
 		}
 		if bound < limit {
 			limit = bound
@@ -198,7 +284,12 @@ func (mr *MultiRunner) RunUntil(deadline Time) {
 	if mr.Exchange != nil {
 		mr.Exchange()
 	}
-	for mr.nextAt() <= deadline {
+	for {
+		// An empty schedule reports Infinity; treat it as done even when
+		// the deadline itself is Infinity, or the loop never exits.
+		if at := mr.nextAt(); at > deadline || at == Infinity {
+			break
+		}
 		mr.windowLimits(deadline)
 		mr.runWindow()
 		if mr.Exchange != nil {

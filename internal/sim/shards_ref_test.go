@@ -42,6 +42,18 @@ type refLogEntry struct {
 type refWorld struct {
 	actors []*refActor
 	send   func(src, dst *refActor, at Time, ord uint64, arg uint64)
+	// lat, when non-nil, is the per-shard-pair minimum cross latency the
+	// actors must respect (the lookahead-matrix twin); nil means the
+	// uniform refLookahead.
+	lat [][]Time
+}
+
+// minLat is the smallest latency a message from src to dst may carry.
+func (w *refWorld) minLat(src, dst *refActor) Time {
+	if w.lat == nil || src.shard == dst.shard {
+		return refLookahead
+	}
+	return w.lat[src.shard][dst.shard]
 }
 
 // OnEvent logs the stimulus and reacts deterministically from the actor's
@@ -68,9 +80,9 @@ func (a *refActor) OnEvent(arg uint64) {
 			off := Time(a.rng.Intn(900)) * Nanosecond
 			a.seq++
 			a.w.send(a, dst, a.el.Now()+off, DeliveryOrd(uint32(a.id+1), a.seq), 1000+a.rng.Uint64()%1000)
-		default: // message to any actor, respecting the lookahead
+		default: // message to any actor, respecting the (pair) lookahead
 			dst := a.w.actors[a.rng.Intn(len(a.w.actors))]
-			off := refLookahead + Time(a.rng.Intn(900))*Nanosecond
+			off := a.w.minLat(a, dst) + Time(a.rng.Intn(900))*Nanosecond
 			a.seq++
 			a.w.send(a, dst, a.el.Now()+off, DeliveryOrd(uint32(a.id+1), a.seq), 2000+a.rng.Uint64()%1000)
 		}

@@ -292,7 +292,7 @@ func TestDaemonValidation(t *testing.T) {
 	cases := []struct {
 		label, body, wantSub string
 	}{
-		{"dcqcn+shards", `{"scenario":"permutation","transport":"dcqcn","shards":2}`, "dcqcn"},
+		{"backtoback+shards", `{"spec":{"topology":{"kind":"backtoback"},"shards":2}}`, "backtoback"},
 		{"hosts<2", `{"spec":{"topology":{"kind":"twotier","tors":1,"hosts_per_tor":1,"spines":1}}}`, "at least 2 hosts"},
 		{"shards<1", `{"spec":{"shards":-1}}`, "shards must be >= 0"},
 		{"unknown scenario", `{"scenario":"nope"}`, "unknown scenario"},

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ndp/internal/fabric"
+	"ndp/internal/sim"
 )
 
 // FatTree is a k-ary three-tier folded-Clos network (Al-Fares et al.).
@@ -134,9 +135,16 @@ func NewFatTreeOversub(k, oversub int, cfg Config) *FatTree {
 		return p
 	}
 	wire := func(p *fabric.Port, from, to int, dst fabric.Sink) {
-		link(p, dst)
+		iq := link(p, dst)
 		if from != to {
 			p.Cross = ft.noteCrossLink(from, to, p.Delay)
+			if iq != nil {
+				// The PFC reverse channel: pause/resume signals travel
+				// from the lossless switch (shard to) back to the upstream
+				// transmitter (shard from) at the same link delay, so the
+				// reverse direction is a cut edge of its own.
+				iq.Cross = ft.noteCrossLink(to, from, p.Delay)
+			}
 		}
 	}
 
@@ -314,6 +322,26 @@ func (ft *FatTree) Paths(src, dst int32) [][]int16 {
 
 // NumHosts returns the number of hosts in the tree.
 func (ft *FatTree) NumHosts() int { return len(ft.Hosts) }
+
+// MinPathDelay implements Cluster: the shortest src->dst route is 2 links
+// within a rack, 4 via an aggregation switch within a pod, 6 via the core
+// between pods, all at the uniform per-link propagation delay (DegradeLink
+// only changes rates, never delays).
+func (ft *FatTree) MinPathDelay(src, dst int) sim.Time {
+	if src == dst {
+		return 0
+	}
+	spod, stor, _ := ft.locate(int32(src))
+	dpod, dtor, _ := ft.locate(int32(dst))
+	links := sim.Time(6)
+	switch {
+	case spod == dpod && stor == dtor:
+		links = 2
+	case spod == dpod:
+		links = 4
+	}
+	return links * ft.cfg.LinkDelay
+}
 
 // DegradeLink reduces the line rate of the bidirectional link between agg
 // switch aggIdx (global index) and its coreOff-th core to newRate — the

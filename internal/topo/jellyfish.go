@@ -77,9 +77,14 @@ func NewJellyfish(n, hostsPerSwitch, degree, maxPaths int, cfg Config) *Jellyfis
 		return p
 	}
 	wire := func(p *fabric.Port, from, to int, dst fabric.Sink) {
-		link(p, dst)
+		iq := link(p, dst)
 		if from != to {
 			p.Cross = j.noteCrossLink(from, to, p.Delay)
+			if iq != nil {
+				// PFC reverse channel: pause signals toward the upstream
+				// transmitter cross back over the same cut.
+				iq.Cross = j.noteCrossLink(to, from, p.Delay)
+			}
 		}
 	}
 	// Hosts and host ports: hosts always share their switch's shard, so
@@ -321,6 +326,20 @@ func (j *Jellyfish) Paths(src, dst int32) [][]int16 {
 
 // NumHosts returns the host count.
 func (j *Jellyfish) NumHosts() int { return len(j.Hosts) }
+
+// MinPathDelay implements Cluster: two host links plus the BFS distance
+// between the attachment switches, at the uniform per-link delay.
+func (j *Jellyfish) MinPathDelay(src, dst int) sim.Time {
+	if src == dst {
+		return 0
+	}
+	ssw, _ := j.locate(int32(src))
+	dsw, _ := j.locate(int32(dst))
+	if ssw == dsw {
+		return 2 * j.cfg.LinkDelay
+	}
+	return sim.Time(j.dist(dsw)[ssw]+2) * j.cfg.LinkDelay
+}
 
 // PathLengthSpread returns the min and max path lengths (switch hops) over
 // a sample of host pairs — the asymmetry measure.

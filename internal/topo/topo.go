@@ -42,13 +42,16 @@ type Config struct {
 	Seed uint64
 	// Shards partitions the topology into this many per-core shards, each
 	// with its own event list, advanced in conservative windows
-	// (sim.MultiRunner). 0 or 1 keeps the proven single-list engine.
-	// Results are bit-identical for every value. FatTree partitions by pod
-	// (the cut runs through the agg<->core layer), TwoTier by ToR group
-	// (spines spread across shards), Jellyfish by BFS-grown balanced
-	// switch regions (greedy edge-cut). BackToBack supports only 1, and
-	// lossless (PFC) fabrics refuse sharding because the pause signal's
-	// upstream application has zero lookahead.
+	// (sim.MultiRunner) bounded by a per-shard-pair lookahead matrix (the
+	// minimum total path delay across the cut edges between each pair).
+	// 0 or 1 keeps the proven single-list engine. Results are
+	// bit-identical for every value. FatTree partitions by pod (the cut
+	// runs through the agg<->core layer), TwoTier by ToR group (spines
+	// spread across shards), Jellyfish by BFS-grown balanced switch
+	// regions (greedy edge-cut). BackToBack supports only 1. Lossless
+	// (PFC) fabrics shard too: pause/resume transitions crossing a cut
+	// travel as keyed cross-shard entries over the reverse channel, whose
+	// link delay is part of the lookahead matrix.
 	Shards int
 }
 
@@ -88,6 +91,15 @@ type Cluster interface {
 	ShardOfHost(h int) int
 	Defer(from, to int, at sim.Time, fn func())
 	LinkDelay() sim.Time
+	// MinPathDelay returns the minimum total propagation delay of any
+	// physical path from host src to host dst — the earliest a causal
+	// effect of an event at src can reach dst. Cross-shard deferred
+	// commands (Defer) and receiver registrations use it as their delivery
+	// offset: it is at least the pair lookahead L[shard(src)][shard(dst)]
+	// (every src->dst path crosses the same cuts the matrix is built
+	// from), yet depends only on the topology, never on the shard layout —
+	// which keeps N-shard runs bit-identical to 1-shard runs.
+	MinPathDelay(src, dst int) sim.Time
 	HostList() []*fabric.Host
 	SwitchList() []*fabric.Switch
 	Paths(src, dst int32) [][]int16
@@ -122,12 +134,17 @@ type Network struct {
 	boxes     [][]fabric.CrossBox
 	inboxes   []*fabric.Inbox
 	lookahead sim.Time
-	hostShard []int
-	swShard   []int
-	released  bool        // Close already freed the fabric's held packets
-	swRand    []*sim.Rand // per-switch ECMP stream, index = switch ID
-	portUID   uint32
-	cmdSeq    []uint64 // per-host command emission counters (Defer ord)
+	// crossDelay[src][dst] is the minimum delay of any single cut edge
+	// from shard src to shard dst reported via noteCrossLink (Infinity
+	// when none). finishShards closes it into the all-pairs lookahead
+	// matrix handed to the runner.
+	crossDelay [][]sim.Time
+	hostShard  []int
+	swShard    []int
+	released   bool        // Close already freed the fabric's held packets
+	swRand     []*sim.Rand // per-switch ECMP stream, index = switch ID
+	portUID    uint32
+	cmdSeq     []uint64 // per-host command emission counters (Defer ord)
 	// pathCache is per source-host shard so concurrent shards never share
 	// a map; the cached route slices themselves are identical read-only
 	// values in every shard.
@@ -272,9 +289,6 @@ func (n *Network) initShards(cfg Config, shards int) {
 	if shards < 1 {
 		shards = 1
 	}
-	if shards > 1 && cfg.Lossless {
-		panic("topo: sharding is incompatible with lossless (PFC) fabrics: pause signals apply upstream with zero lookahead")
-	}
 	n.cfg = cfg
 	n.els = make([]*sim.EventList, shards)
 	for i := range n.els {
@@ -294,9 +308,16 @@ func (n *Network) initShards(cfg Config, shards int) {
 	if shards > 1 {
 		n.boxes = make([][]fabric.CrossBox, shards)
 		n.inboxes = make([]*fabric.Inbox, shards)
+		n.crossDelay = make([][]sim.Time, shards)
 		for i := range n.boxes {
 			n.boxes[i] = make([]fabric.CrossBox, shards)
 			n.inboxes[i] = fabric.NewInbox(n.els[i])
+			n.crossDelay[i] = make([]sim.Time, shards)
+			for j := range n.crossDelay[i] {
+				if i != j {
+					n.crossDelay[i][j] = sim.Infinity
+				}
+			}
 		}
 		n.runner = sim.NewMultiRunner(n.els, cfg.LinkDelay, n.exchange)
 	} else {
@@ -304,18 +325,55 @@ func (n *Network) initShards(cfg Config, shards int) {
 	}
 }
 
-// finishShards recomputes the runner's lookahead once the builder has
-// reported every cross-shard link via noteCrossLink.
+// finishShards computes the runner's lookahead once the builder has
+// reported every cross-shard link via noteCrossLink: the scalar minimum
+// (the classic window bound, still the Lookahead() summary) and the
+// per-shard-pair matrix L[i][j] — the minimum total path delay across the
+// actual cut edges from shard i to shard j, the metric closure of the
+// per-pair single-edge minima under Floyd-Warshall. Non-adjacent shard
+// pairs get multi-hop sums (wider windows than the scalar), pairs no path
+// connects stay at Infinity (no constraint at all).
 func (n *Network) finishShards() {
 	n.cmdSeq = make([]uint64, len(n.Hosts))
-	if mr, ok := n.runner.(*sim.MultiRunner); ok {
-		if n.lookahead == sim.Infinity {
-			// No link crosses the partition: windows can be arbitrarily
-			// wide, but link delay is a safe, simple bound.
-			n.lookahead = n.cfg.LinkDelay
-		}
-		mr.Lookahead = n.lookahead
+	mr, ok := n.runner.(*sim.MultiRunner)
+	if !ok {
+		return
 	}
+	if n.lookahead == sim.Infinity {
+		// No link crosses the partition: windows can be arbitrarily
+		// wide, but link delay is a safe, simple bound.
+		n.lookahead = n.cfg.LinkDelay
+	}
+	mr.Lookahead = n.lookahead
+	shards := len(n.els)
+	L := make([][]sim.Time, shards)
+	for i := range L {
+		L[i] = append([]sim.Time(nil), n.crossDelay[i]...)
+	}
+	for k := 0; k < shards; k++ {
+		for i := 0; i < shards; i++ {
+			if i == k {
+				continue
+			}
+			for j := 0; j < shards; j++ {
+				if j == i || j == k {
+					continue
+				}
+				if via := satAddTime(L[i][k], L[k][j]); via < L[i][j] {
+					L[i][j] = via
+				}
+			}
+		}
+	}
+	mr.SetLookaheadMatrix(L)
+}
+
+// satAddTime adds two delays without overflowing past Infinity.
+func satAddTime(a, b sim.Time) sim.Time {
+	if a >= sim.Infinity-b {
+		return sim.Infinity
+	}
+	return a + b
 }
 
 // noteCrossLink registers a shard-crossing link's latency for the
@@ -323,6 +381,9 @@ func (n *Network) finishShards() {
 func (n *Network) noteCrossLink(from, to int, delay sim.Time) *fabric.CrossBox {
 	if delay < n.lookahead {
 		n.lookahead = delay
+	}
+	if delay < n.crossDelay[from][to] {
+		n.crossDelay[from][to] = delay
 	}
 	return &n.boxes[from][to]
 }
@@ -344,7 +405,8 @@ func (n *Network) exchange() {
 // equal-time key). It is the cross-shard command path for interactions
 // that are not packets: receiver-side flow registration and closed-loop
 // workload restarts. Cross-shard deferrals must satisfy the conservative
-// bound at >= now(from) + Lookahead; same-shard deferrals have no bound.
+// bound at >= now(from) + L[shard(from)][shard(to)] — MinPathDelay(from,
+// to) always does; same-shard deferrals have no bound.
 func (n *Network) Defer(from, to int, at sim.Time, fn func()) {
 	n.cmdSeq[from]++
 	ord := sim.CommandOrd(uint32(from), n.cmdSeq[from])
@@ -400,13 +462,15 @@ func sourceRouteHop(p *fabric.Packet) (int, bool) {
 }
 
 // link wires a unidirectional link from the given port to a destination
-// node, inserting a PFC ingress queue when dst is a lossless switch.
-func link(from *fabric.Port, dst fabric.Sink) {
+// node, inserting a PFC ingress queue when dst is a lossless switch (and
+// returning it, so shard-aware callers can wire the ingress's reverse
+// pause channel when the link crosses a shard cut).
+func link(from *fabric.Port, dst fabric.Sink) *fabric.IngressQueue {
 	if sw, ok := dst.(*fabric.Switch); ok && sw.Lossless() {
-		sw.NewIngress(from)
-		return
+		return sw.NewIngress(from)
 	}
 	from.Connect(dst)
+	return nil
 }
 
 // SwitchStats aggregates queue counters across a set of switches.

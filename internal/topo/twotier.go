@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ndp/internal/fabric"
+	"ndp/internal/sim"
 )
 
 // TwoTier is a leaf/spine Clos: Tors leaf switches each serving
@@ -82,9 +83,14 @@ func NewTwoTier(tors, hostsPerTor, spines int, cfg Config) *TwoTier {
 		return p
 	}
 	wire := func(p *fabric.Port, from, to int, dst fabric.Sink) {
-		link(p, dst)
+		iq := link(p, dst)
 		if from != to {
 			p.Cross = tt.noteCrossLink(from, to, p.Delay)
+			if iq != nil {
+				// PFC reverse channel: pause signals toward the upstream
+				// transmitter cross back over the same cut.
+				iq.Cross = tt.noteCrossLink(to, from, p.Delay)
+			}
 		}
 	}
 
@@ -187,6 +193,21 @@ func (tt *TwoTier) Paths(src, dst int32) [][]int16 {
 // NumHosts returns the number of hosts.
 func (tt *TwoTier) NumHosts() int { return len(tt.Hosts) }
 
+// MinPathDelay implements Cluster: 2 links within a rack, 4 via a spine
+// between racks, at the uniform per-link propagation delay.
+func (tt *TwoTier) MinPathDelay(src, dst int) sim.Time {
+	if src == dst {
+		return 0
+	}
+	stor, _ := tt.locate(int32(src))
+	dtor, _ := tt.locate(int32(dst))
+	links := sim.Time(4)
+	if stor == dtor {
+		links = 2
+	}
+	return links * tt.cfg.LinkDelay
+}
+
 // BackToBack is two hosts wired NIC-to-NIC with no switch: the paper's
 // RPC-latency and initial-window testbed configuration.
 type BackToBack struct {
@@ -224,3 +245,12 @@ func (b *BackToBack) Paths(src, dst int32) [][]int16 {
 
 // NumHosts returns 2.
 func (b *BackToBack) NumHosts() int { return 2 }
+
+// MinPathDelay implements Cluster: the hosts are wired NIC-to-NIC, one
+// link apart.
+func (b *BackToBack) MinPathDelay(src, dst int) sim.Time {
+	if src == dst {
+		return 0
+	}
+	return b.cfg.LinkDelay
+}

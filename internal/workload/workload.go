@@ -145,10 +145,14 @@ type ClosedLoop struct {
 	Sizes *SizeDist
 	// Seed derives the per-source RNG streams.
 	Seed uint64
-	// NotifyLatency is the delay between a flow completing at its receiver
-	// and the source learning about it (at least the engine's cross-shard
-	// lookahead; one link propagation delay models the returning notice).
-	NotifyLatency sim.Time
+	// NotifyLatency is the delay between a flow completing at host from
+	// (where done runs) and source host to learning about it. It models
+	// the returning notice and must be at least the engine's cross-shard
+	// lookahead for the pair, which depends on where the two hosts landed
+	// — wire it to the cluster's MinPathDelay (the minimum physical path
+	// is never shorter than the shard cut it crosses). Unsharded callers
+	// may return any constant.
+	NotifyLatency func(from, to int) sim.Time
 
 	// Start launches a flow of size bytes from src to dst; it must call
 	// the provided completion callback with the completion time. It runs
@@ -254,7 +258,7 @@ func (s *connSlot) launch() {
 // draw the gap there (so the source's RNG is only ever touched in its own
 // domain, in its own deterministic order).
 func (s *connSlot) onDone(at sim.Time) {
-	s.notify = at + s.c.NotifyLatency
+	s.notify = at + s.c.NotifyLatency(s.doneHost, s.src)
 	s.relaunching = false
 	s.c.Defer(s.doneHost, s.src, s.notify, s.step)
 }

@@ -107,7 +107,7 @@ func TestClosedLoopKeepsConnsRunning(t *testing.T) {
 		Gap:           sim.Millisecond,
 		Sizes:         NewSizeDist(map[int64]float64{1000: 1}),
 		Seed:          11,
-		NotifyLatency: 500 * sim.Nanosecond,
+		NotifyLatency: func(int, int) sim.Time { return 500 * sim.Nanosecond },
 		Defer:         func(from, to int, at sim.Time, fn func()) { el.At(at, fn) },
 	}
 	completions := 0

@@ -92,6 +92,58 @@ func BenchSuite() []harness.BenchCase {
 	return out
 }
 
+// benchScalingProcs pins GOMAXPROCS for the scaling curves: the 8-shard
+// point needs 8 schedulable workers to mean anything, and pinning makes
+// the curve shape comparable across reports regardless of the recording
+// machine's core count (small machines oversubscribe, which the per-point
+// cpu label in the report already caveats).
+const benchScalingProcs = 8
+
+// BenchScalingSuite is the shard-scaling trajectory behind
+// `ndpsim -bench -scaling`: two event-profile extremes — the lossless
+// DCQCN fabric (PFC gating, pause mailboxes, rate timers) and the
+// trimming NDP fabric at figure-scale incast — each run at 1, 2, 4 and 8
+// shards under a pinned GOMAXPROCS. Metrics are bit-identical across the
+// curve (TestShardDeterminismMatrix), so events/sec versus the
+// shards1 point is a pure engine-speedup readout. Case names follow
+// scaling-<family>-shards<n> and are trajectory-stable like the main
+// suite's.
+func BenchScalingSuite() []harness.BenchCase {
+	families := []struct {
+		name string
+		spec Spec
+	}{
+		// 128 hosts = a k=8 FatTree with 8 pods, so all four shard counts
+		// are real partitions (16 hosts would clamp 8 shards to 4 pods).
+		{"scaling-lossless", benchSpec("incast", Params{Hosts: 128, Degree: 64, FlowSize: 90_000},
+			WithTransport(DCQCN), WithDeadline(100*time.Millisecond))},
+		{"scaling-incast", benchSpec("incast", Params{Hosts: 128, Degree: 100, FlowSize: 135_000},
+			WithDeadline(200*time.Millisecond))},
+	}
+	var out []harness.BenchCase
+	for _, f := range families {
+		for _, shards := range []int{1, 2, 4, 8} {
+			spec := f.spec.With(WithShards(shards))
+			out = append(out, harness.BenchCase{
+				Name:  fmt.Sprintf("%s-shards%d", f.name, shards),
+				Tiny:  false,
+				Procs: benchScalingProcs,
+				Run: func() harness.BenchCounts {
+					m, stats, err := RunWithStats(spec)
+					if err != nil {
+						panic(fmt.Sprintf("bench scaling case: %v", err))
+					}
+					if m.FlowsLaunched == 0 {
+						panic("bench scaling case launched no flows")
+					}
+					return harness.BenchCounts{Events: stats.Events, PacketHops: stats.PacketHops}
+				},
+			})
+		}
+	}
+	return out
+}
+
 // benchSpec builds one pinned suite member; registry names are known good
 // (TestBenchSuite covers every case), so lookup failure is a programmer
 // error.

@@ -82,7 +82,7 @@ func TestValidateFunction(t *testing.T) {
 		label string
 		spec  Spec
 	}{
-		{"dcqcn+shards", New(WithTransport(DCQCN), WithShards(2))},
+		{"backtoback+shards", New(WithTopology(BackToBack()), WithShards(2))},
 		{"hosts<2", New(WithTopology(TwoTier(1, 1, 1)))},
 		{"shards<1", New(WithShards(-1))},
 	}

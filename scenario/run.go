@@ -251,7 +251,7 @@ func runRPC(spec Spec, seed uint64, rep int, net harness.Net, out *runOut) {
 		Gap:           simDur(gap),
 		Sizes:         sizes,
 		Seed:          seed + 7,
-		NotifyLatency: c.LinkDelay(),
+		NotifyLatency: c.MinPathDelay,
 		Defer:         c.Defer,
 		DoneHost:      net.DoneHost,
 		Start: func(slot, src, dst int, size int64, done func(at sim.Time)) {

@@ -89,14 +89,14 @@ type Spec struct {
 	Workers int `json:"workers,omitempty"`
 	// Shards splits each single simulation into this many per-core
 	// partitions advanced in conservative time windows (one event list per
-	// shard, windows bounded by the cross-shard link latency). 0/1 keeps
-	// the proven single-list engine. Metrics are bit-identical for any
-	// value. Supported for the ndp, tcp, dctcp, mptcp and phost transports
-	// on fattree, twotier and jellyfish topologies; dcqcn is refused
-	// because PFC pause applies upstream with zero lookahead, and
-	// backtoback has nothing to partition. Workers parallelizes across
-	// repeats while Shards parallelizes within one simulation, and the
-	// two compose.
+	// shard, windows bounded by the per-shard-pair lookahead matrix). 0/1
+	// keeps the proven single-list engine. Metrics are bit-identical for
+	// any value. Supported for every transport — including dcqcn, whose
+	// PFC pause signals cross shard cuts as keyed mailbox entries with the
+	// link's propagation delay as lookahead — on the fattree, twotier and
+	// jellyfish topologies; backtoback has nothing to partition. Workers
+	// parallelizes across repeats while Shards parallelizes within one
+	// simulation, and the two compose.
 	Shards int `json:"shards,omitempty"`
 	// Repeats runs the scenario at Repeats derived seeds (one sweep job
 	// each) and aggregates the Metrics (default 1).
@@ -187,8 +187,7 @@ func WithWorkers(n int) Option { return func(s *Spec) { s.Workers = n } }
 
 // WithShards splits each simulation into n conservative time-window
 // shards. Results are identical for any value. Supported for every
-// transport except dcqcn (PFC pause has zero lookahead) on the fattree,
-// twotier and jellyfish topologies.
+// transport on the fattree, twotier and jellyfish topologies.
 func WithShards(n int) Option { return func(s *Spec) { s.Shards = n } }
 
 // WithRepeats aggregates the scenario over n derived seeds.
@@ -272,9 +271,6 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: shards must be >= 0, got %d", s.Shards)
 	}
 	if s.Shards > 1 {
-		if s.Transport == DCQCN {
-			return fmt.Errorf("scenario: sharded execution supports the ndp, tcp, dctcp, mptcp and phost transports, not %q: dcqcn's lossless fabric applies PFC pause upstream with zero lookahead", s.Transport)
-		}
 		switch s.Topology.Kind {
 		case "fattree", "twotier", "jellyfish":
 		default:

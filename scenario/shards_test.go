@@ -33,7 +33,10 @@ func TestShardDeterminism(t *testing.T) {
 }
 
 // assertShardInvariant runs spec at shards 1, 2 and 4 and requires
-// bit-identical Metrics and engine stats.
+// bit-identical Metrics and engine stats, plus fully-released packet
+// arenas at every shard count (PacketsInUse()==0 after Close — the leak
+// counter matters most for the lossless fabric, whose held packets
+// migrate between ingress gates and cross-shard mailboxes).
 func assertShardInvariant(t *testing.T, spec Spec) {
 	t.Helper()
 	var ref []byte
@@ -42,6 +45,9 @@ func assertShardInvariant(t *testing.T, spec Spec) {
 		m, stats, err := RunWithStats(spec.With(WithShards(shards)))
 		if err != nil {
 			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if stats.PacketsLeaked != 0 {
+			t.Errorf("shards=%d: %d arena packets still in use after Close", shards, stats.PacketsLeaked)
 		}
 		blob, err := json.Marshal(m)
 		if err != nil {
@@ -82,7 +88,7 @@ func TestShardDeterminismMatrix(t *testing.T) {
 		{"twotier", TwoTier(4, 4, 4)},     // 16 hosts, partitioned by ToR group
 		{"jellyfish", Jellyfish(8, 2, 3)}, // 16 hosts, BFS-grown parts
 	}
-	transports := []Transport{NDP, TCP, DCTCP, MPTCP, PHost}
+	transports := []Transport{NDP, TCP, DCTCP, MPTCP, DCQCN, PHost}
 	for name, spec := range matrixSpecs(t) {
 		for _, tp := range topologies {
 			if name == "failure" && tp.name != "fattree" {
@@ -128,11 +134,12 @@ func matrixSpecs(t *testing.T) map[string]Spec {
 }
 
 // TestShardedValidation pins the guard rails: the supported matrix is
-// every transport except dcqcn on fattree/twotier/jellyfish, and misuse is
-// a Validate error — whose message names the supported matrix — rather
-// than a wrong answer.
+// every transport — dcqcn included, now that PFC pause crosses shard cuts
+// as a keyed mailbox entry — on fattree/twotier/jellyfish, and misuse is
+// a Validate error whose message names the supported matrix, rather than
+// a wrong answer.
 func TestShardedValidation(t *testing.T) {
-	for _, tr := range []Transport{NDP, TCP, DCTCP, MPTCP, PHost} {
+	for _, tr := range Transports() {
 		for _, tp := range []Topology{FatTree(4), TwoTier(4, 4, 4), Jellyfish(8, 2, 3)} {
 			if err := New(WithShards(2), WithTransport(tr), WithTopology(tp)).Validate(); err != nil {
 				t.Errorf("%s on %s with shards=2 should validate, got %v", tr, tp, err)
@@ -141,13 +148,6 @@ func TestShardedValidation(t *testing.T) {
 	}
 	if err := New(WithShards(-1)).Validate(); err == nil {
 		t.Error("negative shards validated")
-	}
-
-	const dcqcnMsg = `scenario: sharded execution supports the ndp, tcp, dctcp, mptcp and phost transports, not "dcqcn": dcqcn's lossless fabric applies PFC pause upstream with zero lookahead`
-	if err := New(WithShards(2), WithTransport(DCQCN)).Validate(); err == nil {
-		t.Error("dcqcn+shards validated; PFC pause has zero lookahead")
-	} else if err.Error() != dcqcnMsg {
-		t.Errorf("dcqcn+shards message drifted:\n got: %s\nwant: %s", err, dcqcnMsg)
 	}
 
 	const topoMsg = `scenario: sharded execution supports the fattree, twotier and jellyfish topologies, not "backtoback"`
@@ -160,25 +160,20 @@ func TestShardedValidation(t *testing.T) {
 
 // TestShardsHelpTextMatrix pins the user-facing descriptions of the
 // supported matrix: the WithShards doc comment and the CLI -shards help
-// text both changed when the NDP-on-FatTree-only restriction was lifted,
-// and this guards against the docs regressing to the old claim.
+// text changed twice (when the NDP-on-FatTree-only restriction was
+// lifted, and again when the dcqcn refusal was), and this guards against
+// the docs regressing to either old claim.
 func TestShardsHelpTextMatrix(t *testing.T) {
-	for _, tr := range []Transport{NDP, TCP, DCTCP, MPTCP, PHost} {
+	for _, tr := range Transports() {
 		spec := New(WithShards(4), WithTransport(tr))
 		if err := spec.Validate(); err != nil {
 			t.Errorf("supported transport %s rejected: %v", tr, err)
 		}
 	}
-	// The error strings are the machine-checkable face of the matrix; make
-	// sure they enumerate every supported member (a partial list would
-	// mislead exactly the users who hit the error).
-	err := New(WithShards(2), WithTransport(DCQCN)).Validate()
-	for _, want := range []string{"ndp", "tcp", "dctcp", "mptcp", "phost"} {
-		if !strings.Contains(err.Error(), want) {
-			t.Errorf("dcqcn+shards message does not name supported transport %q: %s", want, err)
-		}
-	}
-	err = New(WithShards(2), WithTopology(BackToBack())).Validate()
+	// The topology error string is the machine-checkable face of the
+	// matrix; make sure it enumerates every supported member (a partial
+	// list would mislead exactly the users who hit the error).
+	err := New(WithShards(2), WithTopology(BackToBack())).Validate()
 	for _, want := range []string{"fattree", "twotier", "jellyfish"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("topology message does not name supported topology %q: %s", want, err)

@@ -1,0 +1,115 @@
+// Command simlint runs the determinism & shard-safety analyzer suite over
+// the module. It is the mechanical form of the engine's review checklist:
+// map order must not leak into event order, wall time stays out of the
+// virtual clock, RNG streams are component-local, cross-shard deliveries
+// are canonically keyed, and packets come from the shard arenas.
+//
+// Usage:
+//
+//	simlint [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module. Engine
+// packages get the full suite; CLIs and the daemon get wallclock +
+// allowcheck (see lint.AnalyzersFor). Exit status: 0 clean, 1 findings,
+// 2 usage or load failure. Suppress a finding with a justified directive:
+//
+//	//simlint:allow <analyzer> — <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ndp/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print each analyzer's name and doc string, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: simlint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	modRoot, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Match(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(os.Stderr, "simlint: no packages match %v\n", patterns)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, lint.AnalyzersFor(pkg.Path))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simlint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			rel, rerr := filepath.Rel(modRoot, pos.Filename)
+			if rerr != nil {
+				rel = pos.Filename
+			}
+			fmt.Printf("%s:%d:%d: %s (%s)\n", rel, pos.Line, pos.Column, d.Message, d.Analyzer)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", mustGetwd())
+		}
+		dir = parent
+	}
+}
+
+func mustGetwd() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return "."
+	}
+	return wd
+}

@@ -87,7 +87,7 @@ func RunBenchSuite(cases []BenchCase, label string, logf func(format string, arg
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
-		Date:      time.Now().UTC().Format(time.RFC3339),
+		Date:      time.Now().UTC().Format(time.RFC3339), //simlint:allow wallclock — report metadata: records when the bench ran, never feeds a simulation
 	}
 	for _, c := range cases {
 		restoreProcs := func() {}
@@ -109,9 +109,9 @@ func RunBenchSuite(cases []BenchCase, label string, logf func(format string, arg
 			var before, after runtime.MemStats
 			runtime.GC()
 			runtime.ReadMemStats(&before)
-			start := time.Now()
+			start := time.Now() //simlint:allow wallclock — wall-time throughput is the quantity this bench measures
 			counts = c.Run()
-			w := time.Since(start)
+			w := time.Since(start) //simlint:allow wallclock — wall-time throughput is the quantity this bench measures
 			runtime.ReadMemStats(&after)
 			if iter == 0 || w < wall {
 				wall = w

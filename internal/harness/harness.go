@@ -16,7 +16,8 @@ package harness
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 	"strings"
 
 	"ndp/internal/stats"
@@ -124,13 +125,14 @@ func Register(e *Experiment) {
 // Get returns an experiment by id, or nil.
 func Get(id string) *Experiment { return registry[id] }
 
-// All returns every experiment sorted by id.
+// All returns every experiment sorted by id. Sorted-key iteration keeps the
+// traversal deterministic (maporder): callers run experiments in this
+// order, so map order must not pick it.
 func All() []*Experiment {
 	out := make([]*Experiment, 0, len(registry))
-	for _, e := range registry {
-		out = append(out, e)
+	for _, id := range slices.Sorted(maps.Keys(registry)) {
+		out = append(out, registry[id])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ArenaPacket keeps every packet inside the shard arenas. A packet built
+// with &fabric.Packet{}, new(fabric.Packet), or value storage has no owner
+// arena: freeing it corrupts nothing visibly, but the InUse leak counters
+// the golden suite asserts on stop meaning anything, and a cross-shard
+// handoff of an unowned packet breaks the transfer accounting. Only package
+// fabric itself (the arena implementation) may touch raw Packet storage.
+var ArenaPacket = &Analyzer{
+	Name: "arenapacket",
+	Doc: "flags fabric.Packet construction outside the arena — &fabric.Packet{}, " +
+		"new(fabric.Packet), value declarations, or make of Packet slices — which bypasses " +
+		"InUse leak accounting; allocate with arena.NewData/NewControl/Get",
+	Run: runArenaPacket,
+}
+
+func runArenaPacket(p *Pass) error {
+	if p.Pkg != nil && p.Pkg.Path() == fabricPkgPath {
+		// The arena implementation owns raw Packet storage: slabs are carved
+		// with make([]Packet, n) and recycled structs reset with *p =
+		// Packet{...} stores.
+		return nil
+	}
+	for _, f := range p.Files {
+		// Whole-struct resets through a pointer (*p = fabric.Packet{...})
+		// reuse arena-owned storage; collect those literals so the walk
+		// below skips them.
+		resets := map[*ast.CompositeLit]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, l := range as.Lhs {
+				if _, ok := ast.Unparen(l).(*ast.StarExpr); !ok {
+					continue
+				}
+				if cl, ok := ast.Unparen(as.Rhs[i]).(*ast.CompositeLit); ok {
+					resets[cl] = true
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if resets[n] {
+					return true
+				}
+				if t := p.TypesInfo.TypeOf(n); t != nil && bareNamed(t, fabricPkgPath, "Packet") {
+					p.Reportf(n.Pos(), "fabric.Packet composite literal bypasses the shard arena's InUse leak accounting; allocate with arena.NewData/NewControl/Get")
+				}
+			case *ast.CallExpr:
+				if isBuiltin(p.TypesInfo, n, "new", "make") && len(n.Args) >= 1 {
+					if t := p.TypesInfo.TypeOf(n.Args[0]); t != nil && packetValueStorage(t) {
+						p.Reportf(n.Pos(), "%s of fabric.Packet storage bypasses the shard arena's InUse leak accounting; allocate with arena.NewData/NewControl/Get", callName(n))
+					}
+				}
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					if t := p.TypesInfo.TypeOf(n.Type); t != nil && bareNamed(t, fabricPkgPath, "Packet") {
+						p.Reportf(n.Type.Pos(), "fabric.Packet value declaration bypasses the shard arena's InUse leak accounting; hold *fabric.Packet from arena.NewData/NewControl/Get")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packetValueStorage reports whether t stores fabric.Packet values —
+// Packet itself or slices/arrays of it. Slices of *Packet are fine: those
+// hold references to arena-owned packets, they do not mint storage.
+func packetValueStorage(t types.Type) bool {
+	for {
+		if bareNamed(t, fabricPkgPath, "Packet") {
+			return true
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const simPkgPath = "ndp/internal/sim"
+
+// SharedRand enforces component-local randomness. A sim.Rand shared through
+// package-level state is consumed in whatever order components happen to
+// run — under sharding that order changes with the layout, forking goldens.
+// A sim.Rand copied by value silently forks the stream instead: both copies
+// replay the same numbers, correlating decisions that must be independent.
+// The sanctioned pattern is one parent stream per domain, children derived
+// with SplitSeed, held by pointer (or embedded and initialized in place
+// with Init — embedding is fine; copying an initialized value is not).
+var SharedRand = &Analyzer{
+	Name: "sharedrand",
+	Doc: "flags sim.Rand held in package-level state or copied by value (assignment, call " +
+		"argument, return, composite literal, range value): shared streams make draw order " +
+		"depend on the shard layout and value copies replay the stream; derive per-component " +
+		"generators with SplitSeed and hold them by pointer",
+	Run: runSharedRand,
+}
+
+func runSharedRand(p *Pass) error {
+	info := p.TypesInfo
+	for _, f := range p.Files {
+		// Package-level state: any var whose type reaches a sim.Rand (by
+		// value or pointer) is a stream shared across components.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if _, isVar := obj.(*types.Var); isVar && reachesRand(obj.Type(), map[types.Type]bool{}) {
+						p.Reportf(name.Pos(), "package-level sim.Rand %s shares one stream across components, so draw order depends on the shard layout; derive per-component generators with SplitSeed", name.Name)
+					}
+				}
+			}
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if len(n.Lhs) == len(n.Rhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					if isRandValueCopy(info, rhs) {
+						p.Reportf(rhs.Pos(), "sim.Rand copied by value: both copies replay the same stream; keep a pointer, or Init a fresh generator from SplitSeed")
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					if isRandValueCopy(info, arg) {
+						p.Reportf(arg.Pos(), "sim.Rand passed by value forks the stream at the call boundary; pass *sim.Rand")
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if isRandValueCopy(info, res) {
+						p.Reportf(res.Pos(), "sim.Rand returned by value forks the stream; return *sim.Rand")
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isRandValueCopy(info, v) {
+						p.Reportf(v.Pos(), "sim.Rand copied by value into a composite literal; store *sim.Rand or Init the field in place")
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := info.TypeOf(n.Value); t != nil && bareNamed(t, simPkgPath, "Rand") {
+						p.Reportf(n.Value.Pos(), "range copies each sim.Rand by value, so draws go to a throwaway replay of the stream; index the slice instead")
+					}
+				}
+			case *ast.FuncDecl:
+				checkRandSignature(p, n.Type)
+			case *ast.FuncLit:
+				checkRandSignature(p, n.Type)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRandSignature flags bare sim.Rand parameters and results.
+func checkRandSignature(p *Pass, ft *ast.FuncType) {
+	flag := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if t := p.TypesInfo.TypeOf(field.Type); t != nil && bareNamed(t, simPkgPath, "Rand") {
+				p.Reportf(field.Type.Pos(), "sim.Rand %s by value forks the stream at every call; declare *sim.Rand", what)
+			}
+		}
+	}
+	flag(ft.Params, "parameter passes")
+	if ft.Results != nil {
+		flag(ft.Results, "result returns")
+	}
+}
+
+// isRandValueCopy reports whether e evaluates to a bare sim.Rand value that
+// copies existing generator state. A sim.Rand{} composite literal is fine:
+// it is fresh zero state, not a forked stream (Init overwrites it anyway).
+func isRandValueCopy(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || !tv.IsValue() {
+		return false
+	}
+	if !bareNamed(tv.Type, simPkgPath, "Rand") {
+		return false
+	}
+	_, isLit := ast.Unparen(e).(*ast.CompositeLit)
+	return !isLit
+}
+
+// reachesRand reports whether t contains a sim.Rand (or pointer to one)
+// anywhere in its structure.
+func reachesRand(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if namedIn(t, simPkgPath, "Rand") {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return reachesRand(u.Elem(), seen)
+	case *types.Slice:
+		return reachesRand(u.Elem(), seen)
+	case *types.Array:
+		return reachesRand(u.Elem(), seen)
+	case *types.Map:
+		return reachesRand(u.Key(), seen) || reachesRand(u.Elem(), seen)
+	case *types.Chan:
+		return reachesRand(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if reachesRand(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

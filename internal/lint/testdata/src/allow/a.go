@@ -1,0 +1,22 @@
+// Fixture for the allowcheck analyzer: suppression directives must cite a
+// known analyzer and carry a justification.
+package allow
+
+import "time"
+
+func noReason() time.Time {
+	return time.Now() //simlint:allow wallclock want "requires a justification"
+}
+
+func noSeparator() time.Time {
+	return time.Now() //simlint:allow wallclock because reasons want "requires a justification"
+}
+
+func unknownAnalyzer() time.Time {
+	return time.Now() //simlint:allow clockwork — justified thoroughly; want "unknown analyzer"
+}
+
+// A well-formed directive is not reported.
+func wellFormed() time.Time {
+	return time.Now() //simlint:allow wallclock — fixture: valid directive
+}

@@ -1,0 +1,42 @@
+// Fixture for the arenapacket analyzer: packets come from the shard
+// arenas, never from raw construction.
+package arenapacket
+
+import "ndp/internal/fabric"
+
+func literal() *fabric.Packet {
+	return &fabric.Packet{Flow: 1} // want "composite literal bypasses"
+}
+
+func viaNew() *fabric.Packet {
+	return new(fabric.Packet) // want "new of fabric.Packet storage"
+}
+
+func slab() []fabric.Packet {
+	return make([]fabric.Packet, 8) // want "make of fabric.Packet storage"
+}
+
+func valueDecl() int32 {
+	var p fabric.Packet // want "value declaration bypasses"
+	return p.Size
+}
+
+// Holding references to arena-owned packets mints no storage.
+func holdRefs() []*fabric.Packet {
+	return make([]*fabric.Packet, 8)
+}
+
+// Whole-struct resets reuse arena-owned storage (the arena's own recycle
+// idiom when it escapes into other packages via helpers).
+func reset(p *fabric.Packet) {
+	*p = fabric.Packet{Flow: 2}
+}
+
+// The sanctioned path.
+func fromArena(a *fabric.Arena) *fabric.Packet {
+	return a.Get()
+}
+
+func allowed() *fabric.Packet {
+	return &fabric.Packet{} //simlint:allow arenapacket — fixture: test scaffolding builds throwaway packets
+}

@@ -1,0 +1,27 @@
+// Package fabric is a fixture stub: the minimal surface of the real
+// ndp/internal/fabric that the analyzers key on.
+package fabric
+
+import "ndp/internal/sim"
+
+type Packet struct {
+	Type int32
+	Flow uint64
+	Size int32
+}
+
+type Arena struct{ inUse int64 }
+
+func (a *Arena) Get() *Packet                            { a.inUse++; return &Packet{} }
+func (a *Arena) NewControl(t int32, flow uint64) *Packet { return a.Get() }
+func (a *Arena) NewData(flow uint64, size int32) *Packet { return a.Get() }
+func (a *Arena) InUse() int64                            { return a.inUse }
+func AttachArena(el *sim.EventList) *Arena               { return &Arena{} }
+
+type CrossBox struct{}
+
+func (b *CrossBox) OnEvent(arg uint64) {}
+
+type Inbox struct{ el *sim.EventList }
+
+func (ib *Inbox) OnEvent(arg uint64) {}

@@ -1,0 +1,58 @@
+// Fixture for the sharedrand analyzer: RNG streams are component-local,
+// derived with SplitSeed, held by pointer.
+package sharedrand
+
+import "ndp/internal/sim"
+
+var shared sim.Rand // want "package-level sim.Rand"
+
+var sharedPtr = sim.NewRand(1) // want "package-level sim.Rand"
+
+var pool []sim.Rand // want "package-level sim.Rand"
+
+// Embedding a Rand by value and initializing it in place is the sanctioned
+// pooling pattern: no stream is copied.
+type component struct {
+	r sim.Rand
+}
+
+func newComponent(parent *sim.Rand) *component {
+	c := &component{}
+	c.r.Init(parent.SplitSeed())
+	return c
+}
+
+func forks(r *sim.Rand) uint64 {
+	clone := *r // want "copied by value"
+	return clone.Uint64()
+}
+
+func byValueParam(r sim.Rand) {} // want "parameter passes"
+
+func callsByValue(r *sim.Rand) {
+	byValueParam(*r) // want "passed by value"
+}
+
+func returnsByValue(r *sim.Rand) sim.Rand { // want "result returns"
+	return *r // want "returned by value"
+}
+
+func intoLiteral(r *sim.Rand) component {
+	return component{r: *r} // want "composite literal"
+}
+
+func ranged(rs []sim.Rand) {
+	for _, r := range rs { // want "range copies each sim.Rand"
+		r.Uint64()
+	}
+}
+
+// Indexing draws from the real stream: order-safe and copy-free.
+func indexed(rs []sim.Rand) {
+	for i := range rs {
+		rs[i].Uint64()
+	}
+}
+
+//simlint:allow sharedrand — fixture: demonstrating a justified exemption
+var exempt sim.Rand

@@ -1,0 +1,25 @@
+// Fixture for the wallclock analyzer: real time stays out of simulation
+// code unless each use carries a justified allow.
+package wallclock
+
+import (
+	"math/rand" // want "global math/rand stream"
+	"time"
+)
+
+func measures() time.Duration {
+	start := time.Now() // want "wall clock time.Now"
+	time.Sleep(1)       // want "wall clock time.Sleep"
+	_ = rand.Int()
+	return time.Since(start) // want "wall clock time.Since"
+}
+
+// Pure duration arithmetic is fine: no clock is read.
+func arithmetic(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// Bench/daemon plumbing carries a per-line justification.
+func allowed() time.Time {
+	return time.Now() //simlint:allow wallclock — fixture: bench plumbing measures wall throughput
+}

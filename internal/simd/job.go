@@ -107,7 +107,7 @@ func newJob(spec scenario.Spec) *Job {
 		Key:       cacheKey(spec),
 		state:     StateQueued,
 		repeats:   repeats,
-		submitted: time.Now(),
+		submitted: time.Now(), //simlint:allow wallclock — daemon job accounting: queue timestamps for the HTTP API, outside the virtual clock
 		subs:      map[chan struct{}]struct{}{},
 	}
 }
@@ -217,7 +217,7 @@ func (j *Job) start() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state = StateRunning
-	j.started = time.Now()
+	j.started = time.Now() //simlint:allow wallclock — daemon job accounting: run timestamps for the HTTP API, outside the virtual clock
 	j.notifyLocked()
 }
 
@@ -229,7 +229,7 @@ func (j *Job) finish(m *scenario.Metrics, events int64) {
 	j.events = events
 	j.overall = 1
 	j.done = j.repeats
-	j.finished = time.Now()
+	j.finished = time.Now() //simlint:allow wallclock — daemon job accounting: completion timestamps for the HTTP API, outside the virtual clock
 	j.notifyLocked()
 }
 
@@ -238,7 +238,7 @@ func (j *Job) fail(err error) {
 	defer j.mu.Unlock()
 	j.state = StateFailed
 	j.errMsg = err.Error()
-	j.finished = time.Now()
+	j.finished = time.Now() //simlint:allow wallclock — daemon job accounting: completion timestamps for the HTTP API, outside the virtual clock
 	j.notifyLocked()
 }
 
@@ -254,6 +254,6 @@ func (j *Job) completeFromCache(m *scenario.Metrics) {
 	j.overall = 1
 	j.done = j.repeats
 	j.started = j.submitted
-	j.finished = time.Now()
+	j.finished = time.Now() //simlint:allow wallclock — daemon job accounting: completion timestamps for the HTTP API, outside the virtual clock
 	j.notifyLocked()
 }

@@ -5,7 +5,8 @@
 package workload
 
 import (
-	"sort"
+	"maps"
+	"slices"
 
 	"ndp/internal/sim"
 )
@@ -68,15 +69,14 @@ type SizeDist struct {
 // NewSizeDist builds a distribution from (size, probability) pairs; the
 // probabilities are normalized.
 func NewSizeDist(pairs map[int64]float64) *SizeDist {
-	d := &SizeDist{}
+	// Sorted-key iteration throughout: float sums do not commute bit for
+	// bit, so accumulating total or cum in map order would make the CDF —
+	// and every golden downstream of it — differ between runs.
+	d := &SizeDist{sizes: slices.Sorted(maps.Keys(pairs))}
 	var total float64
-	for _, p := range pairs {
-		total += p
+	for _, s := range d.sizes {
+		total += pairs[s]
 	}
-	for s := range pairs {
-		d.sizes = append(d.sizes, s)
-	}
-	sort.Slice(d.sizes, func(i, j int) bool { return d.sizes[i] < d.sizes[j] })
 	var cum float64
 	for _, s := range d.sizes {
 		cum += pairs[s] / total

@@ -2,7 +2,8 @@ package scenario
 
 import (
 	"fmt"
-	"sort"
+	"maps"
+	"slices"
 	"time"
 )
 
@@ -76,13 +77,15 @@ func Lookup(name string) (Named, bool) {
 	return n, ok
 }
 
-// Catalog returns every named scenario sorted by name.
+// Catalog returns every named scenario sorted by name. Sorted-key
+// iteration keeps the traversal deterministic (maporder): the catalog
+// order is API surface (ndpsim -list, /api/catalog), so map order must not
+// pick it.
 func Catalog() []Named {
 	out := make([]Named, 0, len(registry))
-	for _, n := range registry {
-		out = append(out, n)
+	for _, name := range slices.Sorted(maps.Keys(registry)) {
+		out = append(out, registry[name])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 

@@ -86,12 +86,12 @@ func (r *Receiver) Receive(p *fabric.Packet) {
 		for int64(c) <= seq {
 			c *= 2
 		}
-		got := make([]bool, len(r.got), c)
+		got := make([]bool, len(r.got), c) //simlint:allow hotalloc — arrival-bitmap regrow: one doubling allocation per capacity step, O(log N) per flow, not per packet
 		copy(got, r.got)
 		r.got = got
 	}
 	for int64(len(r.got)) <= seq {
-		r.got = append(r.got, false)
+		r.got = append(r.got, false) //simlint:allow hotalloc — extends within the capacity reserved by the doubling regrow above; never reallocates
 	}
 	if p.Flags&fabric.FlagFIN != 0 && r.total < 0 {
 		r.total = seq + 1
@@ -289,7 +289,8 @@ func (pp *pullPacer) OnEvent(uint64) { pp.fire() }
 // next pops the next flow owed a pull: strict priority first, round-robin
 // within a band, skipping entries whose pulls were cancelled.
 func (pp *pullPacer) next() *flowPull {
-	for _, band := range []*pullRing{&pp.high, &pp.norm} {
+	// Array (not slice) literal: stays off the heap in the per-pull path.
+	for _, band := range [...]*pullRing{&pp.high, &pp.norm} {
 		for band.n > 0 {
 			fp := band.pop()
 			if fp.pending <= 0 {
@@ -329,7 +330,7 @@ func (r *pullRing) push(fp *flowPull) {
 		for size < len(r.buf)*2 {
 			size *= 2
 		}
-		nb := make([]*flowPull, size)
+		nb := make([]*flowPull, size) //simlint:allow hotalloc — power-of-two ring doubling: amortized O(1) per push, the buffer is reused forever
 		for i := 0; i < r.n; i++ {
 			nb[i] = r.buf[(r.head+i)%len(r.buf)]
 		}

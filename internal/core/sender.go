@@ -192,6 +192,8 @@ func (s *Sender) start() {
 // scoreboard in one step (one allocation, doubling from a 64-packet floor)
 // instead of per-packet appends: a fresh sender for an N-packet flow pays
 // one allocation, not log2(N).
+//
+//simlint:allow hotalloc — amortized scoreboard regrowth: one doubling allocation per capacity step, not per packet
 func (s *Sender) grow(seq int64) {
 	need := int(seq) + 1
 	if len(s.pkts) >= need {
@@ -230,6 +232,8 @@ func (s *Sender) nextPathID() int16 {
 // scoreboard outliers: paths whose NACK fraction or loss count is far above
 // the mean indicate asymmetry (a failed or degraded link), and spraying onto
 // them would stall the whole transfer.
+//
+//simlint:allow hotalloc — runs once per full path cycle, not per packet, and the scratch array is reused across cycles once grown
 func (s *Sender) repermute() {
 	n := len(s.paths)
 	if cap(s.permScratch) < n {
@@ -456,7 +460,7 @@ func (s *Sender) onNack(p *fabric.Packet) {
 	s.inflight--
 	s.pkts[seq].state = psRtxQueued
 	s.ackedOrNacked++
-	s.rtxq = append(s.rtxq, seq)
+	s.rtxq = append(s.rtxq, seq) //simlint:allow hotalloc — rtx queue: capacity bounded by the window and kept across drains, amortized doubling
 	s.RtxFromNack++
 }
 
@@ -507,7 +511,7 @@ func (s *Sender) onBounce(p *fabric.Packet) {
 		s.sendDataAvoiding(seq, true, p.PathID) // flips state back to inflight
 		return
 	}
-	s.rtxq = append(s.rtxq, seq)
+	s.rtxq = append(s.rtxq, seq) //simlint:allow hotalloc — rtx queue: capacity bounded by the window and kept across drains, amortized doubling
 }
 
 // onTimeout is the RTO backstop: it directly retransmits packets that have

@@ -31,7 +31,7 @@ type CrossEntry struct {
 
 // AddDelivery appends a packet delivery crossing the shard boundary.
 func (b *CrossBox) AddDelivery(at sim.Time, ord uint64, pkt *Packet, sink Sink) {
-	b.entries = append(b.entries, CrossEntry{At: at, Ord: ord, Pkt: pkt, Sink: sink})
+	b.entries = append(b.entries, CrossEntry{At: at, Ord: ord, Pkt: pkt, Sink: sink}) //simlint:allow hotalloc — cross-shard mailbox: amortized doubling, drained in place and reused every lookahead window
 }
 
 // AddCommand appends a deferred cross-shard command.
@@ -46,7 +46,7 @@ func (b *CrossBox) AddCommand(at sim.Time, ord uint64, fn func()) {
 // channel is itself registered as a cross link, so the conservative
 // window never needs to be narrowed for pause state.
 func (b *CrossBox) AddPFC(at sim.Time, ord uint64, upstream *Port, pause bool) {
-	b.entries = append(b.entries, CrossEntry{At: at, Ord: ord, PFC: upstream, Pause: pause})
+	b.entries = append(b.entries, CrossEntry{At: at, Ord: ord, PFC: upstream, Pause: pause}) //simlint:allow hotalloc — cross-shard mailbox: amortized doubling, drained in place and reused every lookahead window
 }
 
 // Drain moves every pending entry into the destination shard's inbox and
@@ -123,7 +123,7 @@ func (ib *Inbox) inject(e CrossEntry) {
 func (ib *Inbox) OnEvent(arg uint64) {
 	e := ib.entries[arg]
 	ib.entries[arg] = CrossEntry{}
-	ib.free = append(ib.free, int32(arg))
+	ib.free = append(ib.free, int32(arg)) //simlint:allow hotalloc — slot free-list: capacity bounded by peak in-flight cross entries, kept across reuse
 	switch {
 	case e.Fn != nil:
 		e.Fn()

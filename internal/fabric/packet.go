@@ -143,6 +143,8 @@ func (p *Packet) Bounce() {
 }
 
 // String formats the packet for traces and test failures.
+//
+//simlint:allow hotalloc — diagnostic-only formatting: reached from the double-free panic path and test failures, never on the steady-state path
 func (p *Packet) String() string {
 	trim := ""
 	if p.Trimmed() {

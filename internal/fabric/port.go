@@ -222,7 +222,7 @@ type flightRing struct {
 func (r *flightRing) push(e flightEntry) {
 	if r.n == len(r.buf) {
 		size := nextPow2(len(r.buf)*2, 64)
-		nb := make([]flightEntry, size)
+		nb := make([]flightEntry, size) //simlint:allow hotalloc — power-of-two ring doubling: amortized O(1) per push, the buffer is reused forever
 		for i := 0; i < r.n; i++ {
 			nb[i] = r.buf[(r.head+i)%len(r.buf)]
 		}

@@ -148,7 +148,7 @@ func (n *NDPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
 	dstStack := n.Stacks[dst]
 	flow, prio, onDoneAt, onData := fo.Flow, fo.Priority, fo.OnReceiverDoneAt, fo.OnReceiverData
 	at := n.Stacks[src].Host.EventList().Now() + c.MinPathDelay(src, dst)
-	c.Defer(src, dst, at, func() {
+	c.Defer(src, dst, at, func() { //simlint:allow defercmd — one registration closure per flow start, not per packet; the value-shaped wire encoding that replaces these is the ROADMAP's distributed-shard prerequisite
 		dstStack.PreRegister(flow, prio, nil, onDoneAt, onData)
 	})
 	return n.Stacks[src].ConnectLocal(dstStack.Host.ID, size, fo)
@@ -231,7 +231,7 @@ func (t *TCPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
 	revPick := r.Uint64()
 	onDone, onData := opts.OnDone, opts.OnData
 	c := t.C
-	c.Defer(src, dst, hs.EventList().Now()+c.MinPathDelay(src, dst), func() {
+	c.Defer(src, dst, hs.EventList().Now()+c.MinPathDelay(src, dst), func() { //simlint:allow defercmd — one receiver-attach closure per flow start, not per packet; converts to the value-shaped wire encoding tracked in the ROADMAP
 		revs := c.Paths(hd.ID, hs.ID)
 		rcv := t.pool(hd.EventList()).NewReceiver(hd, t.Demux[dst], hs.ID, flow, revs[revPick%uint64(len(revs))])
 		rcv.OnData = onData
@@ -308,7 +308,7 @@ func (m *MPTCPNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
 	revSeed := r.Uint64()
 	onData := opts.OnData
 	c := m.C
-	c.Defer(src, dst, hs.EventList().Now()+c.MinPathDelay(src, dst), func() {
+	c.Defer(src, dst, hs.EventList().Now()+c.MinPathDelay(src, dst), func() { //simlint:allow defercmd — one receiver-attach closure per flow start, not per packet; converts to the value-shaped wire encoding tracked in the ROADMAP
 		f.AttachReceivers(hd, m.Demux[dst], c.Paths(hd.ID, hs.ID), sim.NewRand(revSeed), onData, m.pool(hd.EventList()))
 	})
 	f.Start()
@@ -406,7 +406,7 @@ func (d *DCQCNNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
 	d.srcSenders[src] = append(d.srcSenders[src], s)
 	f := &dcqcnFlow{}
 	onDone, onData := opts.OnDone, opts.OnData
-	c.Defer(src, dst, hs.EventList().Now()+c.MinPathDelay(src, dst), func() {
+	c.Defer(src, dst, hs.EventList().Now()+c.MinPathDelay(src, dst), func() { //simlint:allow defercmd — one receiver-attach closure per flow start, not per packet; converts to the value-shaped wire encoding tracked in the ROADMAP
 		revs := c.Paths(hd.ID, hs.ID)
 		rc := d.pool(hd.EventList()).NewReceiver(hd, hs.ID, flow, revs[revPick%uint64(len(revs))], d.Cfg)
 		rc.OnData = onData
@@ -422,7 +422,7 @@ func (d *DCQCNNet) StartFlow(src, dst int, size int64, opts StartOpts) Flow {
 			d.Demux[dst].Unregister(flow)
 			d.pool(hd.EventList()).RetireReceiver(rc)
 			at := hd.EventList().Now() + c.MinPathDelay(dst, src)
-			c.Defer(dst, src, at, func() {
+			c.Defer(dst, src, at, func() { //simlint:allow defercmd — one teardown closure per flow completion, not per packet; converts to the value-shaped wire encoding tracked in the ROADMAP
 				d.Demux[src].Unregister(flow)
 				s.Stop()
 				d.pool(hs.EventList()).RetireSender(s)

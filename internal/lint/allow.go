@@ -92,6 +92,10 @@ func cutSeparator(s string) (name, reason string, ok bool) {
 	return "", "", false
 }
 
+// knownAnalyzerNames renders the catalog names in stable order for the
+// unknown-analyzer diagnostic.
+func knownAnalyzerNames() string { return strings.Join(knownAnalyzerList, ", ") }
+
 func firstField(s string) string {
 	if f := strings.Fields(s); len(f) > 0 {
 		return f[0]
@@ -135,7 +139,7 @@ func runAllowCheck(p *Pass) error {
 	}
 	for _, d := range s.all {
 		if d.reason != "" && d.analyzer != "" && !knownAnalyzers[d.analyzer] {
-			p.Reportf(d.pos, "simlint:allow cites unknown analyzer %q (known: maporder, wallclock, sharedrand, keyedcut, arenapacket, allowcheck)", d.analyzer)
+			p.Reportf(d.pos, "simlint:allow cites unknown analyzer %q (known: %s)", d.analyzer, knownAnalyzerNames())
 		}
 	}
 	return nil

@@ -1,0 +1,513 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the interprocedural layer the hot-path analyzers run
+// on: a CHA-style call graph over go/types plus per-function allocation
+// summaries. Like the rest of simlint it is stdlib-only — no SSA, no
+// x/tools — so the graph is an over-approximation by design:
+//
+//   - static calls resolve to their declared callee;
+//   - interface method calls resolve, class-hierarchy style, to every
+//     concrete type in the analyzed program that implements the interface
+//     (this is what sees through the harness.Transport / sim.Handler /
+//     fabric.Sink / fabric.Queue seams);
+//   - a function literal gets an edge from the function that creates it
+//     (a closure built on a hot path usually runs on it, and its creation
+//     is itself an allocation);
+//   - calls through plain func values (fields, parameters) are not
+//     resolved — the dynamic-command and hook seams those represent are
+//     covered by the defercmd analyzer and the summaries of the closures
+//     themselves.
+
+// EdgeKind classifies how a call edge was resolved.
+type EdgeKind uint8
+
+const (
+	// EdgeStatic is a direct call to a declared function or method.
+	EdgeStatic EdgeKind = iota
+	// EdgeIface is an interface method call resolved by CHA to one
+	// implementing concrete method.
+	EdgeIface
+	// EdgeClosure links a function to a literal it creates (the literal
+	// may run wherever the value flows; on a hot path, assume it does).
+	EdgeClosure
+)
+
+// CallEdge is one resolved call (or closure-creation) site.
+type CallEdge struct {
+	Pos    token.Pos
+	Kind   EdgeKind
+	Callee *FuncNode
+}
+
+// AllocKind classifies an allocation site in a function summary.
+type AllocKind string
+
+const (
+	AllocMake      AllocKind = "make"
+	AllocAppend    AllocKind = "append-grow"
+	AllocClosure   AllocKind = "closure capture"
+	AllocBound     AllocKind = "bound-method value"
+	AllocNew       AllocKind = "new"
+	AllocComposite AllocKind = "composite literal"
+	AllocBox       AllocKind = "interface boxing"
+)
+
+// AllocSite is one classified allocation in a function body.
+type AllocSite struct {
+	Pos  token.Pos
+	Kind AllocKind
+	// Desc names what is allocated ("[]flightEntry", "captures pkt, now").
+	Desc string
+	// PanicOnly marks sites inside a panic argument or a block that ends
+	// by panicking: dead in steady state, so hotalloc skips them.
+	PanicOnly bool
+}
+
+// FuncNode is one function in the program: a declared function/method or a
+// function literal nested inside one.
+type FuncNode struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl // nil for literals
+	Lit  *ast.FuncLit  // nil for declarations
+	Obj  *types.Func   // nil for literals
+	// Name is the qualified display name used in diagnostics and chains:
+	// "fabric.Port.OnEvent", "tcp.Sender.Receive$1".
+	Name string
+
+	Edges  []CallEdge
+	Allocs []AllocSite
+	// Captures lists the free variables of a literal (empty for decls and
+	// for literals that compile to static functions).
+	Captures []string
+}
+
+// CallGraph indexes every analyzed function and its resolved edges.
+type CallGraph struct {
+	Nodes []*FuncNode
+
+	byObj map[*types.Func]*FuncNode
+	byLit map[*ast.FuncLit]*FuncNode
+}
+
+// NodeOf returns the node for a declared function, or nil.
+func (g *CallGraph) NodeOf(obj *types.Func) *FuncNode { return g.byObj[obj] }
+
+// LitNode returns the node for a function literal, or nil.
+func (g *CallGraph) LitNode(lit *ast.FuncLit) *FuncNode { return g.byLit[lit] }
+
+// buildCallGraph constructs nodes, summaries and edges for every function
+// declared in pkgs.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{byObj: map[*types.Func]*FuncNode{}, byLit: map[*ast.FuncLit]*FuncNode{}}
+	b := &graphBuilder{g: g, pkgs: pkgs, ifaceCache: map[ifaceKey][]*FuncNode{}}
+
+	// Pass 1: a node per declared function, so static edges resolve no
+	// matter the package order.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &FuncNode{Pkg: pkg, Decl: fd, Obj: obj, Name: declName(pkg, fd, obj)}
+				g.Nodes = append(g.Nodes, n)
+				g.byObj[obj] = n
+			}
+		}
+	}
+	b.collectNamed()
+
+	// Pass 2: walk each declared body, creating literal nodes as they are
+	// encountered and attributing calls and allocation sites to the
+	// innermost enclosing function.
+	for _, n := range g.Nodes {
+		if n.Decl != nil {
+			b.walkBody(n, n.Decl.Body)
+		}
+	}
+	return g
+}
+
+// declName renders "pkg.Func" or "pkg.Recv.Method".
+func declName(pkg *Package, fd *ast.FuncDecl, obj *types.Func) string {
+	short := pkg.Types.Name()
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return short + "." + named.Obj().Name() + "." + fd.Name.Name
+			}
+		}
+	}
+	return short + "." + fd.Name.Name
+}
+
+// ifaceKey caches CHA resolutions per (interface, method name).
+type ifaceKey struct {
+	iface *types.Interface
+	name  string
+}
+
+type graphBuilder struct {
+	g          *CallGraph
+	pkgs       []*Package
+	named      []*types.Named
+	ifaceCache map[ifaceKey][]*FuncNode
+}
+
+// collectNamed gathers every named type declared in the analyzed packages;
+// CHA resolves interface calls against this set.
+func (b *graphBuilder) collectNamed() {
+	for _, pkg := range b.pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				b.named = append(b.named, named)
+			}
+		}
+	}
+}
+
+// ifaceTargets resolves an interface method call to every declared method
+// in the program whose receiver type implements the interface.
+func (b *graphBuilder) ifaceTargets(iface *types.Interface, name string) []*FuncNode {
+	key := ifaceKey{iface, name}
+	if out, ok := b.ifaceCache[key]; ok {
+		return out
+	}
+	var out []*FuncNode
+	for _, named := range b.named {
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		if !types.Implements(ptr, iface) && !types.Implements(named, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), name)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if node := b.g.byObj[fn]; node != nil {
+			out = append(out, node)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	b.ifaceCache[key] = out
+	return out
+}
+
+// walkCtx carries the traversal state of one function body.
+type walkCtx struct {
+	node *FuncNode
+	// panicDepth > 0 while inside an argument of panic(...); allocations
+	// there never run in steady state.
+	panicDepth int
+	// lits numbers the literals created directly by this function.
+	lits int
+}
+
+// walkBody attributes the calls and allocation sites of body to node. It
+// does not descend into nested function literals itself — each literal
+// becomes its own node, linked by an EdgeClosure, and is walked
+// recursively.
+func (b *graphBuilder) walkBody(node *FuncNode, body ast.Node) {
+	ctx := &walkCtx{node: node}
+	b.walk(ctx, body)
+}
+
+func (b *graphBuilder) walk(ctx *walkCtx, n ast.Node) {
+	if n == nil {
+		return
+	}
+	switch x := n.(type) {
+	case *ast.FuncLit:
+		b.addLit(ctx, x)
+		return
+	case *ast.CallExpr:
+		b.visitCall(ctx, x)
+		return
+	case *ast.SelectorExpr:
+		b.visitSelector(ctx, x)
+		return
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if cl, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+				b.addAlloc(ctx, x.Pos(), AllocNew, "&"+typeDesc(ctx.node.Pkg, cl))
+				// Walk the literal's elements for nested sites.
+				for _, e := range cl.Elts {
+					b.walk(ctx, e)
+				}
+				return
+			}
+		}
+	case *ast.CompositeLit:
+		b.visitComposite(ctx, x)
+		return
+	case *ast.AssignStmt:
+		b.visitAssign(ctx, x)
+		return
+	}
+	// Generic descent.
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n {
+			return true
+		}
+		b.walk(ctx, child)
+		return false
+	})
+}
+
+// addLit creates the literal's node, the closure edge, and — when the
+// literal captures variables — the closure-allocation site.
+func (b *graphBuilder) addLit(ctx *walkCtx, lit *ast.FuncLit) {
+	ctx.lits++
+	child := &FuncNode{
+		Pkg:      ctx.node.Pkg,
+		Lit:      lit,
+		Name:     fmt.Sprintf("%s$%d", ctx.node.Name, ctx.lits),
+		Captures: freeVars(ctx.node.Pkg, lit),
+	}
+	b.g.Nodes = append(b.g.Nodes, child)
+	b.g.byLit[lit] = child
+	ctx.node.Edges = append(ctx.node.Edges, CallEdge{Pos: lit.Pos(), Kind: EdgeClosure, Callee: child})
+	if len(child.Captures) > 0 {
+		b.addAlloc(ctx, lit.Pos(), AllocClosure, "captures "+strings.Join(child.Captures, ", "))
+	}
+	b.walkBody(child, lit.Body)
+}
+
+// visitCall classifies builtin allocators, records call edges, and checks
+// arguments for interface boxing.
+func (b *graphBuilder) visitCall(ctx *walkCtx, call *ast.CallExpr) {
+	info := ctx.node.Pkg.Info
+	switch {
+	case isBuiltin(info, call, "make"):
+		b.addAlloc(ctx, call.Pos(), AllocMake, typeDesc(ctx.node.Pkg, call.Args[0]))
+	case isBuiltin(info, call, "append"):
+		b.addAlloc(ctx, call.Pos(), AllocAppend, typeDesc(ctx.node.Pkg, call.Args[0]))
+	case isBuiltin(info, call, "new"):
+		b.addAlloc(ctx, call.Pos(), AllocNew, "new("+typeDesc(ctx.node.Pkg, call.Args[0])+")")
+	case isBuiltin(info, call, "panic"):
+		ctx.panicDepth++
+		for _, a := range call.Args {
+			b.walk(ctx, a)
+		}
+		ctx.panicDepth--
+		return
+	case isConversion(info, call):
+		// A conversion to interface type boxes a non-pointer operand.
+		if len(call.Args) == 1 {
+			b.checkBox(ctx, call.Args[0], info.TypeOf(call.Fun))
+		}
+	default:
+		b.addCallEdges(ctx, call)
+		b.checkArgBoxing(ctx, call)
+	}
+	// Walk the callee expression without re-classifying a method call as a
+	// bound-method value: descend into the selector's receiver only.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		b.walk(ctx, fun.X)
+	case *ast.Ident:
+		// nothing nested
+	default:
+		b.walk(ctx, fun)
+	}
+	for _, a := range call.Args {
+		b.walk(ctx, a)
+	}
+}
+
+// addCallEdges resolves one call expression to static or CHA edges.
+func (b *graphBuilder) addCallEdges(ctx *walkCtx, call *ast.CallExpr) {
+	info := ctx.node.Pkg.Info
+	// Interface dispatch: a method value selected from an interface.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s := info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			if iface, ok := s.Recv().Underlying().(*types.Interface); ok {
+				for _, target := range b.ifaceTargets(iface, sel.Sel.Name) {
+					ctx.node.Edges = append(ctx.node.Edges, CallEdge{Pos: call.Pos(), Kind: EdgeIface, Callee: target})
+				}
+				return
+			}
+		}
+	}
+	if fn := calleeFunc(info, call); fn != nil {
+		if node := b.g.byObj[fn]; node != nil {
+			ctx.node.Edges = append(ctx.node.Edges, CallEdge{Pos: call.Pos(), Kind: EdgeStatic, Callee: node})
+		}
+		return
+	}
+	// Direct invocation of a literal: func(){...}() — the closure edge
+	// added when the literal is walked already covers it.
+}
+
+// visitSelector records bound-method values (x.M used as a value allocates
+// a closure binding x) and otherwise descends.
+func (b *graphBuilder) visitSelector(ctx *walkCtx, sel *ast.SelectorExpr) {
+	if s := ctx.node.Pkg.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+		// Only a *use as a value* allocates; calls go through visitCall and
+		// never reach here (visitCall walks call.Fun via b.walk, so guard).
+		b.addAlloc(ctx, sel.Pos(), AllocBound, sel.Sel.Name+" bound to "+typeDesc(ctx.node.Pkg, sel.X))
+		// The bound method may run wherever the value flows; on a hot path
+		// assume it does.
+		if fn, ok := ctx.node.Pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+			if node := b.g.byObj[fn]; node != nil {
+				ctx.node.Edges = append(ctx.node.Edges, CallEdge{Pos: sel.Pos(), Kind: EdgeClosure, Callee: node})
+			}
+		}
+	}
+	b.walk(ctx, sel.X)
+}
+
+// visitComposite flags slice and map composite literals (backing store
+// allocation) and descends into elements.
+func (b *graphBuilder) visitComposite(ctx *walkCtx, cl *ast.CompositeLit) {
+	t := ctx.node.Pkg.Info.TypeOf(cl)
+	if t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			b.addAlloc(ctx, cl.Pos(), AllocComposite, typeDesc(ctx.node.Pkg, cl))
+		}
+	}
+	for _, e := range cl.Elts {
+		b.walk(ctx, e)
+	}
+}
+
+// visitAssign checks RHS-to-LHS interface boxing, then descends.
+func (b *graphBuilder) visitAssign(ctx *walkCtx, as *ast.AssignStmt) {
+	if len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Rhs {
+			lt := ctx.node.Pkg.Info.TypeOf(as.Lhs[i])
+			b.checkBox(ctx, as.Rhs[i], lt)
+		}
+	}
+	for _, e := range as.Rhs {
+		b.walk(ctx, e)
+	}
+	for _, e := range as.Lhs {
+		b.walk(ctx, e)
+	}
+}
+
+// checkArgBoxing compares call arguments against parameter types: passing
+// a non-pointer concrete value where an interface is expected boxes it.
+func (b *graphBuilder) checkArgBoxing(ctx *walkCtx, call *ast.CallExpr) {
+	sig, ok := ctx.node.Pkg.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		b.checkBox(ctx, arg, pt)
+	}
+}
+
+// checkBox reports expr as a boxing site when it is a non-pointer,
+// non-interface concrete value and the target type is an interface.
+func (b *graphBuilder) checkBox(ctx *walkCtx, expr ast.Expr, target types.Type) {
+	if target == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := ctx.node.Pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	at := tv.Type
+	if tv.IsNil() {
+		return
+	}
+	switch at.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Signature, *types.Chan, *types.Map:
+		// Interface-to-interface and pointer-shaped values don't allocate.
+		return
+	}
+	b.addAlloc(ctx, expr.Pos(), AllocBox, typeDesc(ctx.node.Pkg, expr)+" boxed into "+target.String())
+}
+
+func (b *graphBuilder) addAlloc(ctx *walkCtx, pos token.Pos, kind AllocKind, desc string) {
+	ctx.node.Allocs = append(ctx.node.Allocs, AllocSite{
+		Pos: pos, Kind: kind, Desc: desc, PanicOnly: ctx.panicDepth > 0,
+	})
+}
+
+// freeVars lists the variables a literal captures: identifiers resolving
+// to non-package-level, non-field variables declared outside the literal.
+func freeVars(pkg *Package, lit *ast.FuncLit) []string {
+	seen := map[*types.Var]bool{}
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == pkg.Types.Scope() || v.Parent() == types.Universe {
+			return true // package-level or universe: no capture
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the literal (params, locals)
+		}
+		seen[v] = true
+		out = append(out, v.Name())
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// typeDesc renders a short description of an expression's type for
+// diagnostics.
+func typeDesc(pkg *Package, expr ast.Expr) string {
+	t := pkg.Info.TypeOf(expr)
+	if t == nil {
+		return "?"
+	}
+	s := t.String()
+	// Strip the module path prefix for readability.
+	s = strings.ReplaceAll(s, "ndp/internal/", "")
+	s = strings.ReplaceAll(s, "ndp/", "")
+	if len(s) > 48 {
+		s = s[:45] + "..."
+	}
+	return s
+}

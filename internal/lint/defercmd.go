@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeferCmd flags func-valued closures handed to the cross-shard command
+// channel: a capturing function literal (or a bound-method value, which
+// allocates the same way) passed to Cluster.Defer or Stack.PreRegister.
+//
+// Every such closure is (a) one heap allocation per flow start — the last
+// per-flow allocation PR 6 left standing — and (b) an opaque code pointer
+// the planned distributed-shard wire encoding cannot serialize: a command
+// that crosses a process boundary must be value-shaped (op code plus
+// arguments), not a captured environment. The ROADMAP makes the encoding
+// a prerequisite of running shards as separate processes; this analyzer
+// keeps the inventory of sites that must convert, so the wire format
+// lands against a known, justified set instead of an unbounded one.
+var DeferCmd = &Analyzer{
+	Name: "defercmd",
+	Doc: "flags capturing function literals and bound-method values passed to " +
+		"Cluster.Defer or Stack.PreRegister: deferred commands must become value-shaped " +
+		"(op + arguments) before they can cross a process boundary, and each capturing " +
+		"closure is a per-flow heap allocation; pass a cached field or a value command, " +
+		"or justify with //simlint:allow defercmd",
+	Run: runDeferCmd,
+}
+
+func runDeferCmd(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			switch fn.Name() {
+			case "Defer":
+				if isDeferShape(fn) && len(call.Args) == 4 {
+					checkCmdArg(p, "Defer", call.Args[3])
+				}
+			case "PreRegister":
+				for _, arg := range call.Args {
+					if t := p.TypesInfo.TypeOf(arg); t != nil {
+						if _, isFunc := t.Underlying().(*types.Signature); isFunc {
+							checkCmdArg(p, "PreRegister", arg)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isDeferShape matches the command channel's Defer(from, to int, at
+// sim.Time, fn func()) signature (the same shape keyedcut keys on).
+func isDeferShape(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 4 {
+		return false
+	}
+	if !namedIn(sig.Params().At(2).Type(), simPkgPath, "Time") {
+		return false
+	}
+	_, isFunc := sig.Params().At(3).Type().Underlying().(*types.Signature)
+	return isFunc
+}
+
+// checkCmdArg reports a capturing literal or bound-method value used as a
+// deferred command. Non-capturing literals compile to static functions
+// and cached fields/variables are value-shaped already — both pass.
+func checkCmdArg(p *Pass, what string, arg ast.Expr) {
+	switch x := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		caps := freeVarsOf(p, x)
+		if len(caps) == 0 {
+			return
+		}
+		p.Reportf(arg.Pos(), "%s command is a capturing closure (captures %s): deferred commands must be value-shaped — an op code plus arguments, or a closure cached once per slot — before they can cross a process boundary, and each capture is a per-call heap allocation", what, strings.Join(caps, ", "))
+	case *ast.SelectorExpr:
+		if s := p.TypesInfo.Selections[x]; s != nil && s.Kind() == types.MethodVal {
+			p.Reportf(arg.Pos(), "%s command is a bound-method value (%s): it allocates a closure per call; cache the bound value in a field at setup, or encode a value-shaped command", what, x.Sel.Name)
+		}
+	}
+}
+
+// freeVarsOf adapts the call-graph capture scan to a per-package pass.
+func freeVarsOf(p *Pass, lit *ast.FuncLit) []string {
+	pkg := &Package{Path: p.Pkg.Path(), Fset: p.Fset, Files: p.Files, Types: p.Pkg, Info: p.TypesInfo}
+	return freeVars(pkg, lit)
+}

@@ -15,9 +15,9 @@ import (
 
 var wantRE = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
 
-// runFixture loads testdata/src/<name> and checks the given analyzer's
-// diagnostics (after //simlint:allow filtering) against the want comments.
-func runFixture(t *testing.T, a *Analyzer, name string) {
+// loadFixture loads the fixture package testdata/src/<name> with stub
+// resolution enabled.
+func loadFixture(t *testing.T, name string) *Package {
 	t.Helper()
 	modRoot, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
@@ -36,12 +36,13 @@ func runFixture(t *testing.T, a *Analyzer, name string) {
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", name, err)
 	}
+	return pkg
+}
 
-	diags, err := Run(pkg, []*Analyzer{a})
-	if err != nil {
-		t.Fatalf("running %s on fixture %s: %v", a.Name, name, err)
-	}
-
+// checkWants matches diagnostics against the fixture's want comments, line
+// by line: every diagnostic needs a want, every want a diagnostic.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
 	type wantKey struct {
 		file string
 		line int
@@ -65,7 +66,7 @@ func runFixture(t *testing.T, a *Analyzer, name string) {
 		}
 	}
 	if total == 0 {
-		t.Fatalf("fixture %s has no want comments", name)
+		t.Fatalf("fixture %s has no want comments", pkg.Path)
 	}
 
 	for _, d := range diags {
@@ -90,11 +91,51 @@ func runFixture(t *testing.T, a *Analyzer, name string) {
 	}
 }
 
+// runFixture checks a per-package analyzer's diagnostics (after
+// //simlint:allow filtering) against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	diags, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, name, err)
+	}
+	checkWants(t, pkg, diags)
+}
+
+// runProgramFixture is runFixture for interprocedural analyzers: the
+// fixture package becomes a one-package program with its own call graph,
+// entry points, and amortized-function registry.
+func runProgramFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	prog := BuildProgram([]*Package{pkg})
+	if len(prog.Entries) == 0 {
+		t.Fatalf("fixture %s registered no hot-path entry points", name)
+	}
+	diags, err := RunProgram(prog, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, name, err)
+	}
+	checkWants(t, pkg, diags)
+}
+
 func TestMapOrderFixture(t *testing.T)    { runFixture(t, MapOrder, "maporder") }
 func TestWallClockFixture(t *testing.T)   { runFixture(t, WallClock, "wallclock") }
 func TestSharedRandFixture(t *testing.T)  { runFixture(t, SharedRand, "sharedrand") }
 func TestKeyedCutFixture(t *testing.T)    { runFixture(t, KeyedCut, "keyedcut") }
 func TestArenaPacketFixture(t *testing.T) { runFixture(t, ArenaPacket, "arenapacket") }
+func TestDeferCmdFixture(t *testing.T)    { runFixture(t, DeferCmd, "defercmd") }
+
+// TestShardOwnFixture: the fixture carries the real ndp/internal/dctcp
+// import path (ExtraSrc shadows the engine package) because the ownership
+// map is keyed by package path.
+func TestShardOwnFixture(t *testing.T) { runFixture(t, ShardOwn, "ndp/internal/dctcp") }
+
+// TestHotAllocFixture: a fresh closure two calls below an OnEvent handler
+// is flagged with its full call chain; a registered amortized-growth
+// function is the negative case.
+func TestHotAllocFixture(t *testing.T) { runProgramFixture(t, HotAlloc, "hotalloc") }
 
 // TestAllowWithoutReason: a directive missing its justification (or citing
 // an unknown analyzer) is itself a diagnostic.

@@ -1,0 +1,72 @@
+package lint
+
+import "strings"
+
+// HotAlloc walks the call graph from every registered hot-path entry
+// point — event handlers, per-packet sinks, queue disciplines, the port
+// transmit path, pooled flow-state surfaces — and reports every
+// allocation site reachable without passing through a registered
+// amortized-growth or setup function. PR 6 bought the engine's 5×
+// allocs/op reduction by hand; this analyzer is the gate that keeps it
+// from eroding one innocent append at a time, and unlike the per-function
+// checks it sees an allocation three calls below the handler.
+//
+// Amortized growth (chunked arena refills, power-of-two ring doubling,
+// pool misses bounded by peak concurrency) is registered, not forbidden:
+// a justified //simlint:allow hotalloc on the allocation line exempts the
+// site, and the same directive on a function declaration registers the
+// whole function as a barrier the traversal stops at.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flags allocation sites (make, append, closure capture, bound-method values, " +
+		"interface boxing, new/&T{}) reachable from a hot-path entry point — OnEvent " +
+		"handlers, fabric.Sink/Queue per-packet paths, pool surfaces — without passing " +
+		"through a function registered as amortized growth or setup via a " +
+		"//simlint:allow hotalloc directive on its declaration; diagnostics carry the " +
+		"full call chain from the entry point",
+	RunProgram: runHotAlloc,
+}
+
+func runHotAlloc(p *ProgramPass) error {
+	prog := p.Prog
+	type visit struct {
+		node  *FuncNode
+		chain []string
+	}
+	// One report per allocation site: the first (shortest, BFS) chain wins.
+	reported := map[*FuncNode]bool{}
+
+	for _, ep := range prog.Entries {
+		if reported[ep.Node] || prog.hotallocBarrier(ep.Node) {
+			continue
+		}
+		seen := map[*FuncNode]bool{ep.Node: true}
+		queue := []visit{{ep.Node, []string{ep.Node.Name}}}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if !reported[v.node] {
+				reported[v.node] = true
+				for _, site := range v.node.Allocs {
+					if site.PanicOnly {
+						continue
+					}
+					p.Reportf(site.Pos, v.chain,
+						"hot-path allocation: %s of %s reachable from %s (%s) via %s; make it amortized and register the function or line with //simlint:allow hotalloc — <amortization argument>",
+						site.Kind, site.Desc, ep.Node.Name, ep.Why, strings.Join(v.chain, " -> "))
+				}
+			}
+			for _, e := range v.node.Edges {
+				callee := e.Callee
+				if seen[callee] || prog.hotallocBarrier(callee) {
+					continue
+				}
+				seen[callee] = true
+				chain := make([]string, len(v.chain), len(v.chain)+1)
+				copy(chain, v.chain)
+				queue = append(queue, visit{callee, append(chain, callee.Name)})
+			}
+		}
+	}
+	return nil
+}

@@ -35,8 +35,10 @@ import (
 	"sort"
 )
 
-// Analyzer is one named invariant check. Run inspects a single type-checked
-// package and reports findings through the Pass.
+// Analyzer is one named invariant check. Per-package analyzers set Run and
+// inspect one type-checked package at a time; interprocedural analyzers
+// set RunProgram and see the whole program — packages, call graph, hot
+// entry points — at once. Exactly one of the two is set.
 type Analyzer struct {
 	// Name identifies the analyzer in output and in //simlint:allow
 	// directives. Lowercase, no spaces.
@@ -46,6 +48,8 @@ type Analyzer struct {
 	Doc string
 	// Run performs the analysis over one package.
 	Run func(*Pass) error
+	// RunProgram performs the analysis over the whole program.
+	RunProgram func(*ProgramPass) error
 }
 
 // Diagnostic is one finding, positioned in the analyzed package's fileset.
@@ -53,6 +57,9 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	// Chain is the hot-path call chain from an entry point to the finding,
+	// outermost first (interprocedural analyzers only).
+	Chain []string
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -76,18 +83,38 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // Analyzers returns the full catalog in stable order. allowcheck is part of
-// the catalog so the suppression grammar is itself enforced.
+// the catalog so the suppression grammar is itself enforced. The first six
+// are per-package; hotalloc, defercmd and shardown are the interprocedural
+// v2 suite built on the call graph.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, WallClock, SharedRand, KeyedCut, ArenaPacket, AllowCheck}
+	return []*Analyzer{MapOrder, WallClock, SharedRand, KeyedCut, ArenaPacket, AllowCheck, HotAlloc, DeferCmd, ShardOwn}
 }
 
-// knownAnalyzers is the set of names a //simlint:allow directive may cite.
-// Filled by init (not a var initializer) because AllowCheck consults it.
-var knownAnalyzers = map[string]bool{}
+// ProgramAnalyzers returns the interprocedural subset of the catalog:
+// analyzers that run once over the whole engine program rather than per
+// package.
+func ProgramAnalyzers() []*Analyzer {
+	var out []*Analyzer
+	for _, a := range Analyzers() {
+		if a.RunProgram != nil {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// knownAnalyzers is the set of names a //simlint:allow directive may cite,
+// knownAnalyzerList the same names in catalog order. Filled by init (not a
+// var initializer) because AllowCheck consults them.
+var (
+	knownAnalyzers    = map[string]bool{}
+	knownAnalyzerList []string
+)
 
 func init() {
 	for _, a := range Analyzers() {
 		knownAnalyzers[a.Name] = true
+		knownAnalyzerList = append(knownAnalyzerList, a.Name)
 	}
 }
 
@@ -126,11 +153,19 @@ func EnginePackage(importPath string) bool {
 	return false
 }
 
-// AnalyzersFor returns the analyzers that apply to a package: the whole
-// suite for engine packages, wallclock + allowcheck elsewhere.
+// AnalyzersFor returns the per-package analyzers that apply to a package:
+// the whole per-package suite for engine packages, wallclock + allowcheck
+// elsewhere. The interprocedural analyzers (ProgramAnalyzers) run once
+// over the engine program, not per package.
 func AnalyzersFor(importPath string) []*Analyzer {
 	if EnginePackage(importPath) {
-		return Analyzers()
+		var out []*Analyzer
+		for _, a := range Analyzers() {
+			if a.Run != nil {
+				out = append(out, a)
+			}
+		}
+		return out
 	}
 	return []*Analyzer{WallClock, AllowCheck}
 }
@@ -142,6 +177,9 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	allows := parseAllowDirectives(pkg.Fset, pkg.Files)
 	var out []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue // interprocedural; see RunProgram
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,

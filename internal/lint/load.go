@@ -11,7 +11,25 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// stdCache shares GOROOT type-check results across every Loader in the
+// process. The standard library is immutable for the life of a run, and
+// signature-only checking it from source costs about a second — paying
+// that once per loader made the fixture tests and TestRepoClean re-check
+// the same ~150 packages nine times over. All loaders therefore parse
+// into one process-wide fileset (positions in a types.Package are only
+// meaningful against the fileset that checked it) and consult this map
+// before touching GOROOT.
+var stdCache = struct {
+	mu   sync.Mutex
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+}{
+	fset: token.NewFileSet(),
+	pkgs: map[string]*types.Package{},
+}
 
 // Package is one module package loaded for analysis: syntax plus full type
 // information.
@@ -57,7 +75,7 @@ func NewLoader(modRoot string) (*Loader, error) {
 	return &Loader{
 		ModRoot:  modRoot,
 		ModPath:  modPath,
-		fset:     token.NewFileSet(),
+		fset:     stdCache.fset,
 		ctx:      ctx,
 		pkgs:     map[string]*Package{},
 		std:      map[string]*types.Package{},
@@ -283,6 +301,13 @@ func (l *Loader) loadStd(path, srcDir string) (*types.Package, error) {
 	if pkg, ok := l.std[path]; ok {
 		return pkg, nil
 	}
+	stdCache.mu.Lock()
+	cached := stdCache.pkgs[path]
+	stdCache.mu.Unlock()
+	if cached != nil {
+		l.std[path] = cached
+		return cached, nil
+	}
 	key := path
 	if l.checking["std:"+key] {
 		return nil, fmt.Errorf("import cycle through %s", path)
@@ -314,9 +339,13 @@ func (l *Loader) loadStd(path, srcDir string) (*types.Package, error) {
 	}
 	tpkg.MarkComplete()
 	// Cache under both the requested and the resolved path (vendored
-	// packages answer to their short name).
+	// packages answer to their short name), locally and process-wide.
 	l.std[path] = tpkg
 	l.std[bp.ImportPath] = tpkg
+	stdCache.mu.Lock()
+	stdCache.pkgs[path] = tpkg
+	stdCache.pkgs[bp.ImportPath] = tpkg
+	stdCache.mu.Unlock()
 	return tpkg, nil
 }
 

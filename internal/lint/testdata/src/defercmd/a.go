@@ -1,0 +1,48 @@
+// Package defercmd exercises the deferred-command shape check: capturing
+// closures and bound-method values handed to Cluster.Defer or PreRegister
+// are findings; a closure cached once per slot at setup and a non-capturing
+// literal are the value-shaped negative cases.
+package defercmd
+
+import (
+	"ndp/internal/sim"
+	"ndp/internal/topo"
+)
+
+type peer struct{ n int }
+
+type slot struct {
+	c    topo.Cluster
+	flow uint64
+	step func()
+	p    peer
+}
+
+func (s *slot) bump() { s.p.n++ }
+
+func (s *slot) consume(flow uint64) { s.flow = flow }
+
+// setup caches the bound value once per slot: passing the field later is
+// value-shaped, so it does not re-allocate per call.
+func (s *slot) setup() { s.step = s.bump }
+
+func (s *slot) start(at sim.Time) {
+	flow := s.flow
+	s.c.Defer(0, 1, at, func() { // want "Defer command is a capturing closure \(captures flow, s\)"
+		s.consume(flow)
+	})
+	s.c.Defer(0, 1, at, s.bump) // want "Defer command is a bound-method value \(bump\)"
+	s.c.Defer(0, 1, at, s.step) // cached field: value-shaped, no finding
+	s.c.Defer(0, 1, at, func() {
+		// Non-capturing literal: compiles to a static function, no finding.
+	})
+}
+
+type stack struct{ n int }
+
+func (st *stack) PreRegister(flow uint64, fn func()) { _ = fn }
+
+func (s *slot) register(st *stack) {
+	n := s.flow
+	st.PreRegister(n, func() { s.consume(n) }) // want "PreRegister command is a capturing closure \(captures n, s\)"
+}

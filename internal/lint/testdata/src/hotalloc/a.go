@@ -1,0 +1,48 @@
+// Package hotalloc is the interprocedural fixture: Port.OnEvent implements
+// the sim.Handler stub, so it is a registered hot-path entry point, and the
+// fresh capturing closure two calls below it is the seeded regression the
+// analyzer must flag — with the full call chain. The registered grow
+// barrier is the negative case: amortized growth is exempt, not forbidden.
+package hotalloc
+
+import "ndp/internal/sim"
+
+// ring mirrors the engine's power-of-two rings.
+type ring struct{ buf []int }
+
+// grow is registered amortized growth: the hot-path traversal stops at the
+// directive on the declaration, so the make below is not a finding.
+//
+//simlint:allow hotalloc — power-of-two doubling: amortized O(1) per push (fixture negative case)
+func (r *ring) grow() {
+	nb := make([]int, 2*len(r.buf)+64)
+	copy(nb, r.buf)
+	r.buf = nb
+}
+
+// Port mirrors a fabric port: OnEvent makes it a sim.Handler entry point.
+type Port struct {
+	el    *sim.EventList
+	ring  ring
+	count int
+}
+
+var _ sim.Handler = (*Port)(nil)
+
+func (p *Port) OnEvent(arg uint64) { p.drain(int(arg)) }
+
+func (p *Port) drain(n int) {
+	for i := 0; i < n; i++ {
+		p.deliver(i)
+	}
+	p.ring.grow()
+}
+
+// deliver allocates a fresh capturing closure per delivery, two calls below
+// the entry point — invisible to any per-function check.
+func (p *Port) deliver(i int) {
+	fn := func() { // want "closure capture of captures i, p reachable from hotalloc\.Port\.OnEvent \(sim\.Handler event handler\) via hotalloc\.Port\.OnEvent -> hotalloc\.Port\.drain -> hotalloc\.Port\.deliver"
+		p.count += i
+	}
+	fn()
+}

@@ -35,7 +35,7 @@ type Host struct {
 	spacing sim.Time
 	cfg     Config
 
-	queue     []*Receiver // round-robin token queue
+	queue     recvRing // round-robin token queue
 	scheduled bool
 	lastSent  sim.Time
 	everSent  bool
@@ -205,6 +205,7 @@ type Sender struct {
 	CompletedAt      sim.Time
 }
 
+//simlint:allow hotalloc — per-packet bookkeeping: amortized append doubling, O(log N) allocations per flow, arrays kept across recycle
 func (s *Sender) grow(seq int64) {
 	for int64(len(s.acked)) <= seq {
 		s.acked = append(s.acked, false)
@@ -265,7 +266,7 @@ func (s *Sender) Receive(p *fabric.Packet) {
 			if s.onDone != nil {
 				s.onDone(s)
 			}
-			s.ph.retiredS = append(s.ph.retiredS, s)
+			s.ph.retiredS = append(s.ph.retiredS, s) //simlint:allow hotalloc — free-list append: capacity bounded by peak concurrent flows and kept across reuse
 		}
 	case fabric.Pull: // token
 		delta := p.PullSeq - s.lastToken
@@ -328,7 +329,7 @@ func (r *Receiver) Receive(p *fabric.Packet) {
 	}
 	seq := p.Seq
 	for int64(len(r.got)) <= seq {
-		r.got = append(r.got, false)
+		r.got = append(r.got, false) //simlint:allow hotalloc — arrival bitmap: amortized append doubling, O(log N) allocations per flow, backing array kept across recycle
 	}
 	if p.Flags&fabric.FlagFIN != 0 && r.total < 0 {
 		r.total = seq + 1
@@ -348,7 +349,7 @@ func (r *Receiver) Receive(p *fabric.Packet) {
 		if r.OnComplete != nil {
 			r.OnComplete(r)
 		}
-		r.ph.retiredR = append(r.ph.retiredR, r)
+		r.ph.retiredR = append(r.ph.retiredR, r) //simlint:allow hotalloc — free-list append: capacity bounded by peak concurrent flows and kept across reuse
 	} else if !dup && !r.complete {
 		r.addToken()
 	}
@@ -368,13 +369,13 @@ func (r *Receiver) addToken() {
 	r.tokens++
 	if r.tokens == 1 {
 		r.queued = true
-		r.ph.queue = append(r.ph.queue, r)
+		r.ph.queue.push(r)
 	}
 	r.ph.schedule()
 }
 
 func (ph *Host) schedule() {
-	if ph.scheduled || len(ph.queue) == 0 {
+	if ph.scheduled || ph.queue.n == 0 {
 		return
 	}
 	at := ph.el.Now()
@@ -391,9 +392,8 @@ func (ph *Host) OnEvent(uint64) { ph.fire() }
 
 func (ph *Host) fire() {
 	ph.scheduled = false
-	for len(ph.queue) > 0 {
-		r := ph.queue[0]
-		ph.queue = ph.queue[1:]
+	for ph.queue.n > 0 {
+		r := ph.queue.pop()
 		if r.tokens <= 0 || r.complete {
 			r.tokens = 0
 			r.queued = false
@@ -401,7 +401,7 @@ func (ph *Host) fire() {
 		}
 		r.tokens--
 		if r.tokens > 0 {
-			ph.queue = append(ph.queue, r)
+			ph.queue.push(r)
 		} else {
 			r.queued = false
 		}
@@ -414,4 +414,42 @@ func (ph *Host) fire() {
 		break
 	}
 	ph.schedule()
+}
+
+// recvRing is the token queue's FIFO: a power-of-two ring mirroring core's
+// pullRing. The pacer pops the head and re-pushes the round-robin survivor
+// on every transmitted token, a pattern that makes an advance-the-slice
+// queue reallocate on nearly every push (the freed front capacity is never
+// reused) — the same pathology that was once core's single largest
+// allocation site, resurfaced here by simlint's hotalloc pass. The ring
+// reuses its buffer forever.
+type recvRing struct {
+	buf        []*Receiver
+	head, tail int
+	n          int
+}
+
+func (q *recvRing) push(r *Receiver) {
+	if q.n == len(q.buf) {
+		size := 64
+		for size < len(q.buf)*2 {
+			size *= 2
+		}
+		nb := make([]*Receiver, size) //simlint:allow hotalloc — power-of-two ring doubling: amortized O(1) per push, the buffer is reused forever
+		for i := 0; i < q.n; i++ {
+			nb[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head, q.tail = nb, 0, q.n
+	}
+	q.buf[q.tail] = r
+	q.tail = (q.tail + 1) & (len(q.buf) - 1)
+	q.n++
+}
+
+func (q *recvRing) pop() *Receiver {
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return r
 }

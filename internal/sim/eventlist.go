@@ -342,7 +342,7 @@ func (el *EventList) pushKeyed(at Time, ord uint64, v eventVal) {
 	if at < el.now {
 		at = el.now
 	}
-	el.keys = append(el.keys, eventKey{at: at, ord: ord})
+	el.keys = append(el.keys, eventKey{at: at, ord: ord}) //simlint:allow hotalloc — heap storage (keys and vals grow in lockstep): amortized doubling, capacity bounded by peak pending events and reused across pops
 	el.vals = append(el.vals, v)
 	i := len(el.keys) - 1
 	if v.id >= 0 {
@@ -432,13 +432,13 @@ func (el *EventList) allocSlot() EventID {
 		el.free = el.free[:n-1]
 		return EventID(id)
 	}
-	el.slots = append(el.slots, -1)
+	el.slots = append(el.slots, -1) //simlint:allow hotalloc — slot table: grows to peak concurrent cancelable events once, then the free-list recycles ids
 	return EventID(len(el.slots) - 1)
 }
 
 func (el *EventList) freeSlot(id EventID) {
 	el.slots[id] = -1
-	el.free = append(el.free, int32(id))
+	el.free = append(el.free, int32(id)) //simlint:allow hotalloc — slot free-list: capacity bounded by the slot table, kept across reuse
 }
 
 // up sifts index i toward the root (parent of i is (i-1)/4). It moves a
@@ -525,6 +525,8 @@ type Timer struct {
 }
 
 // NewTimer returns a stopped timer that will invoke fn on expiry.
+//
+//simlint:allow hotalloc — pool-miss constructor: one Timer per pooled endpoint, reused via Reset/Stop in steady state (embed by value and Init to avoid even that)
 func NewTimer(el *EventList, fn func()) *Timer {
 	t := &Timer{}
 	t.Init(el, fn)

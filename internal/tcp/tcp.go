@@ -165,6 +165,8 @@ type Sender struct {
 // NewSender builds a TCP sender. path is the fixed source route to the
 // destination (nil for destination-based ECMP routing); source supplies the
 // stream.
+//
+//simlint:allow hotalloc — pool-miss constructor: runs once per pooled sender (recycle reuses the state and its bound timer), bounded by peak concurrent flows
 func NewSender(host *fabric.Host, dst int32, flow uint64, path []int16, source DataSource, cfg Config) *Sender {
 	cfg = cfg.withDefaults()
 	s := &Sender{
@@ -253,9 +255,9 @@ func (s *Sender) trySend() {
 		if n == 0 {
 			break
 		}
-		s.sizes = append(s.sizes, int32(n))
+		s.sizes = append(s.sizes, int32(n)) //simlint:allow hotalloc — per-segment bookkeeping (sizes/sentAt grow in lockstep): amortized doubling, arrays kept across recycle
 		s.sentAt = append(s.sentAt, 0)
-		s.rtxed = append(s.rtxed, false)
+		s.rtxed = append(s.rtxed, false) //simlint:allow hotalloc — grows in lockstep with sizes above: amortized doubling, kept across recycle
 		s.transmit(s.sndNxt, false)
 		s.sndNxt++
 	}
@@ -434,9 +436,9 @@ func (s *Sender) limitedTransmit() {
 		return
 	}
 	if n := s.source.Claim(); n > 0 {
-		s.sizes = append(s.sizes, int32(n))
+		s.sizes = append(s.sizes, int32(n)) //simlint:allow hotalloc — per-segment bookkeeping (sizes/sentAt grow in lockstep): amortized doubling, arrays kept across recycle
 		s.sentAt = append(s.sentAt, 0)
-		s.rtxed = append(s.rtxed, false)
+		s.rtxed = append(s.rtxed, false) //simlint:allow hotalloc — grows in lockstep with sizes above: amortized doubling, kept across recycle
 		s.transmit(s.sndNxt, false)
 		s.sndNxt++
 	}
@@ -537,6 +539,8 @@ type Receiver struct {
 }
 
 // NewReceiver builds the receiving side; path routes ACKs back.
+//
+//simlint:allow hotalloc — pool-miss constructor: runs once per pooled receiver (recycle reuses the state), bounded by peak concurrent flows
 func NewReceiver(host *fabric.Host, peer int32, flow uint64, path []int16) *Receiver {
 	return &Receiver{
 		Flow: flow, host: host, peer: peer, path: path, finSeq: -1,
@@ -576,7 +580,7 @@ func (r *Receiver) Receive(p *fabric.Packet) {
 	}
 	seq := p.Seq
 	for int64(len(r.got)) <= seq {
-		r.got = append(r.got, false)
+		r.got = append(r.got, false) //simlint:allow hotalloc — arrival bitmap: amortized append doubling, O(log N) allocations per flow, backing array kept across recycle
 	}
 	if !r.got[seq] {
 		r.got[seq] = true
